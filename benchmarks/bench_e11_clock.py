@@ -1,0 +1,70 @@
+"""E11 — Theorem 20 / Figure 1: the global clock is unavoidable.
+
+Paper claim: on the Figure-1 instance (m-1 interference-free short
+links + one long link requiring global silence), a global-clock
+protocol is stable for lambda < 1/2, while *no* acknowledgement-based
+local-clock protocol is stable once lambda >= ln(m)/m — hence no such
+protocol is m/(2 ln m)-competitive.
+
+Reproduced series: long-link queue growth per slot for both protocols
+at lambda = ln(m)/m across m in {16, 64, 256} (the figure's instance at
+three sizes), plus the global protocol at lambda = 0.4 for the
+"stable to 1/2" side.
+"""
+
+import math
+
+from _harness import once, print_experiment
+
+import repro
+
+
+def run_experiment():
+    rows = []
+    separations = []
+    for m in (16, 64, 256):
+        rate = math.log(m) / m
+        global_run = repro.simulate_figure1(
+            m, rate, horizon=10_000, protocol="global", rng=m
+        )
+        local_run = repro.simulate_figure1(
+            m, rate, horizon=10_000, protocol="local", rng=m
+        )
+        separations.append(
+            (global_run.long_queue_slope(), local_run.long_queue_slope())
+        )
+        rows.append(
+            [
+                m,
+                f"{rate:.4f}",
+                f"{global_run.long_queue_slope():+.4f}",
+                global_run.final_long_queue,
+                f"{local_run.long_queue_slope():+.4f}",
+                local_run.final_long_queue,
+            ]
+        )
+    high = repro.simulate_figure1(64, 0.4, horizon=10_000,
+                                  protocol="global", rng=1)
+    rows.append([64, "0.4000 (global only)",
+                 f"{high.long_queue_slope():+.4f}",
+                 high.final_long_queue, "-", "-"])
+    print_experiment(
+        "E11",
+        "Theorem 20 / Figure 1: global-clock stable at ln(m)/m (and up to "
+        "1/2); local-clock long link diverges",
+        ["m", "lambda", "global slope", "global queue",
+         "local slope", "local queue"],
+        rows,
+    )
+    return separations, high
+
+
+def test_e11_clock_separation(benchmark):
+    separations, high = once(benchmark, run_experiment)
+    for global_slope, local_slope in separations:
+        assert global_slope < 0.01
+        assert local_slope > global_slope
+    # Local-clock divergence must be decisive at the larger sizes.
+    assert separations[-1][1] > 0.01
+    # Global clock stays stable at 0.4 < 1/2.
+    assert high.long_queue_slope() < 0.01

@@ -1,0 +1,112 @@
+"""E12 — the abstract's summary: competitive ratios "between constant and
+O(log^2 m)" across interference models.
+
+The headline table of the paper, reproduced as one sweep: for each
+model family, the certified injection rate of the derived protocol,
+the empirical single-slot feasibility bound (what any protocol could
+serve per slot), and the resulting competitive ratio at two network
+sizes. The per-family *growth* between the sizes is the quantity the
+paper bounds: flat-ish for packet routing / MAC / linear power;
+polylog for the rest.
+"""
+
+import math
+
+from _harness import once, print_experiment, transformed_decay
+
+import repro
+from repro.interference.builders import protocol_model_conflicts
+from repro.sinr.weights import monotone_power_model
+from repro.staticsched.kv import KvScheduler
+
+
+def family_rows(num_nodes, seed):
+    rows = {}
+
+    # Packet routing (identity W): trivial scheduler, ratio ~ 2 (eps).
+    net = repro.grid_network(num_nodes // 6 + 2, 6)
+    model = repro.PacketRoutingModel(net)
+    algorithm = repro.SingleHopScheduler()
+    rows["packet routing"] = (net.size_m, model, algorithm)
+
+    # MAC with ids.
+    net = repro.mac_network(min(num_nodes, 12))
+    rows["MAC (ids)"] = (
+        net.size_m, repro.MultipleAccessChannel(net),
+        repro.RoundRobinScheduler(),
+    )
+
+    # SINR, linear power.
+    net = repro.random_sinr_network(num_nodes, rng=seed)
+    model = repro.linear_power_model(net, alpha=3.0, beta=1.0, noise=0.02)
+    rows["SINR linear power"] = (
+        net.size_m, model, transformed_decay(net.size_m)
+    )
+
+    # SINR, monotone sub-linear power.
+    model = monotone_power_model(
+        net, repro.SquareRootPower(), alpha=3.0, beta=1.0, noise=0.02
+    )
+    rows["SINR sqrt power"] = (
+        net.size_m,
+        model,
+        repro.TransformedAlgorithm(KvScheduler(), m=net.size_m,
+                                   chi_scale=0.05),
+    )
+
+    # Conflict graph (protocol model).
+    conflicts = protocol_model_conflicts(net, guard_factor=0.5)
+    ordering = repro.length_ordering(net)
+    model = repro.ConflictGraphModel(net, conflicts, ordering=ordering)
+    rows["conflict graph"] = (
+        net.size_m, model, transformed_decay(net.size_m)
+    )
+    return rows
+
+
+def run_experiment():
+    small = family_rows(14, seed=1)
+    large = family_rows(30, seed=2)
+    rows = []
+    growths = {}
+    for family in small:
+        ratios = []
+        for size_rows in (small, large):
+            m, model, algorithm = size_rows[family]
+            certified = repro.certified_rate(algorithm, m)
+            upper = repro.feasible_measure_upper_bound(model, trials=16,
+                                                       rng=3)
+            ratios.append(upper / certified)
+        m_small = small[family][0]
+        m_large = large[family][0]
+        # Growth exponent of the ratio in log m between the two sizes.
+        growth = (
+            math.log(ratios[1] / ratios[0])
+            / math.log(math.log(m_large + 2) / math.log(m_small + 2))
+            if ratios[0] > 0 and m_large > m_small
+            else 0.0
+        )
+        growths[family] = growth
+        rows.append(
+            [family, m_small, f"{ratios[0]:.3g}", m_large,
+             f"{ratios[1]:.3g}", f"{growth:+.1f}"]
+        )
+    print_experiment(
+        "E12",
+        "Abstract: competitive ratios between constant and O(log^2 m) — "
+        "ratio growth exponent in log m per family",
+        ["family", "m (small)", "ratio", "m (large)", "ratio",
+         "(log m)-exponent"],
+        rows,
+    )
+    return growths
+
+
+def test_e12_summary(benchmark):
+    growths = once(benchmark, run_experiment)
+    # Exact-bound families stay flat.
+    assert abs(growths["packet routing"]) < 1.0
+    assert abs(growths["MAC (ids)"]) < 1.5
+    # Everything stays polylog: exponents bounded (no polynomial blowup).
+    for family, growth in growths.items():
+        assert growth < 8.0, f"{family} ratio grows too fast"

@@ -1,0 +1,64 @@
+"""E3 — Theorem 8: expected latency is O(d * T), linear in path length.
+
+Paper claim: a packet with path length ``d`` spends ``O(d)`` frames in
+the system in expectation (unfailed packets exactly one hop per frame;
+failed ones are recovered at the clean-up drain rate).
+
+Reproduced series: mean latency (in frames) by path length ``d`` on a
+forward chain where source 0 sends to every node 1..8 — the packet for
+node ``d`` has exactly ``d`` hops. An affine fit's slope is the
+"frames per hop"; the intercept should be small.
+
+Expected shape: latency(d) ~ a*d + b with a in [1, ~2] frames/hop and
+r^2 close to 1 (near-perfectly linear).
+"""
+
+from _harness import once, print_experiment
+
+import repro
+from repro.analysis.fitting import fit_affine
+
+
+def run_experiment():
+    depth = 9
+    net = repro.line_network(depth)
+    model = repro.PacketRoutingModel(net)
+    algorithm = repro.SingleHopScheduler()
+    rate = 0.5
+    protocol = repro.DynamicProtocol(
+        model, algorithm, rate, t_scale=0.01, rng=4
+    )
+    routing = repro.build_routing_table(net)
+    pairs = [(0, d) for d in range(1, depth)]
+    injection = repro.uniform_pair_injection(
+        routing, model, rate, num_generators=4, pairs=pairs, rng=5
+    )
+    simulation = repro.FrameSimulation(protocol, injection)
+    simulation.run(200)
+
+    groups = simulation.metrics.latency_by_path_length(protocol.delivered)
+    rows, ds, latencies = [], [], []
+    for d, summary in groups.items():
+        frames = summary.mean / protocol.frame_length
+        ds.append(d)
+        latencies.append(frames)
+        rows.append([d, summary.count, f"{frames:.2f}",
+                     f"{summary.p95 / protocol.frame_length:.2f}"])
+
+    fit = fit_affine(ds, latencies)
+    rows.append(["fit", "", f"slope {fit.slope:.2f}/hop",
+                 f"r2 {fit.r_squared:.3f}"])
+    print_experiment(
+        "E3",
+        "Theorem 8: mean latency linear in path length d (frames)",
+        ["d (hops)", "packets", "mean latency", "p95 latency"],
+        rows,
+    )
+    return fit, groups
+
+
+def test_e3_latency_linear_in_d(benchmark):
+    fit, groups = once(benchmark, run_experiment)
+    assert len(groups) >= 6  # all path lengths observed
+    assert 0.8 <= fit.slope <= 2.5
+    assert fit.r_squared > 0.9

@@ -1,0 +1,77 @@
+"""E6 — Corollary 13: monotone sub-linear power, O(log^2 m)-competitive.
+
+Paper claim: for monotone sub-linear assignments (here: square-root
+power), building the protocol from the distributed contention-
+resolution algorithm [33] gives stability at rates Omega(1/(f(m)))
+where the end-to-end competitive gap is O(log^2 m).
+
+Reproduced series: certified rate vs the single-slot feasibility bound
+of the *matched* Corollary-13 weight matrix across growing networks,
+plus a live stability check at 60% of the certified rate on the
+largest instance. Expected: the ratio grows no faster than polylog
+(fit exponent in log m bounded), and the stability run passes.
+"""
+
+import math
+
+from _harness import once, print_experiment, stability_run
+
+import repro
+from repro.analysis.fitting import fit_power_law
+from repro.sinr.weights import monotone_power_model
+from repro.staticsched.kv import KvScheduler
+
+
+def build(num_nodes, seed):
+    net = repro.random_sinr_network(num_nodes, rng=seed)
+    model = monotone_power_model(
+        net, repro.SquareRootPower(), alpha=3.0, beta=1.0, noise=0.02
+    )
+    algorithm = repro.TransformedAlgorithm(
+        KvScheduler(), m=net.size_m, chi_scale=0.05
+    )
+    return net, model, algorithm
+
+
+def run_experiment():
+    rows, ms, ratios = [], [], []
+    last = None
+    for num_nodes in (12, 18, 26, 36):
+        net, model, algorithm = build(num_nodes, seed=num_nodes + 50)
+        m = net.size_m
+        certified = repro.certified_rate(algorithm, m)
+        upper = repro.feasible_measure_upper_bound(model, trials=32,
+                                                   rng=num_nodes)
+        ratio = upper / certified
+        ms.append(m)
+        ratios.append(ratio)
+        rows.append([num_nodes, m, f"{upper:.2f}", f"{certified:.2e}",
+                     f"{ratio:.3g}"])
+        last = (net, model, algorithm, certified)
+
+    log_ms = [math.log(m) for m in ms]
+    ratio_fit = fit_power_law(log_ms, ratios)
+    rows.append(["growth", "", "", "", f"~(log m)^{ratio_fit.slope:.2f}"])
+
+    net, model, algorithm, certified = last
+    protocol, metrics, verdict = stability_run(
+        model, algorithm, 0.6 * certified, frames=50, seed=8
+    )
+    rows.append(["stability @0.6x", net.size_m, "", f"{0.6 * certified:.2e}",
+                 f"stable={verdict.stable}"])
+    print_experiment(
+        "E6",
+        "Corollary 13: sqrt power (monotone sub-linear) — polylog "
+        "competitive ratio, stable at certified load",
+        ["nodes", "m", "feasible-I bound", "certified rate", "ratio"],
+        rows,
+    )
+    return ratio_fit, verdict
+
+
+def test_e6_sublinear_power(benchmark):
+    ratio_fit, verdict = once(benchmark, run_experiment)
+    assert verdict.stable
+    # O(log^2 m) claim with algorithmic log slack: the exponent of the
+    # (log m)-fit stays bounded well below polynomial growth.
+    assert ratio_fit.slope < 5.0

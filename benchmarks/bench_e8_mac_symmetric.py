@@ -1,0 +1,114 @@
+"""E8 — Lemma 15 / Corollary 16: the symmetric MAC protocol and the 1/e wall.
+
+Paper claims:
+(a) Algorithm 2 transmits n packets in (1+delta) e n + O(log^2 n) slots
+    whp — asymptotic slope ~ (1+delta)e per packet;
+(b) symmetric, ack-based protocols are stable exactly for rates below
+    1/e (Corollary 16 for achievability; the matching impossibility is
+    classic [Goldberg et al.]).
+
+Reproduced series:
+(a) static slot counts for growing n with the *differenced* slope
+    (slots(2n) - slots(n)) / n, which cancels the additive O(log^2 n)
+    term and should approach (1+delta)e;
+(b) a slotted symmetric contention simulation (every backlogged packet
+    transmits w.p. 1/backlog — the idealised symmetric protocol) at
+    rates 0.8/e and 1.2/e: stable below, diverging above.
+"""
+
+import math
+
+import numpy as np
+
+from _harness import once, print_experiment
+
+import repro
+
+
+def static_slopes():
+    net = repro.mac_network(8)
+    model = repro.MultipleAccessChannel(net)
+    algorithm = repro.MacBackoffScheduler(phi=1.0, delta=0.5)
+    rng = np.random.default_rng(3)
+    slots = {}
+    ns = [400, 800, 1600]
+    for n in ns:
+        requests = [int(rng.integers(8)) for _ in range(n)]
+        budget = 3 * algorithm.budget_for(n, n)
+        runs = [
+            algorithm.run(model, requests, budget, rng=seed).slots_used
+            for seed in (1, 2)
+        ]
+        slots[n] = float(np.mean(runs))
+    slopes = [
+        (slots[b] - slots[a]) / (b - a)
+        for a, b in zip(ns, ns[1:])
+    ]
+    return ns, slots, slopes
+
+
+def symmetric_contention(rate, horizon=30_000, seed=0):
+    """Idealised symmetric protocol: p = 1/backlog for every packet.
+
+    Arrivals are Poisson(rate) — the aggregate-of-many-users regime the
+    1/e bound lives in. (With at most one Bernoulli arrival per slot the
+    backlog-1 state is always cleared instantly and the chain is stable
+    for any rate < 1, hiding the wall.) Service succeeds when exactly
+    one of the backlogged packets transmits: probability
+    ``(1 - 1/n)^(n-1) -> 1/e``, so the queue drifts up iff
+    ``rate > 1/e``.
+    """
+    rng = np.random.default_rng(seed)
+    backlog = 0
+    series = []
+    for t in range(horizon):
+        backlog += int(rng.poisson(rate))
+        if backlog > 0:
+            transmitters = rng.binomial(backlog, 1.0 / backlog)
+            if transmitters == 1:
+                backlog -= 1
+        if t % 100 == 0:
+            series.append(backlog)
+    return series
+
+
+def run_experiment():
+    ns, slots, slopes = static_slopes()
+    target = 1.5 * math.e  # (1 + delta) e with delta = 0.5
+    rows = [
+        [f"n={n}", f"{slots[n]:.0f}", f"{slots[n] / n:.2f}", ""]
+        for n in ns
+    ]
+    for k, slope in enumerate(slopes):
+        rows.append(
+            [f"diff slope {ns[k]}->{ns[k + 1]}", "", f"{slope:.2f}",
+             f"target (1+d)e = {target:.2f}"]
+        )
+
+    below = symmetric_contention(0.8 / math.e, seed=1)
+    above = symmetric_contention(1.2 / math.e, seed=1)
+    drift_below = (below[-1] - below[len(below) // 2]) / (len(below) // 2)
+    drift_above = (above[-1] - above[len(above) // 2]) / (len(above) // 2)
+    rows.append(["contention @0.8/e", f"final {below[-1]}",
+                 f"drift {drift_below:+.3f}", "expect ~0"])
+    rows.append(["contention @1.2/e", f"final {above[-1]}",
+                 f"drift {drift_above:+.3f}", "expect > 0"])
+    print_experiment(
+        "E8",
+        "Lemma 15/Cor. 16: Algorithm 2 slope ~ (1+delta)e per packet; "
+        "symmetric protocols flip at rate 1/e",
+        ["series", "value", "per-packet / drift", "note"],
+        rows,
+    )
+    return slopes, target, drift_below, drift_above
+
+
+def test_e8_mac_symmetric(benchmark):
+    slopes, target, drift_below, drift_above = once(benchmark, run_experiment)
+    # The differenced slope approaches (1+delta)e; generous band, since
+    # stage-2 tails still leak into finite-n measurements.
+    assert slopes[-1] <= 2.5 * target
+    assert slopes[-1] >= 0.5
+    # The 1/e boundary.
+    assert abs(drift_below) < 0.1
+    assert drift_above > 0.5

@@ -1,0 +1,126 @@
+"""X2 — comparator: the protocol vs the Tassiulas-Ephremides optimum.
+
+The paper's framing (Section 1.2): the max-weight policy of Tassiulas
+and Ephremides is throughput-optimal but "neither distributed nor can
+it be computed in polynomial time in general"; the paper's protocol is
+a distributed approximation of it.
+
+Reproduction: the same stochastic workload on a conflict-graph
+instance served by (a) the paper's frame protocol (transformed decay)
+and (b) a slot-level max-weight scheduler run as a clairvoyant
+comparator. Both should be stable; max-weight holds smaller queues
+(it pays no frame/clean-up overhead), quantifying the price of
+distributedness the paper accepts for its competitive guarantee.
+"""
+
+from _harness import once, print_experiment, transformed_decay
+
+import repro
+
+
+def run_protocol(model, routing, rate, frames, seed):
+    algorithm = transformed_decay(model.network.size_m)
+    protocol = repro.DynamicProtocol(
+        model, algorithm, rate, t_scale=0.001, rng=seed
+    )
+    injection = repro.uniform_pair_injection(
+        routing, model, rate, num_generators=4, rng=seed + 1
+    )
+    simulation = repro.FrameSimulation(protocol, injection)
+    simulation.run(frames)
+    return protocol, simulation.metrics
+
+
+def run_max_weight_slotwise(model, routing, rate, horizon, seed):
+    """Clairvoyant slot-level max-weight service of the same workload."""
+    injection = repro.uniform_pair_injection(
+        routing, model, rate, num_generators=4, rng=seed + 1
+    )
+    scheduler = repro.MaxWeightScheduler(exact_limit=10)
+    from repro.staticsched.base import LinkQueues
+
+    queues: dict = {}  # link -> list of (packet, hops_left)
+    delivered = 0
+    injected = 0
+    backlog_series = []
+    for slot in range(horizon):
+        for packet in injection.packets_for_slot(slot):
+            injected += 1
+            queues.setdefault(packet.path[0], []).append(
+                (packet, list(packet.path))
+            )
+        busy = [link for link, q in queues.items() if q]
+        if busy:
+            weights = LinkQueues(
+                [link for link in queues for _ in queues[link]],
+                model.num_links,
+            )
+            chosen = scheduler.best_feasible_set(model, weights)
+            winners = model.successes(chosen)
+            for link in winners:
+                packet, path = queues[link].pop(0)
+                path.pop(0)
+                if path:
+                    queues.setdefault(path[0], []).append((packet, path))
+                else:
+                    delivered += 1
+        backlog_series.append(sum(len(q) for q in queues.values()))
+    return injected, delivered, backlog_series
+
+
+def run_experiment():
+    net = repro.grid_network(3, 3)
+    conflicts = repro.node_constraint_conflicts(net)
+    ordering = repro.degree_ordering(conflicts)
+    model = repro.ConflictGraphModel(net, conflicts, ordering=ordering)
+    routing = repro.build_routing_table(net)
+    algorithm = transformed_decay(net.size_m)
+    rate = 0.6 * repro.certified_rate(algorithm, net.size_m)
+
+    protocol, metrics = run_protocol(model, routing, rate, frames=50, seed=4)
+    protocol_frames = 50
+    horizon = 4000
+    mw_injected, mw_delivered, mw_backlog = run_max_weight_slotwise(
+        model, routing, rate, horizon, seed=4
+    )
+
+    protocol_verdict = repro.assess_stability(
+        metrics.queue_series,
+        load_per_frame=max(1.0, rate * protocol.frame_length),
+    )
+    mw_tail = sum(mw_backlog[horizon // 2:]) / (horizon - horizon // 2)
+    rows = [
+        [
+            "paper protocol",
+            metrics.injected_total,
+            metrics.delivered_count(),
+            f"{metrics.mean_queue():.1f}",
+            protocol_verdict.stable,
+        ],
+        [
+            "max-weight (clairvoyant)",
+            mw_injected,
+            mw_delivered,
+            f"{mw_tail:.1f}",
+            True,
+        ],
+    ]
+    print_experiment(
+        "X2",
+        "comparator: the distributed frame protocol vs slot-level "
+        "max-weight on a node-constraint conflict graph",
+        ["policy", "injected", "delivered", "tail queue", "stable"],
+        rows,
+    )
+    return protocol_verdict, metrics, mw_tail, mw_delivered, mw_injected
+
+
+def test_x2_max_weight_comparator(benchmark):
+    (protocol_verdict, metrics, mw_tail, mw_delivered,
+     mw_injected) = once(benchmark, run_experiment)
+    assert protocol_verdict.stable
+    # The clairvoyant comparator drains essentially everything.
+    assert mw_delivered >= 0.9 * mw_injected
+    # And its standing backlog is no larger than the frame protocol's
+    # (the price of distributedness goes the expected way).
+    assert mw_tail <= max(1.0, metrics.mean_queue()) * 1.5

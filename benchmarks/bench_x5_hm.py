@@ -1,0 +1,136 @@
+"""X5 — the Section-6.1 open problem: a nearly-optimal static algorithm.
+
+Paper: "in [26] an improved analysis of the algorithm in [33] has been
+presented. It remains an open problem to fit this analysis into our
+framework."
+
+Empirical exploration of that open problem with the HM-style
+contention-adaptive scheduler (constant multiplicative factor,
+polylog additive term — the ICALP'11 shape):
+
+* **X5a** — static scaling: on a fixed SINR network with growing
+  request multiplicity, slots/I stays flat for the adaptive scheduler
+  while the fixed-probability decay scheduler (O(I log n)) degrades.
+* **X5b** — framework payoff: fed into the *unchanged* dynamic
+  framework, the constant-f bound certifies an injection rate that is
+  orders of magnitude above what the transformed KV algorithm
+  certifies on the same network — and the protocol is stable when run
+  at that rate. The transformation machinery accepts the improved
+  bound as-is; what remains open in the paper is only the *proof*.
+"""
+
+import math
+
+from _harness import once, print_experiment, sinr_instance
+
+import repro
+from repro.staticsched.hm import HmScheduler
+
+
+def run_experiment():
+    net, model = sinr_instance(14, seed=2)
+    m = net.size_m
+
+    # ---- X5a: slots/I as the instance densifies -------------------------
+    rows = []
+    hm_ratios, decay_ratios = [], []
+    rng_seed = 0
+    for n in (40, 120, 360):
+        links = [i % 5 for i in range(n)]
+        measure = model.interference_measure(links)
+        hm = HmScheduler()
+        hm_result = hm.run(model, links, budget=200 * n, rng=rng_seed)
+        decay = repro.DecayScheduler()
+        decay_result = decay.run(model, links, budget=200 * n,
+                                 rng=rng_seed + 1)
+        assert hm_result.all_delivered and decay_result.all_delivered
+        hm_ratios.append(hm_result.slots_used / measure)
+        decay_ratios.append(decay_result.slots_used / measure)
+        rows.append(
+            [
+                n,
+                f"{measure:.1f}",
+                f"{hm_result.slots_used}",
+                f"{hm_ratios[-1]:.2f}",
+                f"{decay_result.slots_used}",
+                f"{decay_ratios[-1]:.2f}",
+            ]
+        )
+        rng_seed += 10
+    print_experiment(
+        "X5a",
+        "HM-style adaptive scheduler: slots/I flat as n grows "
+        "(vs the O(I log n) decay scheduler)",
+        ["n", "I", "HM slots", "HM slots/I", "decay slots",
+         "decay slots/I"],
+        rows,
+    )
+
+    # ---- X5b: certified rates and stability at the improved rate --------
+    hm_algorithm = HmScheduler()
+    hm_rate = repro.certified_rate(hm_algorithm, m)
+    kv_rate = repro.certified_rate(
+        repro.TransformedAlgorithm(repro.KvScheduler(), m=m,
+                                   chi_scale=0.05),
+        m,
+    )
+    decay_rate = repro.certified_rate(
+        repro.TransformedAlgorithm(repro.DecayScheduler(), m=m,
+                                   chi_scale=0.05),
+        m,
+    )
+
+    protocol = repro.DynamicProtocol(
+        model, hm_algorithm, 0.5 * hm_rate, t_scale=0.001, rng=3
+    )
+    routing = repro.build_routing_table(net)
+    injection = repro.uniform_pair_injection(
+        routing, model, 0.5 * hm_rate, num_generators=8, rng=1003
+    )
+    simulation = repro.FrameSimulation(protocol, injection)
+    simulation.run(60)
+    metrics = simulation.metrics
+    verdict = repro.assess_stability(
+        metrics.queue_series,
+        load_per_frame=max(1.0, metrics.injected_total / 60),
+    )
+    rate_rows = [
+        ["HM (native f = O(1))", f"{hm_rate:.4g}",
+         f"{hm_rate / kv_rate:.0f}x KV"],
+        ["transformed KV [33]", f"{kv_rate:.4g}", "1x"],
+        ["transformed decay [Thm 19]", f"{decay_rate:.4g}",
+         f"{decay_rate / kv_rate:.1f}x KV"],
+        ["HM protocol @0.5x certified", f"{0.5 * hm_rate:.4g}",
+         f"stable: {verdict.stable}, failures: "
+         f"{protocol.potential.total_failures}"],
+    ]
+    print_experiment(
+        "X5b",
+        "framework payoff: the improved bound certifies a far higher "
+        f"injection rate on the same m={m} network",
+        ["algorithm", "certified rate", "note"],
+        rate_rows,
+    )
+    return {
+        "hm_ratios": hm_ratios,
+        "decay_ratios": decay_ratios,
+        "hm_rate": hm_rate,
+        "kv_rate": kv_rate,
+        "verdict": verdict,
+        "protocol": protocol,
+    }
+
+
+def test_x5_hm_open_problem(benchmark):
+    results = once(benchmark, run_experiment)
+    # X5a: adaptive slots/I must not grow with n (allow 50% noise band),
+    # and must beat the fixed-probability scheduler on dense instances.
+    hm = results["hm_ratios"]
+    decay = results["decay_ratios"]
+    assert hm[-1] <= hm[0] * 1.5
+    assert hm[-1] < decay[-1]
+    # X5b: the improved bound certifies a strictly higher rate and the
+    # protocol actually sustains half of it.
+    assert results["hm_rate"] > 10 * results["kv_rate"]
+    assert results["verdict"].stable
+    assert results["protocol"].potential.total_failures == 0

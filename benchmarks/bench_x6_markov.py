@@ -1,0 +1,142 @@
+"""X6 — robustness beyond the paper's two injection models.
+
+The stochastic model (Section 2.1) assumes slot-independence; the
+window adversary bounds every window deterministically. Real traffic
+sits in between: bursty but stationary. This experiment drives the
+*unchanged* Section-4 protocol with two such processes at the same
+long-run rate as an iid baseline:
+
+* **Markov-modulated ON/OFF** generators (mean burst 25 slots) —
+  violates property (b) (slot independence);
+* **Poisson batch arrivals** — violates property (c) (one packet per
+  generator per slot).
+
+Expected: at a long-run rate well inside the provisioning, all three
+remain stable — the frame protocol never uses independence *within* a
+frame, only the per-frame arrival measure, so stationary burstiness is
+absorbed exactly like the Chernoff analysis suggests. The experiment
+also reports each process's measured vs declared rate (the
+``empirical_usage`` audit).
+"""
+
+import numpy as np
+
+from _harness import once, print_experiment
+
+import repro
+from repro.core.frames import FrameParameters
+from repro.injection.markov import (
+    MarkovModulatedInjection,
+    PoissonBatchInjection,
+    empirical_usage,
+)
+from repro.injection.stochastic import PathGenerator
+
+
+def build_network():
+    net = repro.grid_network(3, 3)
+    model = repro.PacketRoutingModel(net)
+    routing = repro.build_routing_table(net)
+    paths = [routing.path(s, d) for s, d in routing.pairs()]
+    return net, model, paths
+
+
+def make_processes(model, paths, target_rate, seed):
+    """Three processes with identical long-run mean usage."""
+    # Per-path probability so that ||W . F||_inf == target_rate.
+    probe = PoissonBatchInjection(
+        [(p, 1.0 / len(paths)) for p in paths], batch_mean=1.0, rng=0
+    )
+    unit_rate = probe.injection_rate(model)
+    scale = target_rate / unit_rate
+
+    iid = repro.StochasticInjection(
+        [
+            PathGenerator([(p, scale / len(paths)) for p in paths])
+        ] * 4,
+        rng=seed,
+    )
+    # ON/OFF gating with pi_on = 1/2: double the ON-probabilities so
+    # the long-run mean matches. Mean burst length 1/p_on_off = 25.
+    markov = MarkovModulatedInjection(
+        [
+            PathGenerator([(p, 2.0 * scale / len(paths)) for p in paths])
+        ] * 4,
+        p_on_off=0.04,
+        p_off_on=0.04,
+        rng=seed,
+    )
+    poisson = PoissonBatchInjection(
+        [(p, 1.0 / len(paths)) for p in paths],
+        batch_mean=4.0 * scale,
+        rng=seed,
+    )
+    # Note: iid uses 4 generators at scale, so its aggregate F is
+    # 4 * scale / len(paths) per path — match Poisson's batch mean.
+    return {"iid (Sec. 2.1)": iid, "Markov ON/OFF": markov,
+            "Poisson batch": poisson}
+
+
+def run_experiment():
+    net, model, paths = build_network()
+    target_rate = 0.05  # per-generator; aggregate 4x
+    params = FrameParameters(
+        frame_length=400,
+        phase1_budget=120,
+        cleanup_budget=40,
+        measure_budget=60.0,
+        epsilon=0.5,
+        rate=4 * target_rate,
+        f_m=1.0,
+        m=net.size_m,
+    )
+
+    rows, results = [], {}
+    for label, process in make_processes(model, paths, target_rate, 17).items():
+        declared = process.injection_rate(model)
+        audit_process = make_processes(model, paths, target_rate, 17)[label]
+        measured = model.injection_norm(
+            empirical_usage(audit_process, model.num_links, horizon=40_000)
+        )
+        protocol = repro.DynamicProtocol(
+            model, repro.SingleHopScheduler(), rate=4 * target_rate,
+            params=params, rng=9,
+        )
+        simulation = repro.FrameSimulation(protocol, process)
+        simulation.run(160)
+        metrics = simulation.metrics
+        verdict = repro.assess_stability(
+            metrics.queue_series,
+            load_per_frame=max(1.0, metrics.injected_total / 160),
+        )
+        results[label] = (verdict, protocol)
+        rows.append(
+            [
+                label,
+                f"{declared:.3f}",
+                f"{measured:.3f}",
+                metrics.injected_total,
+                protocol.potential.total_failures,
+                f"{metrics.mean_queue():.1f}",
+                verdict.stable,
+            ]
+        )
+    print_experiment(
+        "X6",
+        "bursty-but-stationary injection: the unchanged protocol absorbs "
+        "Markov bursts and Poisson batches at the iid-equivalent rate",
+        ["process", "declared rate", "measured rate", "injected",
+         "failures", "tail queue", "stable"],
+        rows,
+    )
+    return results
+
+
+def test_x6_markov_robustness(benchmark):
+    results = once(benchmark, run_experiment)
+    for label, (verdict, protocol) in results.items():
+        assert verdict.stable, f"{label} unstable"
+    # The bursty processes may fail a few packets on burst peaks but
+    # the clean-up phase must keep the backlog near zero.
+    for label, (verdict, protocol) in results.items():
+        assert protocol.potential.value <= 10, label

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Window adversaries vs the Section-5 random shift (Theorem 11).
+
+A 3x3 grid packet-routing network is attacked by a fully *bursty*
+``(w, lambda)``-bounded adversary: the entire window budget (80
+measure) lands in the first slot of each 400-slot window, against a
+tightly provisioned protocol whose phase 1 serves at most 30 measure
+per 100-slot frame (average arrivals: 20 per frame — comfortably
+within provisioning *on average*). We run it against:
+
+1. the shifted protocol (paper Section 5) — packets wait a uniform
+   random number of frames before entering, smoothing the burst, and
+2. the same protocol with the shift disabled (ablation A3).
+
+Both see the identical packet sequence; the window audit certifies the
+adversary is really (w, lambda)-bounded, so the attack is "legal". The
+ablation takes each 80-measure burst head-on: phase 1 overflows and
+packets fail into the clean-up buffers, which drain at only ~1/(2em)
+per frame. With the shift, arrivals per frame concentrate around their
+mean and failures (nearly) disappear — Theorem 11's mechanism, live.
+
+(The shift's price is a start-up transient: packets sit out up to
+``delta_max`` frames, so the in-system count ramps before reaching
+steady state. Verdicts below are taken on the post-warm-up tail.)
+
+Run:  python examples/adversarial_bursts.py
+"""
+
+import repro
+from repro.core.frames import FrameParameters
+
+
+def run_case(shift_enabled, adversary_seed=11, tail_frames=200):
+    net = repro.grid_network(3, 3)
+    model = repro.PacketRoutingModel(net)
+    algorithm = repro.SingleHopScheduler()
+    rate, window = 0.2, 400  # burst budget 80 > phase-1 budget 30
+    params = FrameParameters(
+        frame_length=100,
+        phase1_budget=30,
+        cleanup_budget=20,
+        measure_budget=30.0,
+        epsilon=0.5,
+        rate=rate,
+        f_m=1.0,
+        m=net.size_m,
+    )
+    protocol = repro.ShiftedDynamicProtocol(
+        model,
+        algorithm,
+        rate,
+        window=window,
+        params=params,
+        shift_enabled=shift_enabled,
+        rng=1,
+    )
+    warmup = protocol.delta_max + net.max_path_length + 5
+    routing = repro.build_routing_table(net)
+    pairs = [(s, d) for s, d in routing.pairs() if s == 0]
+    paths = [routing.path(s, d) for s, d in pairs]
+    adversary = repro.BurstyAdversary(
+        model, paths, window=window, rate=rate, rng=adversary_seed
+    )
+    audit = repro.WindowAudit(model, window, rate)
+    simulation = repro.FrameSimulation(protocol, adversary, audit=audit)
+    simulation.run(warmup + tail_frames)
+    metrics = simulation.metrics
+    tail = metrics.queue_series[warmup:]
+    verdict = repro.assess_stability(
+        tail,
+        load_per_frame=max(1.0, metrics.injected_total / simulation.frames_run),
+    )
+    return {
+        "delivered": metrics.delivered_count(),
+        "failures": protocol.inner.potential.total_failures,
+        "tail_queue": sum(tail) / max(1, len(tail)),
+        "held": protocol.held_count,
+        "stable": verdict.stable,
+        "worst_window": audit.worst_window_measure,
+        "delta_max": protocol.delta_max if shift_enabled else 0,
+        "tail_series": tail,
+    }
+
+
+def main() -> None:
+    with_shift = run_case(shift_enabled=True)
+    without_shift = run_case(shift_enabled=False)
+
+    print(
+        "bursty (w, lambda)-bounded adversary certified by the audit: "
+        f"worst sliding-window measure {with_shift['worst_window']:.1f} "
+        "(budget w*lambda = 80.0)\n"
+    )
+    rows = [
+        [
+            "with random shift (Sec. 5)",
+            with_shift["delta_max"],
+            with_shift["delivered"],
+            with_shift["failures"],
+            f"{with_shift['tail_queue']:.1f}",
+            with_shift["stable"],
+        ],
+        [
+            "shift disabled (A3)",
+            0,
+            without_shift["delivered"],
+            without_shift["failures"],
+            f"{without_shift['tail_queue']:.1f}",
+            without_shift["stable"],
+        ],
+    ]
+    print(
+        repro.format_table(
+            [
+                "configuration",
+                "delta_max",
+                "delivered",
+                "phase-1 failures",
+                "tail queue",
+                "stable (post-warm-up)",
+            ],
+            rows,
+            title="bursty adversary, 3x3 grid, rate 0.2, window 400 slots",
+        )
+    )
+    print()
+    print(
+        repro.line_chart(
+            {
+                "shifted": with_shift["tail_series"],
+                "unshifted": without_shift["tail_series"],
+            },
+            title="post-warm-up in-system packets per frame",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The Figure-1 lower bound: why the global clock is unavoidable (Thm 20).
+
+The instance: m-1 short links that never interfere with anything, plus
+one long link that is received only when every short link is silent.
+
+* With a global clock, even/odd time sharing serves the long link every
+  other slot: stable for any per-link rate below 1/2.
+* With local clocks only, short links get no feedback (their packets
+  always go through), so nothing synchronises them; once the per-link
+  rate reaches ln(m)/m the chance that all m-1 shorts idle in the same
+  slot drops below the long link's arrival rate, and its queue diverges.
+
+We sweep the rate across ln(m)/m for both protocols and print the
+long-link queue growth — the separation Theorem 20 formalises as
+"no local-clock protocol is m/(2 ln m)-competitive".
+
+Run:  python examples/clock_lower_bound.py
+"""
+
+import math
+
+import repro
+
+
+def main() -> None:
+    m = 64
+    critical = math.log(m) / m
+    print(f"Figure-1 instance with m={m} links; ln(m)/m = {critical:.4f}\n")
+
+    rows = []
+    for factor in (0.25, 0.5, 1.0, 2.0, 4.0):
+        rate = factor * critical
+        global_run = repro.simulate_figure1(
+            m, rate, horizon=12_000, protocol="global", rng=1
+        )
+        local_run = repro.simulate_figure1(
+            m, rate, horizon=12_000, protocol="local", rng=1
+        )
+        rows.append(
+            [
+                f"{factor:.2f} x ln(m)/m",
+                f"{rate:.4f}",
+                f"{global_run.long_queue_slope():+.4f}",
+                global_run.final_long_queue,
+                f"{local_run.long_queue_slope():+.4f}",
+                local_run.final_long_queue,
+            ]
+        )
+
+    print(
+        repro.format_table(
+            [
+                "rate",
+                "lambda",
+                "global slope",
+                "global queue",
+                "local slope",
+                "local queue",
+            ],
+            rows,
+            title="long-link queue growth per slot (12k slots)",
+        )
+    )
+    print(
+        "\nreading: the global-clock protocol's slope stays ~0 well past "
+        "ln(m)/m (it is stable to lambda < 1/2); the local-clock protocol "
+        "diverges once lambda reaches ~ln(m)/m — a ~m/(2 ln m) gap in "
+        "sustainable rate, matching Theorem 20."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Conflict-graph models: one framework, four classic interference models.
+
+Section 7.2's pitch is that picking a conflict graph and an ordering
+instantly yields a dynamic protocol for any graph-based interference
+model. This example builds, on ONE 5x5 grid deployment:
+
+* the node-constraint model (links sharing a node conflict),
+* the protocol model (guard zones around receivers),
+* the radio-network model (any second in-range sender kills reception),
+* distance-2 matching (links conflict within the connectivity radius),
+
+computes each model's inductive independence number under the length
+ordering (Definition 1), runs the same stochastic workload through the
+transformed-decay protocol on each, and plots the queue trajectories as
+an ASCII chart. All four stay flat — the same machinery covers them
+all, at rates scaled by the model's rho.
+
+Run:  python examples/conflict_graph_models.py
+"""
+
+import repro
+from repro.interference.builders import (
+    distance2_matching_conflicts,
+    node_constraint_conflicts,
+    protocol_model_conflicts,
+    radio_network_conflicts,
+)
+
+
+def build_models(net):
+    builders = {
+        "node-constraint": lambda: node_constraint_conflicts(net),
+        "protocol-model": lambda: protocol_model_conflicts(net, 0.5),
+        "radio-network": lambda: radio_network_conflicts(net, 1.0),
+        "distance-2": lambda: distance2_matching_conflicts(net, 1.0),
+    }
+    ordering = repro.length_ordering(net)
+    models = {}
+    for name, build in builders.items():
+        conflicts = build()
+        model = repro.ConflictGraphModel(net, conflicts, ordering=ordering)
+        rho = repro.inductive_independence_for_ordering(
+            model.conflicts, ordering, exact_limit=14
+        )
+        models[name] = (model, rho)
+    return models
+
+
+def main() -> None:
+    net = repro.grid_network(5, 5)
+    routing = repro.build_routing_table(net)
+    models = build_models(net)
+
+    algorithm = repro.TransformedAlgorithm(
+        repro.DecayScheduler(), m=net.size_m, chi_scale=0.05
+    )
+    certified = repro.certified_rate(algorithm, net.size_m)
+
+    rows, charts = [], {}
+    for name, (model, rho) in models.items():
+        rate = 0.6 * certified
+        protocol = repro.DynamicProtocol(
+            model, algorithm, rate, t_scale=0.001, rng=1
+        )
+        injection = repro.uniform_pair_injection(
+            routing, model, rate, num_generators=4, rng=2
+        )
+        simulation = repro.FrameSimulation(protocol, injection)
+        simulation.run(60)
+        metrics = simulation.metrics
+        verdict = repro.assess_stability(
+            metrics.queue_series,
+            load_per_frame=max(1.0, metrics.injected_total / 60),
+        )
+        charts[name] = metrics.queue_series
+        rows.append(
+            [
+                name,
+                rho,
+                metrics.injected_total,
+                metrics.delivered_count(),
+                f"{metrics.mean_queue():.1f}",
+                verdict.stable,
+            ]
+        )
+
+    print(
+        repro.format_table(
+            ["model", "rho (length ordering)", "injected", "delivered",
+             "tail queue", "stable"],
+            rows,
+            title="four conflict-graph models, one protocol (5x5 grid)",
+        )
+    )
+    print()
+    print(repro.line_chart(charts, title="in-system packets per frame"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Power-assignment gallery: Section 6 on one network.
+
+The same 24-node random geometric network under four power regimes:
+
+* **uniform** — every link transmits at the same power,
+* **linear** — ``p ~ d^alpha`` (Corollary 12: constant-competitive),
+* **square-root** — ``p ~ d^(alpha/2)`` (Corollary 13: ``O(log^2 m)``),
+* **free power control** — the Corollary-14 per-slot selector.
+
+For each regime the script reports the single-slot feasibility picture
+(the largest simultaneously feasible measure found by random greedy
+packing and the raw feasible-set size), and for the fixed assignments,
+the certified injection rate of the matching transformed scheduler and
+a short stability run at half that rate.
+
+Run:  python examples/power_gallery.py
+"""
+
+import repro
+from repro.sinr.capacity import PowerControlCapacity
+
+
+ALPHA, BETA, NOISE = 3.0, 1.0, 0.02
+
+
+def fixed_power_cases(net):
+    """(label, model, algorithm) for the three fixed assignments."""
+    uniform = repro.SinrModel(
+        net, alpha=ALPHA, beta=BETA, noise=NOISE,
+        power=repro.UniformPower(scale_for(net)),
+    )
+    linear = repro.linear_power_model(net, alpha=ALPHA, beta=BETA, noise=NOISE)
+    sqrt = repro.monotone_power_model(
+        net, repro.SquareRootPower(), alpha=ALPHA, beta=BETA, noise=NOISE
+    )
+    m = net.size_m
+    return [
+        ("uniform", uniform,
+         repro.TransformedAlgorithm(repro.DecayScheduler(), m=m,
+                                    chi_scale=0.05)),
+        ("linear", linear,
+         repro.TransformedAlgorithm(repro.DecayScheduler(), m=m,
+                                    chi_scale=0.05)),
+        ("sqrt", sqrt,
+         repro.TransformedAlgorithm(repro.KvScheduler(), m=m,
+                                    chi_scale=0.05)),
+    ]
+
+
+def scale_for(net):
+    """Uniform power large enough that the longest link clears noise."""
+    longest = float(net.link_lengths().max())
+    return 4.0 * BETA * NOISE * longest ** ALPHA
+
+
+def main() -> None:
+    net = repro.random_sinr_network(24, rng=9)
+    print(f"network: {net.num_nodes} nodes, {net.num_links} links, "
+          f"m = {net.size_m}")
+    print()
+
+    rows = []
+    for label, model, algorithm in fixed_power_cases(net):
+        model.check_all_singletons()
+        upper = repro.feasible_measure_upper_bound(model, trials=32, rng=1)
+        certified = repro.certified_rate(algorithm, net.size_m)
+        rate = 0.5 * certified
+        protocol = repro.DynamicProtocol(
+            model, algorithm, rate, t_scale=0.001, rng=2
+        )
+        routing = repro.build_routing_table(net)
+        injection = repro.uniform_pair_injection(
+            routing, model, rate, num_generators=6, rng=3
+        )
+        simulation = repro.FrameSimulation(protocol, injection)
+        simulation.run(60)
+        metrics = simulation.metrics
+        verdict = repro.assess_stability(
+            metrics.queue_series,
+            load_per_frame=max(1.0, metrics.injected_total / 60),
+        )
+        rows.append(
+            [
+                label,
+                f"{upper:.2f}",
+                f"{certified:.2e}",
+                protocol.potential.total_failures,
+                f"{metrics.mean_queue():.1f}",
+                verdict.stable,
+            ]
+        )
+    print(repro.format_table(
+        ["power", "feasible measure", "certified rate", "failures",
+         "tail queue", "stable @0.5x"],
+        rows,
+    ))
+    print()
+
+    # Free power control: how much of a measure-I set one slot can clear.
+    linear = repro.linear_power_model(net, alpha=ALPHA, beta=BETA, noise=NOISE)
+    selector = PowerControlCapacity(linear)
+    requests = list(range(net.num_links))[:12]
+    selection = selector.select(requests)
+    print(f"free power control: one slot serves {len(selection.links)} of "
+          f"{len(requests)} offered links simultaneously")
+    print("(Corollary 14: the selector clears ~constant measure per slot;")
+    print(" bench_e7_power_control.py sweeps this across network sizes.)")
+
+
+if __name__ == "__main__":
+    main()

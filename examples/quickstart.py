@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: a stable dynamic protocol on a random SINR network.
+
+Builds the full paper pipeline in ~30 lines:
+
+1. a random geometric network,
+2. the linear-power SINR model with its Corollary-12 weight matrix,
+3. the decay static scheduler, repaired by the Section-3 transformation,
+4. the Section-4 dynamic protocol provisioned at half its certified rate,
+5. stochastic injection at exactly that rate,
+
+then runs 150 frames and prints the queue trajectory, throughput, and
+latency statistics. The queue hovers instead of growing — the
+Theorem-3 stability guarantee, live.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+
+def main() -> None:
+    net = repro.random_sinr_network(30, rng=0)
+    print(f"network: {net}")
+
+    model = repro.linear_power_model(net, alpha=3.0, beta=1.0, noise=0.02)
+    algorithm = repro.TransformedAlgorithm(
+        repro.DecayScheduler(), m=net.size_m, chi_scale=0.05
+    )
+
+    certified = repro.certified_rate(algorithm, net.size_m)
+    rate = 0.5 * certified
+    print(f"certified rate 1/f(m) band: {certified:.6f}; injecting at {rate:.6f}")
+
+    protocol = repro.DynamicProtocol(model, algorithm, rate, t_scale=0.001, rng=1)
+    params = protocol.params
+    print(
+        f"frames: T={params.frame_length} slots, phase-1 budget T'="
+        f"{params.phase1_budget}, clean-up budget {params.cleanup_budget}, "
+        f"J={params.measure_budget:.1f}"
+    )
+
+    routing = repro.build_routing_table(net)
+    injection = repro.uniform_pair_injection(routing, model, rate, rng=2)
+
+    simulation = repro.FrameSimulation(protocol, injection)
+    frames = 150
+    simulation.run(frames)
+    metrics = simulation.metrics
+
+    print(f"\nafter {frames} frames:")
+    print(f"  injected  : {metrics.injected_total}")
+    print(f"  delivered : {metrics.delivered_count()}")
+    print(f"  in flight : {protocol.packets_in_system}")
+    print(f"  failures  : {protocol.potential.total_failures}")
+    print(f"  queue tail: {metrics.queue_series[-8:]}")
+
+    verdict = repro.assess_stability(
+        metrics.queue_series, load_per_frame=rate * protocol.frame_length
+    )
+    print(f"  stable    : {verdict.stable} "
+          f"(normalised drift {verdict.normalised_slope:+.5f})")
+
+    latency = metrics.latency_summary(protocol.delivered)
+    print(
+        f"  latency   : mean {latency.mean / protocol.frame_length:.2f} frames, "
+        f"p95 {latency.p95 / protocol.frame_length:.2f} frames"
+    )
+
+    print("\nlatency by path length (Theorem 8 says ~linear in d):")
+    rows = []
+    for d, summary in metrics.latency_by_path_length(protocol.delivered).items():
+        rows.append([d, summary.count, summary.mean / protocol.frame_length])
+    print(repro.format_table(["hops d", "packets", "mean latency (frames)"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""A multi-hop SINR mesh under three power regimes (paper Section 6).
+
+Scenario from the paper's motivation: a city-scale wireless mesh where
+packets hop between relay nodes. We build one network and drive the
+dynamic protocol with the three Section-6 power regimes:
+
+* linear power      (Corollary 12 — constant-competitive),
+* square-root power (monotone sub-linear, Corollary 13 setting),
+* free power control (Corollary 14, centralized scheduler).
+
+For each we report the certified rate, the measured queue behaviour at
+70% of it, and the single-slot feasibility bound the competitive ratio
+compares against. The point of the demo: all three regimes are *stable*
+at their certified load, but they certify different fractions of the
+feasibility bound — the competitive-ratio separation of Section 6.
+
+Run:  python examples/sinr_mesh.py
+"""
+
+import repro
+from repro.sinr.weights import monotone_power_model
+from repro.staticsched.kv import KvScheduler
+
+
+def run_regime(name, model, algorithm, frames=80, seed=0):
+    m = model.network.size_m
+    certified = repro.certified_rate(algorithm, m)
+    rate = 0.7 * certified
+    protocol = repro.DynamicProtocol(model, algorithm, rate, t_scale=0.001,
+                                     rng=seed)
+    routing = repro.build_routing_table(model.network)
+    injection = repro.uniform_pair_injection(
+        routing, model, rate, num_generators=4, rng=seed + 1
+    )
+    simulation = repro.FrameSimulation(protocol, injection)
+    simulation.run(frames)
+    metrics = simulation.metrics
+    verdict = repro.assess_stability(
+        metrics.queue_series,
+        load_per_frame=max(1.0, rate * protocol.frame_length),
+    )
+    upper = repro.feasible_measure_upper_bound(model, trials=24, rng=9)
+    return [
+        name,
+        f"{certified:.2e}",
+        f"{upper:.2f}",
+        f"{upper / certified:.1f}",
+        metrics.delivered_count(),
+        verdict.stable,
+    ]
+
+
+def main() -> None:
+    net = repro.random_sinr_network(24, rng=3)
+    print(f"mesh: {net}, link-length diversity Delta="
+          f"{net.length_diversity():.1f}\n")
+    m = net.size_m
+
+    rows = []
+
+    linear_model = repro.linear_power_model(net, alpha=3.0, beta=1.0,
+                                            noise=0.02)
+    linear_algorithm = repro.TransformedAlgorithm(
+        repro.DecayScheduler(), m=m, chi_scale=0.05
+    )
+    rows.append(run_regime("linear power", linear_model, linear_algorithm))
+
+    sqrt_model = monotone_power_model(
+        net, repro.SquareRootPower(), alpha=3.0, beta=1.0, noise=0.02
+    )
+    sqrt_algorithm = repro.TransformedAlgorithm(
+        KvScheduler(), m=m, chi_scale=0.05
+    )
+    rows.append(run_regime("sqrt power (monotone)", sqrt_model, sqrt_algorithm))
+
+    pc_model = repro.SinrModel(
+        net, alpha=3.0, beta=1.0, noise=0.02,
+        weight_matrix=repro.power_control_weights(net, 3.0),
+    )
+    pc_algorithm = repro.TransformedAlgorithm(
+        repro.PowerControlScheduler(), m=m, chi_scale=0.05
+    )
+    rows.append(run_regime("free power control", pc_model, pc_algorithm))
+
+    print(
+        repro.format_table(
+            [
+                "regime",
+                "certified rate",
+                "feasibility bound",
+                "ratio",
+                "delivered",
+                "stable",
+            ],
+            rows,
+            title="Section-6 power regimes on one mesh (70% of certified load)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Section-9 gallery: loss, jamming, and fading on one network.
+
+The paper's discussion says unreliable networks need no new machinery:
+"it suffices to consider the effect on the respective static schedule
+length." This example makes that concrete three times on the same
+3x3 packet-routing grid, with the same tight frame budgets:
+
+1. **iid loss** (``UnreliableModel``): each successful transmission is
+   lost with probability p; budgets scale by ``1/(1-p)``.
+2. **bounded jammer** (``JammedModel``): a ``(window, sigma)``-bounded
+   adversary erases its budgeted fraction of slots; budgets scale by
+   ``1/(1-sigma)``.
+3. **Rayleigh fading** (``RayleighFadingSinrModel``, on a geometric
+   SINR variant): gains fade per slot; budgets scale by the closed-form
+   worst singleton success probability.
+
+Each row of the output shows the unadjusted run accruing failures and
+the adjusted run restoring zero-failure delivery.
+
+Run:  python examples/unreliable_links.py
+"""
+
+import numpy as np
+
+import repro
+from repro.core.frames import FrameParameters
+
+
+def run(model, phase1_budget, frames=120, seed=5):
+    net = model.network
+    params = FrameParameters(
+        frame_length=400,
+        phase1_budget=min(360, phase1_budget),
+        cleanup_budget=30,
+        measure_budget=20.0,
+        epsilon=0.5,
+        rate=0.05,
+        f_m=1.0,
+        m=net.size_m,
+    )
+    protocol = repro.DynamicProtocol(
+        model, repro.SingleHopScheduler(), rate=0.05, params=params, rng=seed
+    )
+    routing = repro.build_routing_table(net)
+    injection = repro.uniform_pair_injection(
+        routing, model, 0.05, num_generators=6, rng=7
+    )
+    simulation = repro.FrameSimulation(protocol, injection)
+    simulation.run(frames)
+    return protocol, simulation.metrics
+
+
+def main() -> None:
+    net = repro.grid_network(3, 3)
+    base = repro.PacketRoutingModel(net)
+    base_budget = 40
+    rows = []
+
+    # ---- 1. iid loss -----------------------------------------------------
+    loss = 0.4
+    factor = repro.reliability_budget_factor(loss, slack=2.0)
+    for label, budget in (("original", base_budget),
+                          ("adjusted", int(base_budget * factor))):
+        model = repro.UnreliableModel(base, loss, rng=11)
+        protocol, metrics = run(model, budget)
+        rows.append([f"iid loss p={loss}", label,
+                     protocol.potential.total_failures,
+                     metrics.delivered_count(), metrics.injected_total])
+
+    # ---- 2. bounded jammer -----------------------------------------------
+    sigma = 0.4
+    factor = repro.jamming_budget_factor(sigma, slack=2.0)
+    for label, budget in (("original", base_budget),
+                          ("adjusted", int(base_budget * factor))):
+        pattern = repro.FrontLoadedPattern(window=100, sigma=sigma)
+        model = repro.JammedModel(base, pattern)
+        protocol, metrics = run(model, budget)
+        rows.append([f"jammer sigma={sigma}", label,
+                     protocol.potential.total_failures,
+                     metrics.delivered_count(), metrics.injected_total])
+
+    # ---- 3. Rayleigh fading (geometric SINR variant) ----------------------
+    sinr_net = repro.random_sinr_network(12, rng=31)
+    crisp = repro.linear_power_model(sinr_net, alpha=3.0, beta=1.0, noise=0.0)
+    signals = crisp.signal_strengths()
+    noise = float(-np.log(0.5) * signals.min())  # worst link: p = 0.5
+    faded = repro.RayleighFadingSinrModel(
+        sinr_net, alpha=3.0, beta=1.0, noise=noise,
+        power=crisp.power_assignment, rng=13,
+    )
+    p_min = repro.worst_singleton_success(faded)
+    factor = repro.fading_budget_factor(p_min, slack=1.5)
+    fading_budget = 210
+    for label, budget in (("original", fading_budget),
+                          ("adjusted", int(fading_budget * factor))):
+        model = repro.RayleighFadingSinrModel(
+            sinr_net, alpha=3.0, beta=1.0, noise=noise,
+            power=crisp.power_assignment,
+            weight_matrix=np.array(crisp.weight_matrix()), rng=13,
+        )
+        params = FrameParameters(
+            frame_length=700, phase1_budget=min(620, budget),
+            cleanup_budget=70, measure_budget=9.0, epsilon=0.5,
+            rate=0.01, f_m=1.0, m=sinr_net.size_m,
+        )
+        protocol = repro.DynamicProtocol(
+            model, repro.DecayScheduler(), rate=0.01, params=params, rng=5
+        )
+        routing = repro.build_routing_table(sinr_net)
+        injection = repro.uniform_pair_injection(
+            routing, model, 0.01, num_generators=6, rng=7
+        )
+        simulation = repro.FrameSimulation(protocol, injection)
+        simulation.run(80)
+        rows.append([f"fading p_min={p_min:.2f}", label,
+                     protocol.potential.total_failures,
+                     simulation.metrics.delivered_count(),
+                     simulation.metrics.injected_total])
+
+    print(repro.format_table(
+        ["unreliability", "budget", "failures", "delivered", "injected"],
+        rows,
+    ))
+    print()
+    print("In all three mechanisms the adjusted budget eliminates the")
+    print("failures — only the static schedule length changed, exactly as")
+    print("the paper's Section 9 predicts.")
+
+
+if __name__ == "__main__":
+    main()

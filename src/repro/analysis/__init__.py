@@ -1,0 +1,43 @@
+"""Analysis utilities: scaling-law fits, proof-mirroring bounds,
+queueing cross-checks, tables, and ASCII charts."""
+
+from repro.analysis.fitting import (
+    FitResult,
+    fit_affine,
+    fit_power_law,
+    growth_exponent,
+)
+from repro.analysis.bounds import (
+    chernoff_upper_tail,
+    claim5_overload_probability,
+    lemma6_drain_probability,
+)
+from repro.analysis.queueing import (
+    BusyPeriodStats,
+    LittlesLawReport,
+    busy_period_stats,
+    drift_confidence_interval,
+    littles_law_check,
+    utilisation,
+)
+from repro.analysis.tables import format_table
+from repro.analysis.asciiplot import line_chart, sparkline
+
+__all__ = [
+    "sparkline",
+    "line_chart",
+    "FitResult",
+    "fit_affine",
+    "fit_power_law",
+    "growth_exponent",
+    "chernoff_upper_tail",
+    "claim5_overload_probability",
+    "lemma6_drain_probability",
+    "LittlesLawReport",
+    "littles_law_check",
+    "drift_confidence_interval",
+    "BusyPeriodStats",
+    "busy_period_stats",
+    "utilisation",
+    "format_table",
+]

@@ -1,0 +1,67 @@
+"""Probability bounds mirroring the paper's proofs.
+
+Used in tests to check that simulated tail frequencies respect the
+analytic bounds (the simulation should never be *worse* than what
+Claim 5 / Lemma 6 promise), and in documentation examples to show
+where the frame-length constants come from.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def chernoff_upper_tail(mean: float, threshold: float) -> float:
+    """``Pr[X >= threshold]`` bound for a sum of independent [0,1] terms.
+
+    The multiplicative Chernoff form the paper uses:
+    ``(e^delta / (1+delta)^(1+delta))^mean`` with
+    ``threshold = (1+delta) * mean``. Returns 1.0 when the threshold is
+    not above the mean.
+    """
+    if mean < 0 or threshold < 0:
+        raise ConfigurationError("mean and threshold must be non-negative")
+    if mean == 0:
+        return 0.0 if threshold > 0 else 1.0
+    if threshold <= mean:
+        return 1.0
+    delta = threshold / mean - 1.0
+    exponent = mean * (delta - (1.0 + delta) * math.log1p(delta))
+    return math.exp(exponent)
+
+
+def claim5_overload_probability(
+    m: int, rate: float, frame_length: int, delta: float
+) -> float:
+    """Claim 5: ``Pr[I >= (1 + delta) * lambda * T] <= m * Chernoff``.
+
+    The union bound over the ``m`` components of ``W . R`` applied to
+    the per-frame arrival measure.
+    """
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    if delta <= 0:
+        raise ConfigurationError(f"delta must be positive, got {delta}")
+    mean = rate * frame_length
+    return min(1.0, m * chernoff_upper_tail(mean, (1.0 + delta) * mean))
+
+
+def lemma6_drain_probability(m: int) -> float:
+    """Lemma 6: a non-zero potential drains w.p. at least ``1/(2 e m)``.
+
+    Product of: some buffer offers a packet (``>= 1/m``), nobody else
+    does (``>= (1 - 1/m)^(m-1) >= 1/e``), and the singleton run
+    succeeds (``>= 1/2``).
+    """
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    return 1.0 / (2.0 * math.e * m)
+
+
+__all__ = [
+    "chernoff_upper_tail",
+    "claim5_overload_probability",
+    "lemma6_drain_probability",
+]

@@ -1,0 +1,93 @@
+"""Least-squares fits for the scaling laws the experiments check.
+
+The benchmarks never compare absolute slot counts against the paper
+(different constants, different substrate); they compare *shapes*:
+is the transformed schedule length affine in ``I`` with an
+``n``-independent slope (E1)? Is latency affine in path length (E3)?
+Does the competitive ratio grow like ``log^2 m`` or stay flat (E5-E7)?
+These helpers provide the fits and goodness-of-fit numbers the tables
+report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """An affine fit ``y ~ intercept + slope * x`` with quality metrics."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.intercept + self.slope * x
+
+
+def fit_affine(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Ordinary least squares ``y = a + b x``."""
+    x_arr = np.asarray(list(x), dtype=float)
+    y_arr = np.asarray(list(y), dtype=float)
+    if x_arr.shape != y_arr.shape or x_arr.size < 2:
+        raise ConfigurationError(
+            "fit_affine needs two equal-length samples of size >= 2"
+        )
+    x_centered = x_arr - x_arr.mean()
+    denominator = float((x_centered**2).sum())
+    if denominator == 0:
+        raise ConfigurationError("fit_affine: x values are all equal")
+    slope = float((x_centered * (y_arr - y_arr.mean())).sum() / denominator)
+    intercept = float(y_arr.mean() - slope * x_arr.mean())
+    predictions = intercept + slope * x_arr
+    ss_res = float(((y_arr - predictions) ** 2).sum())
+    ss_tot = float(((y_arr - y_arr.mean()) ** 2).sum())
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return FitResult(slope=slope, intercept=intercept, r_squared=r_squared)
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> FitResult:
+    """Fit ``y = c * x^p`` by OLS in log-log space.
+
+    The returned ``slope`` is the exponent ``p``, ``intercept`` is
+    ``ln c``.
+    """
+    x_arr = np.asarray(list(x), dtype=float)
+    y_arr = np.asarray(list(y), dtype=float)
+    if (x_arr <= 0).any() or (y_arr <= 0).any():
+        raise ConfigurationError("power-law fit needs strictly positive data")
+    return fit_affine(np.log(x_arr), np.log(y_arr))
+
+
+def growth_exponent(x: Sequence[float], y: Sequence[float]) -> float:
+    """The fitted power-law exponent of ``y`` against ``x``.
+
+    ~0 means flat (constant-competitive shape), ~1 linear, ~2 quadratic.
+    """
+    return fit_power_law(x, y).slope
+
+
+def log_growth_exponent(m_values: Sequence[float], y: Sequence[float]) -> float:
+    """Exponent ``p`` of the fit ``y ~ c * (log m)^p``.
+
+    The discriminator between ``O(log m)`` and ``O(log^2 m)``
+    competitive ratios in E5-E7.
+    """
+    logs = [math.log(max(v, 2.0)) for v in m_values]
+    return fit_power_law(logs, y).slope
+
+
+__all__ = [
+    "FitResult",
+    "fit_affine",
+    "fit_power_law",
+    "growth_exponent",
+    "log_growth_exponent",
+]

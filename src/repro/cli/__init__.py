@@ -1,0 +1,11 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives a downstream user the core loops of the library without writing
+code: inspect topologies, run a dynamic-protocol simulation on a model
+preset, sweep injection rates across the stability boundary, and list
+the paper-experiment inventory.
+"""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

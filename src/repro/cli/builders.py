@@ -1,0 +1,210 @@
+"""Scenario presets shared by the CLI commands.
+
+A *scenario* bundles what every simulation needs: a network, the
+interference model over it, a static algorithm with a usable
+``f(m) I + g(m, n)`` bound, the routing table, and the certified
+injection rate. The presets mirror the benchmark families:
+
+===============  ====================================================
+``packet-routing``  grid network, identity ``W``, single-hop scheduler
+``sinr-linear``     random geometric net, linear power (Corollary 12)
+``sinr-sqrt``       same net, square-root power (Corollary 13)
+``mac``             multiple-access channel, Round-Robin-Withholding
+``conflict``        grid disk graph, node-constraint conflicts
+===============  ====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.competitive import certified_rate
+from repro.core.transform import TransformedAlgorithm
+from repro.errors import ConfigurationError
+from repro.interference.base import InterferenceModel
+from repro.interference.builders import node_constraint_conflicts
+from repro.interference.conflict import ConflictGraphModel
+from repro.interference.mac import MultipleAccessChannel
+from repro.interference.packet_routing import PacketRoutingModel
+from repro.network.network import Network
+from repro.network.routing import RoutingTable, build_routing_table
+from repro.network.topology import (
+    figure1_instance,
+    grid_network,
+    line_network,
+    mac_network,
+    random_sinr_network,
+    star_network,
+)
+from repro.sinr.power import SquareRootPower
+from repro.sinr.weights import linear_power_model, monotone_power_model
+from repro.staticsched.base import StaticAlgorithm
+from repro.staticsched.decay import DecayScheduler
+from repro.staticsched.kv import KvScheduler
+from repro.staticsched.round_robin import RoundRobinScheduler
+from repro.staticsched.single_hop import SingleHopScheduler
+
+
+@dataclass
+class Scenario:
+    """Everything a CLI simulation needs, pre-wired."""
+
+    name: str
+    network: Network
+    model: InterferenceModel
+    algorithm: StaticAlgorithm
+    routing: RoutingTable
+    certified: float
+
+    @property
+    def m(self) -> int:
+        return self.network.size_m
+
+
+def _grid_side(nodes: int) -> int:
+    return max(2, int(round(math.sqrt(nodes))))
+
+
+def _packet_routing(nodes: int, seed: int) -> Scenario:
+    side = _grid_side(nodes)
+    net = grid_network(side, side)
+    model = PacketRoutingModel(net)
+    algorithm = SingleHopScheduler()
+    return Scenario(
+        name="packet-routing",
+        network=net,
+        model=model,
+        algorithm=algorithm,
+        routing=build_routing_table(net),
+        certified=certified_rate(algorithm, net.size_m),
+    )
+
+
+def _sinr_linear(nodes: int, seed: int) -> Scenario:
+    net = random_sinr_network(nodes, rng=seed)
+    model = linear_power_model(net, alpha=3.0, beta=1.0, noise=0.02)
+    algorithm = TransformedAlgorithm(
+        DecayScheduler(), m=net.size_m, chi_scale=0.05
+    )
+    return Scenario(
+        name="sinr-linear",
+        network=net,
+        model=model,
+        algorithm=algorithm,
+        routing=build_routing_table(net),
+        certified=certified_rate(algorithm, net.size_m),
+    )
+
+
+def _sinr_sqrt(nodes: int, seed: int) -> Scenario:
+    net = random_sinr_network(nodes, rng=seed)
+    model = monotone_power_model(
+        net, SquareRootPower(), alpha=3.0, beta=1.0, noise=0.02
+    )
+    algorithm = TransformedAlgorithm(
+        KvScheduler(), m=net.size_m, chi_scale=0.05
+    )
+    return Scenario(
+        name="sinr-sqrt",
+        network=net,
+        model=model,
+        algorithm=algorithm,
+        routing=build_routing_table(net),
+        certified=certified_rate(algorithm, net.size_m),
+    )
+
+
+def _mac(nodes: int, seed: int) -> Scenario:
+    net = mac_network(max(2, nodes))
+    model = MultipleAccessChannel(net)
+    algorithm = RoundRobinScheduler()
+    return Scenario(
+        name="mac",
+        network=net,
+        model=model,
+        algorithm=algorithm,
+        routing=build_routing_table(net),
+        certified=certified_rate(algorithm, net.size_m),
+    )
+
+
+def _conflict(nodes: int, seed: int) -> Scenario:
+    side = _grid_side(nodes)
+    net = grid_network(side, side)
+    model = ConflictGraphModel(net, node_constraint_conflicts(net))
+    algorithm = TransformedAlgorithm(
+        DecayScheduler(), m=net.size_m, chi_scale=0.05
+    )
+    return Scenario(
+        name="conflict",
+        network=net,
+        model=model,
+        algorithm=algorithm,
+        routing=build_routing_table(net),
+        certified=certified_rate(algorithm, net.size_m),
+    )
+
+
+SCENARIOS: Dict[str, Callable[[int, int], Scenario]] = {
+    "packet-routing": _packet_routing,
+    "sinr-linear": _sinr_linear,
+    "sinr-sqrt": _sinr_sqrt,
+    "mac": _mac,
+    "conflict": _conflict,
+}
+
+
+def scenario_names() -> List[str]:
+    """The preset names, in presentation order."""
+    return list(SCENARIOS)
+
+
+def build_scenario(name: str, nodes: int, seed: int) -> Scenario:
+    """Build one preset; raises on unknown names or bad sizes."""
+    if name not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown scenario '{name}'; choose from {', '.join(SCENARIOS)}"
+        )
+    if nodes < 2:
+        raise ConfigurationError(f"nodes must be >= 2, got {nodes}")
+    return SCENARIOS[name](nodes, seed)
+
+
+TOPOLOGIES: Dict[str, Callable[[int, int], Network]] = {
+    "random": lambda nodes, seed: random_sinr_network(nodes, rng=seed),
+    "grid": lambda nodes, seed: grid_network(
+        _grid_side(nodes), _grid_side(nodes)
+    ),
+    "line": lambda nodes, seed: line_network(nodes),
+    "star": lambda nodes, seed: star_network(max(1, nodes - 1)),
+    "mac": lambda nodes, seed: mac_network(max(2, nodes)),
+    "figure1": lambda nodes, seed: figure1_instance(max(2, nodes)),
+}
+
+
+def topology_names() -> List[str]:
+    return list(TOPOLOGIES)
+
+
+def build_topology(kind: str, nodes: int, seed: int) -> Network:
+    """Build one topology; raises on unknown kinds."""
+    if kind not in TOPOLOGIES:
+        raise ConfigurationError(
+            f"unknown topology '{kind}'; choose from {', '.join(TOPOLOGIES)}"
+        )
+    if nodes < 2:
+        raise ConfigurationError(f"nodes must be >= 2, got {nodes}")
+    return TOPOLOGIES[kind](nodes, seed)
+
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "TOPOLOGIES",
+    "build_scenario",
+    "build_topology",
+    "scenario_names",
+    "topology_names",
+]

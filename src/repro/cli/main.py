@@ -1,0 +1,393 @@
+"""Argument parsing and the five CLI commands.
+
+``python -m repro <command>``:
+
+* ``info`` — version, model presets, experiment count.
+* ``topology`` — generate a topology and describe it.
+* ``simulate`` — one protocol run on a preset; metrics + verdict.
+* ``sweep`` — rate sweep across the stability boundary.
+* ``experiments`` — the reproduced-claim inventory.
+
+Every command writes plain text to stdout and returns a process exit
+code (0 success, 2 usage error), so scripting against the CLI is
+straightforward.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import repro
+from repro.cli.builders import (
+    build_scenario,
+    build_topology,
+    scenario_names,
+    topology_names,
+)
+from repro.cli.registry import EXPERIMENTS
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Dynamic packet scheduling in wireless networks "
+            "(Kesselheim, PODC 2012) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and experiment overview")
+
+    topo = sub.add_parser("topology", help="generate and describe a topology")
+    topo.add_argument("--kind", default="random", choices=topology_names())
+    topo.add_argument("--nodes", type=int, default=12)
+    topo.add_argument("--seed", type=int, default=0)
+    topo.add_argument(
+        "--links", type=int, default=8, help="how many links to list"
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="run the dynamic protocol on a model preset"
+    )
+    simulate.add_argument("--model", default="packet-routing",
+                          choices=scenario_names())
+    simulate.add_argument("--nodes", type=int, default=12)
+    simulate.add_argument(
+        "--frames",
+        type=int,
+        default=200,
+        help="simulation horizon; longer runs give sharper verdicts",
+    )
+    simulate.add_argument(
+        "--rate-fraction",
+        type=float,
+        default=0.5,
+        help="injection rate as a fraction of the certified rate",
+    )
+    simulate.add_argument("--generators", type=int, default=6)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--t-scale",
+        type=float,
+        default=0.001,
+        help="scale on the paper's frame-length constants",
+    )
+    simulate.add_argument(
+        "--trace",
+        action="store_true",
+        help="record per-packet events and print a summary",
+    )
+    simulate.add_argument(
+        "--check",
+        action="store_true",
+        help="run queueing cross-checks (Little's law, bootstrap drift CI)",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep injection rates across the stability boundary"
+    )
+    sweep.add_argument("--model", default="packet-routing",
+                       choices=scenario_names())
+    sweep.add_argument("--nodes", type=int, default=12)
+    sweep.add_argument(
+        "--frames",
+        type=int,
+        default=300,
+        help="horizon per cell; longer runs give sharper verdicts",
+    )
+    sweep.add_argument(
+        "--fractions",
+        default="0.25,0.5,0.75,1.0",
+        help="comma-separated fractions of the certified rate",
+    )
+    sweep.add_argument("--seeds", default="0,1", help="comma-separated seeds")
+    sweep.add_argument("--t-scale", type=float, default=0.001)
+
+    compare = sub.add_parser(
+        "compare",
+        help="compare static algorithms on one SINR network "
+             "(certified rates + short stability runs)",
+    )
+    compare.add_argument("--nodes", type=int, default=14)
+    compare.add_argument("--frames", type=int, default=60)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--rate-fraction",
+        type=float,
+        default=0.5,
+        help="run each protocol at this fraction of its own certified rate",
+    )
+
+    sub.add_parser("experiments", help="list the reproduced paper claims")
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    print(f"repro {repro.__version__} — Kesselheim, PODC 2012 reproduction")
+    print()
+    print("model presets: " + ", ".join(scenario_names()))
+    print("topologies:    " + ", ".join(topology_names()))
+    print(f"experiments:   {len(EXPERIMENTS)} "
+          "(run `python -m repro experiments`)")
+    print()
+    print("quickstart:    python -m repro simulate --model sinr-linear "
+          "--nodes 15 --frames 100")
+    return 0
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    net = build_topology(args.kind, args.nodes, args.seed)
+    print(f"topology '{args.kind}': {net.num_nodes} nodes, "
+          f"{net.num_links} links, m = {net.size_m}")
+    print(f"geometric: {net.is_geometric}")
+    lengths = net.link_lengths() if net.is_geometric else None
+    rows = []
+    for link in net.links[: max(0, args.links)]:
+        length = f"{lengths[link.id]:.3f}" if lengths is not None else "-"
+        rows.append([link.id, link.sender, link.receiver, length])
+    if rows:
+        print(repro.format_table(["link", "sender", "receiver", "length"],
+                                 rows))
+    if net.num_links > args.links:
+        print(f"... and {net.num_links - args.links} more links")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = build_scenario(args.model, args.nodes, args.seed)
+    rate = args.rate_fraction * scenario.certified
+    tracer = repro.Tracer() if args.trace else None
+    protocol = repro.DynamicProtocol(
+        scenario.model,
+        scenario.algorithm,
+        rate,
+        t_scale=args.t_scale,
+        rng=args.seed,
+        tracer=tracer,
+    )
+    injection = repro.uniform_pair_injection(
+        scenario.routing,
+        scenario.model,
+        rate,
+        num_generators=args.generators,
+        rng=args.seed + 1000,
+    )
+    simulation = repro.FrameSimulation(protocol, injection)
+    simulation.run(args.frames)
+    metrics = simulation.metrics
+
+    print(f"scenario '{scenario.name}': {scenario.network.num_nodes} nodes, "
+          f"m = {scenario.m}, frame length {protocol.frame_length}")
+    print(f"certified rate {scenario.certified:.4g}, "
+          f"running at {args.rate_fraction:.2f}x = {rate:.4g}")
+    print()
+    verdict = repro.assess_stability(
+        metrics.queue_series,
+        load_per_frame=max(1.0, metrics.injected_total / max(1, args.frames)),
+    )
+    summary = metrics.latency_summary(list(protocol.delivered))
+    rows = [
+        ["frames", args.frames],
+        ["injected", metrics.injected_total],
+        ["delivered", metrics.delivered_count()],
+        ["failures", protocol.potential.total_failures],
+        ["final queue", metrics.final_queue],
+        ["tail mean queue", f"{metrics.mean_queue():.2f}"],
+        ["throughput/frame", f"{metrics.throughput():.3f}"],
+        ["mean latency (slots)", f"{summary.mean:.1f}"],
+        ["stable", verdict.stable],
+    ]
+    print(repro.format_table(["metric", "value"], rows))
+    print()
+    print("queue series: " + repro.sparkline(metrics.queue_series))
+    if args.check:
+        print()
+        # Trim the warm-up ramp: the CI should judge steady state, not
+        # the pipeline filling up.
+        tail = metrics.queue_series[len(metrics.queue_series) // 4 :]
+        point, lower, upper = repro.drift_confidence_interval(
+            tail, rng=args.seed
+        )
+        print(f"drift/frame (post-warm-up): {point:+.4f}, 95% CI "
+              f"[{lower:+.4f}, {upper:+.4f}] -> contains 0: "
+              f"{lower <= 0 <= upper}")
+        if protocol.delivered:
+            sojourns = [
+                (p.delivered_at - p.injected_at) / protocol.frame_length
+                for p in protocol.delivered
+            ]
+            report = repro.littles_law_check(
+                metrics.queue_series, sojourns
+            )
+            print(f"Little's law: L = {report.mean_in_system:.2f} vs "
+                  f"lambda*W = {report.predicted_in_system:.2f} "
+                  f"(gap {report.relative_gap:.1%})")
+    if tracer is not None:
+        print()
+        counts = tracer.counts()
+        count_rows = [[kind.value, counts[kind]] for kind in sorted(counts)]
+        print(repro.format_table(["event", "count"], count_rows))
+        hotspots = tracer.failure_hotspots()
+        if hotspots:
+            print("failure hotspots (link, count): "
+                  + ", ".join(f"({link}, {count})"
+                              for link, count in hotspots))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        fractions = [float(x) for x in args.fractions.split(",") if x.strip()]
+        seeds = [int(x) for x in args.seeds.split(",") if x.strip()]
+    except ValueError as exc:
+        print(f"error: bad --fractions/--seeds: {exc}", file=sys.stderr)
+        return 2
+    if not fractions or not seeds:
+        print("error: empty --fractions or --seeds", file=sys.stderr)
+        return 2
+
+    scenario = build_scenario(args.model, args.nodes, 0)
+
+    def make_protocol(rate, seed):
+        return repro.DynamicProtocol(
+            scenario.model,
+            scenario.algorithm,
+            min(rate, scenario.certified),
+            t_scale=args.t_scale,
+            rng=seed,
+        )
+
+    def make_injection(rate, seed, protocol):
+        return repro.uniform_pair_injection(
+            scenario.routing,
+            scenario.model,
+            rate,
+            num_generators=6,
+            rng=seed + 1000,
+        )
+
+    rates = [fraction * scenario.certified for fraction in fractions]
+    records = repro.run_rate_sweep(
+        make_protocol, make_injection, rates, frames=args.frames, seeds=seeds
+    )
+    print(f"scenario '{scenario.name}': certified rate "
+          f"{scenario.certified:.4g}, {len(seeds)} seed(s)")
+    rows = []
+    for fraction, record in zip(fractions, records):
+        rows.append(
+            [
+                f"{fraction:.2f}x",
+                f"{record.rate:.4g}",
+                f"{record.stable_fraction:.2f}",
+                f"{record.mean_tail_queue:.1f}",
+                f"{record.mean_throughput:.3f}",
+                f"{record.mean_latency:.0f}",
+            ]
+        )
+    print(repro.format_table(
+        ["fraction", "rate", "stable frac", "tail queue", "throughput",
+         "latency"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Certified rates and short stability runs, one network, all algorithms."""
+    net = repro.random_sinr_network(args.nodes, rng=args.seed)
+    model = repro.linear_power_model(net, alpha=3.0, beta=1.0, noise=0.02)
+    routing = repro.build_routing_table(net)
+    m = net.size_m
+    contenders = [
+        ("decay [Thm 19] + transform",
+         repro.TransformedAlgorithm(repro.DecayScheduler(), m=m,
+                                    chi_scale=0.05)),
+        ("KV [33] + transform",
+         repro.TransformedAlgorithm(repro.KvScheduler(), m=m,
+                                    chi_scale=0.05)),
+        ("HM-style [26] (native)", repro.HmScheduler()),
+    ]
+    print(f"network: {net.num_nodes} nodes, m = {m}, linear-power SINR; "
+          f"each protocol at {args.rate_fraction:.2f}x its certified rate")
+    rows = []
+    for label, algorithm in contenders:
+        certified = repro.certified_rate(algorithm, m)
+        rate = args.rate_fraction * certified
+        protocol = repro.DynamicProtocol(
+            model, algorithm, rate, t_scale=0.001, rng=args.seed
+        )
+        injection = repro.uniform_pair_injection(
+            routing, model, rate, num_generators=8, rng=args.seed + 1000
+        )
+        simulation = repro.FrameSimulation(protocol, injection)
+        simulation.run(args.frames)
+        metrics = simulation.metrics
+        verdict = repro.assess_stability(
+            metrics.queue_series,
+            load_per_frame=max(
+                1.0, metrics.injected_total / max(1, args.frames)
+            ),
+        )
+        rows.append(
+            [
+                label,
+                f"{certified:.4g}",
+                protocol.frame_length,
+                metrics.injected_total,
+                protocol.potential.total_failures,
+                f"{metrics.mean_queue():.1f}",
+                verdict.stable,
+            ]
+        )
+    print(repro.format_table(
+        ["algorithm", "certified rate", "frame T", "injected", "failures",
+         "tail queue", "stable"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    rows = [
+        [entry.id, entry.paper_ref, entry.claim, entry.bench_file]
+        for entry in EXPERIMENTS
+    ]
+    print(repro.format_table(["id", "paper ref", "claim", "bench"], rows))
+    return 0
+
+
+_COMMANDS = {
+    "info": cmd_info,
+    "topology": cmd_topology,
+    "simulate": cmd_simulate,
+    "sweep": cmd_sweep,
+    "compare": cmd_compare,
+    "experiments": cmd_experiments,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly.
+        return 0
+
+
+__all__ = ["main"]

@@ -1,0 +1,48 @@
+"""The paper's contribution: static-to-dynamic protocol transformations.
+
+* :mod:`repro.core.transform` — Algorithm 1 (Section 3): repair the
+  scaling of ``O(f(n) * I)`` static algorithms so the length becomes
+  ``f(m) * I + g(m, n)`` with ``g`` sub-linear in ``n``.
+* :mod:`repro.core.frames` — frame sizing (``T``, ``T'``, ``J``) from
+  the Section-4 constraints.
+* :mod:`repro.core.protocol` — the frame-based dynamic protocol with
+  phase-1 executions and clean-up phases (Section 4).
+* :mod:`repro.core.adversarial` — the Section-5 random-shift wrapper
+  for window adversaries.
+* :mod:`repro.core.potential` — the stability potential (total
+  remaining hops of failed packets) from the Theorem-3 analysis.
+* :mod:`repro.core.lower_bound` — the Theorem-20 / Figure-1
+  global-clock lower bound machinery.
+* :mod:`repro.core.competitive` — empirical competitive-ratio
+  estimation (stability bisection vs feasibility upper bounds).
+"""
+
+from repro.core.transform import TransformedAlgorithm
+from repro.core.frames import FrameParameters, compute_frame_parameters
+from repro.core.protocol import DynamicProtocol, FrameReport
+from repro.core.adversarial import ShiftedDynamicProtocol
+from repro.core.potential import PotentialTracker
+from repro.core.lower_bound import (
+    Figure1Model,
+    simulate_figure1,
+)
+from repro.core.competitive import (
+    certified_rate,
+    estimate_max_stable_rate,
+    feasible_measure_upper_bound,
+)
+
+__all__ = [
+    "TransformedAlgorithm",
+    "FrameParameters",
+    "compute_frame_parameters",
+    "DynamicProtocol",
+    "FrameReport",
+    "ShiftedDynamicProtocol",
+    "PotentialTracker",
+    "Figure1Model",
+    "simulate_figure1",
+    "certified_rate",
+    "estimate_max_stable_rate",
+    "feasible_measure_upper_bound",
+]

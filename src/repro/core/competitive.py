@@ -1,0 +1,122 @@
+"""Empirical competitive-ratio estimation.
+
+The paper's competitive ratio compares the protocol's certified
+injection rate against what *any* protocol could sustain. Both sides
+are made measurable here:
+
+* :func:`certified_rate` — the rate ``(1 - eps)/f(m)`` the Section-4
+  guarantee covers for a given algorithm and network size.
+* :func:`feasible_measure_upper_bound` — an estimate of the largest
+  interference measure a single slot can serve (randomised greedy
+  maximal feasible sets). No protocol can sustain a higher measure
+  rate; for linear-power SINR the paper's ``I = O(1)`` single-slot
+  bound makes this a constant, which is why Corollary 12 is
+  constant-competitive.
+* :func:`estimate_max_stable_rate` — a stability bisection: simulate
+  the protocol across rates and find where the queue drift flips sign.
+
+Ratio = upper bound / achieved stable rate; the E5-E7 benchmarks track
+its growth (or flatness) in ``m``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.frames import epsilon_for_rate
+from repro.errors import ConfigurationError
+from repro.interference.base import InterferenceModel
+from repro.staticsched.base import StaticAlgorithm
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def certified_rate(
+    algorithm: StaticAlgorithm, m: int, epsilon: float = 0.5
+) -> float:
+    """The injection rate the protocol certifies: ``(1 - eps)/f(m)``."""
+    if not 0.0 < epsilon < 1.0:
+        raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+    bound = algorithm.network_bound(m)
+    f_m = max(bound.f(m), 1e-9)
+    return (1.0 - epsilon) / f_m
+
+
+def feasible_measure_upper_bound(
+    model: InterferenceModel,
+    trials: int = 64,
+    rng: RngLike = None,
+) -> float:
+    """Estimate ``max { I(S) : S simultaneously feasible }``.
+
+    Random-order greedy: permute the links, grow a set keeping it fully
+    successful, measure it; return the best over ``trials``. A lower
+    bound on the true maximum (and therefore a *conservative* numerator
+    for competitive ratios), tight in practice for the models here.
+    Singleton feasibility guarantees the result is at least 1.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    gen = ensure_rng(rng)
+    best = 0.0
+    n = model.num_links
+    for _ in range(trials):
+        order = gen.permutation(n)
+        chosen: list = []
+        chosen_set: set = set()
+        for link_id in order:
+            candidate = chosen + [int(link_id)]
+            if model.successes(candidate) >= chosen_set | {int(link_id)}:
+                chosen = candidate
+                chosen_set.add(int(link_id))
+        if chosen:
+            best = max(best, model.interference_measure(chosen))
+    return max(best, 1.0)
+
+
+def estimate_max_stable_rate(
+    evaluate_stability: Callable[[float], bool],
+    low: float,
+    high: float,
+    iterations: int = 6,
+) -> Tuple[float, float]:
+    """Bisection for the stability threshold.
+
+    ``evaluate_stability(rate)`` must return True when a simulation at
+    that rate looks stable. Assumes (approximate) monotonicity. Returns
+    ``(largest rate observed stable, smallest rate observed unstable)``;
+    when even ``high`` is stable the second component is ``high``.
+    """
+    if not 0 <= low < high:
+        raise ConfigurationError(f"need 0 <= low < high, got ({low}, {high})")
+    if not evaluate_stability(low):
+        return (0.0, low)
+    if evaluate_stability(high):
+        return (high, high)
+    stable, unstable = low, high
+    for _ in range(iterations):
+        mid = (stable + unstable) / 2.0
+        if evaluate_stability(mid):
+            stable = mid
+        else:
+            unstable = mid
+    return (stable, unstable)
+
+
+def competitive_ratio(
+    upper_bound_rate: float, achieved_rate: float
+) -> float:
+    """``upper / achieved`` with guards."""
+    if achieved_rate <= 0:
+        return math.inf
+    return max(1.0, upper_bound_rate / achieved_rate)
+
+
+__all__ = [
+    "certified_rate",
+    "feasible_measure_upper_bound",
+    "estimate_max_stable_rate",
+    "competitive_ratio",
+]

@@ -1,0 +1,153 @@
+"""The Theorem-20 lower bound: no global clock, no stability (Figure 1).
+
+The instance: ``m - 1`` *short* links whose transmissions always
+succeed regardless of other activity, plus one *long* link that is
+received only when every short link is silent. Geometrically this is
+uniform-power SINR with the long link threading past all the short
+ones (see :func:`repro.network.topology.figure1_instance`); here the
+success predicate is implemented directly, as in the proof.
+
+* With a **global clock**, even/odd time-sharing (shorts on even slots,
+  long on odd) is stable for every per-link Bernoulli rate
+  ``lambda < 1/2``.
+* With only **local clocks** and acknowledgement feedback, short links
+  learn nothing from the channel (their attempts always succeed), so
+  their transmission pattern is injection-driven and unsynchronised.
+  Once ``lambda >= ln m / m``, the probability that *all* ``m - 1``
+  short links idle in a slot drops below ``lambda`` and the long link's
+  queue drifts upward — no protocol can be ``m/(2 ln m)``-competitive.
+
+:func:`simulate_figure1` runs both protocols slot by slot and returns
+the queue trajectories the E11 benchmark plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.interference.base import InterferenceModel
+from repro.network.network import Network
+from repro.network.topology import figure1_instance
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class Figure1Model(InterferenceModel):
+    """Success predicate of the Figure-1 instance.
+
+    The last link (id ``m - 1``) is the long link; all others are
+    short. Shorts always succeed; the long link succeeds iff it
+    transmits alone.
+    """
+
+    def __init__(self, network: Network):
+        super().__init__(network)
+        if network.num_links < 2:
+            raise ConfigurationError("Figure-1 model needs at least 2 links")
+        self._long = network.num_links - 1
+
+    @property
+    def long_link(self) -> int:
+        """Id of the long link."""
+        return self._long
+
+    def _build_weight_matrix(self) -> np.ndarray:
+        n = self.num_links
+        matrix = np.eye(n, dtype=float)
+        matrix[self._long, :] = 1.0  # the long link suffers from everyone
+        return matrix
+
+    def successes(self, transmitting: Sequence[int]) -> Set[int]:
+        attempted = self._check_no_duplicates(transmitting)
+        result = {e for e in attempted if e != self._long}
+        if self._long in attempted and len(attempted) == 1:
+            result.add(self._long)
+        return result
+
+
+@dataclass
+class Figure1Result:
+    """Trajectories from one Figure-1 simulation."""
+
+    protocol: str
+    rate: float
+    m: int
+    long_queue: List[int] = field(default_factory=list)
+    max_short_queue: List[int] = field(default_factory=list)
+    long_delivered: int = 0
+    short_delivered: int = 0
+
+    @property
+    def final_long_queue(self) -> int:
+        return self.long_queue[-1] if self.long_queue else 0
+
+    def long_queue_slope(self) -> float:
+        """Mean per-slot growth of the long link's queue (tail half)."""
+        series = self.long_queue
+        if len(series) < 4:
+            return 0.0
+        tail = series[len(series) // 2 :]
+        return (tail[-1] - tail[0]) / max(1, len(tail) - 1)
+
+
+def simulate_figure1(
+    m: int,
+    rate: float,
+    horizon: int,
+    protocol: str = "global",
+    rng: RngLike = None,
+    sample_every: int = 1,
+) -> Figure1Result:
+    """Slot-level simulation of the Figure-1 instance.
+
+    ``protocol`` is ``"global"`` (even/odd time sharing — needs the
+    common clock) or ``"local"`` (acknowledgement-based greedy: every
+    link transmits whenever backlogged; shorts always succeed so they
+    get no feedback to coordinate on, exactly the situation of the
+    proof). Packets arrive per link as independent Bernoulli(``rate``)
+    per slot.
+    """
+    if protocol not in ("global", "local"):
+        raise ConfigurationError(f"unknown protocol {protocol!r}")
+    if m < 2:
+        raise ConfigurationError(f"m must be >= 2, got {m}")
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"rate must be in [0, 1], got {rate}")
+    gen = ensure_rng(rng)
+    network = figure1_instance(m)
+    model = Figure1Model(network)
+    long_link = model.long_link
+    queues = np.zeros(m, dtype=np.int64)
+    result = Figure1Result(protocol=protocol, rate=rate, m=m)
+
+    for slot in range(horizon):
+        queues += gen.random(m) < rate
+
+        if protocol == "global":
+            if slot % 2 == 0:
+                served = queues[:long_link] > 0
+                result.short_delivered += int(served.sum())
+                queues[:long_link] -= served
+            elif queues[long_link] > 0:
+                queues[long_link] -= 1
+                result.long_delivered += 1
+        else:
+            busy_shorts = queues[:long_link] > 0
+            result.short_delivered += int(busy_shorts.sum())
+            queues[:long_link] -= busy_shorts
+            if queues[long_link] > 0:
+                if not busy_shorts.any():
+                    queues[long_link] -= 1
+                    result.long_delivered += 1
+
+        if slot % sample_every == 0:
+            result.long_queue.append(int(queues[long_link]))
+            result.max_short_queue.append(int(queues[:long_link].max()))
+
+    return result
+
+
+__all__ = ["Figure1Model", "Figure1Result", "simulate_figure1"]

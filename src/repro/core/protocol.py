@@ -1,0 +1,332 @@
+"""The dynamic scheduling protocol (paper Section 4).
+
+Time is divided into frames of length ``T``. Within a frame:
+
+* **Phase 1** (budget ``T' = f(m) J + g(m, mJ)``): the static algorithm
+  runs on the *next hop* of every active (never-failed) packet that was
+  injected before the frame started. Packets whose hop completes move
+  on (one hop per frame — an unfailed packet of path length ``d`` is
+  delivered after ``d`` frames). Packets whose hop does not complete —
+  whether because the frame was over-loaded (``I > J``) or because the
+  algorithm's internal randomness failed — become *failed* and are
+  parked in the failed buffer of the link they were about to cross.
+* **Clean-up phase** (the remaining ``T - T'`` slots): every link with a
+  non-empty failed buffer independently offers, with probability
+  ``1/m``, its longest-failed packet; the static algorithm runs once on
+  the offered set with the singleton budget ``f(m) + g(m, mJ)``.
+  Served packets advance one hop (moving to the next link's buffer, or
+  out of the system); unserved ones stay put. Lemma 6's ``1/(2em)``
+  drain floor is exactly this lottery.
+
+Packets injected *during* a frame join at the next frame boundary
+(the paper's "waits for the next time frame to begin").
+
+Stability (Theorem 3) and the ``O(d T)`` latency bound (Theorem 8) are
+properties of this loop; the benchmarks validate both empirically. The
+``cleanup_enabled=False`` switch implements the A1 ablation (failed
+packets simply retry in later phase-1 executions), demonstrating why
+the two-phase design exists.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.frames import FrameParameters, compute_frame_parameters
+from repro.core.potential import PotentialTracker
+from repro.errors import ConfigurationError, SchedulingError
+from repro.injection.packet import Packet
+from repro.interference.base import InterferenceModel
+from repro.sim.trace import EventKind, Tracer
+from repro.staticsched.base import StaticAlgorithm
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class FrameReport:
+    """Per-frame accounting emitted by :meth:`DynamicProtocol.run_frame`."""
+
+    frame: int
+    injected: int
+    phase1_requests: int
+    phase1_hops: int
+    newly_failed: int
+    cleanup_offered: int
+    cleanup_hops: int
+    delivered_packets: int
+    active_in_system: int
+    failed_in_system: int
+    potential: int
+
+
+class DynamicProtocol:
+    """The Section-4 frame protocol over any interference model.
+
+    Parameters
+    ----------
+    model:
+        Ground-truth interference model (provides ``W`` and successes).
+    algorithm:
+        A static algorithm exposing an ``f(m) I + g(m, n)`` bound via
+        ``network_bound`` (wrap raw algorithms with
+        :class:`~repro.core.transform.TransformedAlgorithm` first).
+    rate:
+        The injection rate ``lambda`` the protocol is provisioned for;
+        must be below ``1/f(m)``.
+    params:
+        Pre-computed :class:`~repro.core.frames.FrameParameters`;
+        overrides ``rate``-based sizing when given.
+    t_scale:
+        Scale on the paper's frame-length constants (see
+        :mod:`repro.core.frames`).
+    cleanup_enabled:
+        Disable for the A1 ablation.
+    cleanup_probability:
+        The per-link lottery probability; the paper's value is ``1/m``
+        (the default).
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer`; when given the
+        protocol emits per-packet events (activation, hops, failures,
+        clean-up, delivery). ``None`` (default) skips all tracing work.
+    """
+
+    def __init__(
+        self,
+        model: InterferenceModel,
+        algorithm: StaticAlgorithm,
+        rate: float,
+        params: Optional[FrameParameters] = None,
+        t_scale: float = 1.0,
+        cleanup_enabled: bool = True,
+        cleanup_probability: Optional[float] = None,
+        rng: RngLike = None,
+        tracer: Optional[Tracer] = None,
+    ):
+        self._model = model
+        self._algorithm = algorithm
+        self._m = model.network.size_m
+        if params is None:
+            params = compute_frame_parameters(
+                algorithm, self._m, rate, t_scale=t_scale
+            )
+        self._params = params
+        if cleanup_probability is None:
+            cleanup_probability = 1.0 / self._m
+        if not 0.0 < cleanup_probability <= 1.0:
+            raise ConfigurationError(
+                f"cleanup_probability must be in (0, 1], got {cleanup_probability}"
+            )
+        self._cleanup_probability = cleanup_probability
+        self._cleanup_enabled = bool(cleanup_enabled)
+        self._rng = ensure_rng(rng)
+        self._tracer = tracer
+
+        self._frame_index = 0
+        self._active: List[Packet] = []
+        self._failed_buffers: Dict[int, List[Packet]] = {}
+        self._delivered: List[Packet] = []
+        self.potential = PotentialTracker()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def params(self) -> FrameParameters:
+        return self._params
+
+    @property
+    def frame_index(self) -> int:
+        """Index of the next frame to run."""
+        return self._frame_index
+
+    @property
+    def frame_length(self) -> int:
+        return self._params.frame_length
+
+    @property
+    def active_count(self) -> int:
+        """Never-failed packets currently in flight."""
+        return len(self._active)
+
+    @property
+    def failed_count(self) -> int:
+        """Packets sitting in failed buffers."""
+        return sum(len(buffer) for buffer in self._failed_buffers.values())
+
+    @property
+    def packets_in_system(self) -> int:
+        """All undelivered packets the protocol knows about."""
+        return self.active_count + self.failed_count
+
+    @property
+    def delivered(self) -> List[Packet]:
+        """Delivered packets (shared list; treat as read-only)."""
+        return self._delivered
+
+    def failed_buffer_sizes(self) -> Dict[int, int]:
+        """Current per-link failed-buffer occupancy (non-empty links)."""
+        return {
+            link: len(buffer)
+            for link, buffer in self._failed_buffers.items()
+            if buffer
+        }
+
+    # ------------------------------------------------------------------
+    # The frame loop
+    # ------------------------------------------------------------------
+
+    def run_frame(self, injected: Sequence[Packet]) -> FrameReport:
+        """Execute one frame; ``injected`` arrived during this frame."""
+        frame = self._frame_index
+        frame_end_slot = (frame + 1) * self._params.frame_length
+
+        phase1_hops, newly_failed = self._phase1(frame, frame_end_slot)
+        if self._cleanup_enabled:
+            offered, cleanup_hops = self._cleanup(frame, frame_end_slot)
+        else:
+            offered, cleanup_hops = 0, 0
+
+        # Packets injected during this frame activate at the next boundary.
+        for packet in injected:
+            self._validate_packet(packet)
+            self._active.append(packet)
+            if self._tracer is not None:
+                self._tracer.record(
+                    frame, EventKind.ACTIVATED, packet.id, packet.current_link
+                )
+
+        self.potential.sample()
+        self._frame_index += 1
+        return FrameReport(
+            frame=frame,
+            injected=len(list(injected)),
+            phase1_requests=phase1_hops + newly_failed,
+            phase1_hops=phase1_hops,
+            newly_failed=newly_failed,
+            cleanup_offered=offered,
+            cleanup_hops=cleanup_hops,
+            delivered_packets=len(self._delivered),
+            active_in_system=self.active_count,
+            failed_in_system=self.failed_count,
+            potential=self.potential.value,
+        )
+
+    def _phase1(self, frame: int, frame_end_slot: int):
+        if not self._active:
+            return 0, 0
+        requests = [packet.current_link for packet in self._active]
+        result = self._algorithm.run(
+            self._model,
+            requests,
+            self._params.phase1_budget,
+            rng=self._rng,
+        )
+        served = set(result.delivered)
+        still_active: List[Packet] = []
+        hops = 0
+        failed = 0
+        for index, packet in enumerate(self._active):
+            if index in served:
+                hops += 1
+                hop_link = packet.current_link
+                if self._tracer is not None:
+                    self._tracer.record(
+                        frame, EventKind.PHASE1_HOP, packet.id, hop_link
+                    )
+                if packet.advance(frame_end_slot):
+                    self._delivered.append(packet)
+                    if self._tracer is not None:
+                        self._tracer.record(
+                            frame, EventKind.DELIVERED, packet.id, hop_link
+                        )
+                else:
+                    still_active.append(packet)
+            else:
+                failed += 1
+                packet.failed = True
+                packet.failed_at_frame = frame
+                self.potential.on_failure(packet)
+                self._push_failed(packet)
+                if self._tracer is not None:
+                    self._tracer.record(
+                        frame, EventKind.FAILED, packet.id, packet.current_link
+                    )
+        self._active = still_active
+        return hops, failed
+
+    def _cleanup(self, frame: int, frame_end_slot: int):
+        offered_packets: List[Packet] = []
+        for link_id in sorted(self._failed_buffers):
+            buffer = self._failed_buffers[link_id]
+            if buffer and self._rng.random() < self._cleanup_probability:
+                offered_packets.append(buffer[0])
+                if self._tracer is not None:
+                    self._tracer.record(
+                        frame,
+                        EventKind.CLEANUP_OFFERED,
+                        buffer[0].id,
+                        link_id,
+                    )
+        if not offered_packets:
+            return 0, 0
+        requests = [packet.current_link for packet in offered_packets]
+        result = self._algorithm.run(
+            self._model,
+            requests,
+            self._params.cleanup_budget,
+            rng=self._rng,
+        )
+        # Pop every served packet before any advances: a packet whose
+        # next hop lands on another offered link must not displace that
+        # link's (already-served) head between its pop and ours.
+        served_packets = [offered_packets[index] for index in result.delivered]
+        for packet in served_packets:
+            self._pop_failed(packet)
+        hops = 0
+        for packet in served_packets:
+            self.potential.on_cleanup_hop(packet)
+            hops += 1
+            hop_link = packet.current_link
+            if self._tracer is not None:
+                self._tracer.record(
+                    frame, EventKind.CLEANUP_HOP, packet.id, hop_link
+                )
+            if packet.advance(frame_end_slot):
+                self._delivered.append(packet)
+                if self._tracer is not None:
+                    self._tracer.record(
+                        frame, EventKind.DELIVERED, packet.id, hop_link
+                    )
+            else:
+                self._push_failed(packet)
+        return len(offered_packets), hops
+
+    # ------------------------------------------------------------------
+    # Failed-buffer bookkeeping (ordered by failure age, then id)
+    # ------------------------------------------------------------------
+
+    def _push_failed(self, packet: Packet) -> None:
+        buffer = self._failed_buffers.setdefault(packet.current_link, [])
+        bisect.insort(buffer, packet, key=lambda p: (p.failed_at_frame, p.id))
+
+    def _pop_failed(self, packet: Packet) -> None:
+        buffer = self._failed_buffers.get(packet.current_link)
+        if not buffer or buffer[0] is not packet:
+            raise SchedulingError(
+                f"packet {packet.id} is not at the head of its failed buffer"
+            )
+        buffer.pop(0)
+
+    def _validate_packet(self, packet: Packet) -> None:
+        for link_id in packet.path:
+            if not 0 <= link_id < self._model.num_links:
+                raise SchedulingError(
+                    f"packet {packet.id} path references unknown link {link_id}"
+                )
+
+
+__all__ = ["DynamicProtocol", "FrameReport"]

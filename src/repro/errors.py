@@ -1,0 +1,72 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError` so callers can distinguish library failures from
+programming mistakes (plain ``TypeError``/``ValueError`` from numpy etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with inconsistent or invalid parameters.
+
+    Examples: a negative injection rate, a frame length that cannot fit the
+    two protocol phases, a power assignment that makes a link infeasible in
+    isolation.
+    """
+
+
+class TopologyError(ReproError):
+    """A network, link set, or path is structurally invalid.
+
+    Examples: a path referencing a link id that does not exist, a link
+    whose sender equals its receiver, an empty network where links are
+    required.
+    """
+
+
+class InjectionError(ReproError):
+    """An injection process violated its declared contract.
+
+    Raised by the adversary auditor when a supposedly ``(w, lambda)``-bounded
+    adversary injects more interference measure than allowed, and by
+    stochastic processes whose per-generator distributions do not sum to a
+    probability.
+    """
+
+
+class SchedulingError(ReproError):
+    """A scheduling algorithm was invoked on inputs it cannot handle.
+
+    Examples: requests referencing links outside the model, a budget of
+    zero slots, an algorithm that requires station ids applied to an
+    anonymous channel.
+    """
+
+
+class InfeasibleLinkError(ConfigurationError):
+    """A link cannot satisfy its SINR constraint even with zero interference.
+
+    Carries the offending link id so callers can report or drop it.
+    """
+
+    def __init__(self, link_id: int, message: str | None = None):
+        self.link_id = link_id
+        super().__init__(
+            message
+            or f"link {link_id} cannot meet its SINR threshold even in isolation"
+        )
+
+
+class StabilityError(ReproError):
+    """A stability analysis could not reach a verdict.
+
+    Raised when a simulation horizon is too short for the drift estimator
+    to distinguish a stable queue from an unstable one at the requested
+    confidence.
+    """

@@ -1,0 +1,41 @@
+"""Geometry substrate: points, metric spaces, and node placements.
+
+The SINR model (paper Section 6) assumes network nodes live in a metric
+space; path loss is ``p / d(s, r)^alpha``. This subpackage provides the
+metric-space abstraction (Euclidean plane plus arbitrary finite metrics),
+node-placement generators used by the topology builders, and a
+doubling-dimension estimator used to decide whether a metric qualifies as
+a "fading metric" (``alpha`` greater than the doubling dimension).
+"""
+
+from repro.geometry.point import Point, distance, midpoint
+from repro.geometry.metric import (
+    EuclideanMetric,
+    FiniteMetric,
+    Metric,
+    estimate_doubling_dimension,
+)
+from repro.geometry.placement import (
+    annulus_placement,
+    cluster_placement,
+    exponential_chain_placement,
+    grid_placement,
+    line_placement,
+    uniform_placement,
+)
+
+__all__ = [
+    "Point",
+    "distance",
+    "midpoint",
+    "Metric",
+    "EuclideanMetric",
+    "FiniteMetric",
+    "estimate_doubling_dimension",
+    "uniform_placement",
+    "grid_placement",
+    "cluster_placement",
+    "line_placement",
+    "annulus_placement",
+    "exponential_chain_placement",
+]

@@ -1,0 +1,170 @@
+"""Metric spaces over finite node sets.
+
+Two implementations are provided:
+
+* :class:`EuclideanMetric` — nodes are :class:`~repro.geometry.point.Point`
+  objects in the plane; distances are computed vectorised with numpy.
+* :class:`FiniteMetric` — an explicit distance matrix, for experiments on
+  non-geometric metrics (e.g. tree metrics, adversarial metrics). The
+  constructor verifies symmetry, zero diagonal, and the triangle
+  inequality.
+
+Both expose the same interface: ``distance(i, j)`` between node indices
+and a cached ``pairwise()`` matrix. The SINR machinery only ever talks to
+this interface, so swapping the underlying space requires no other code
+changes — this is what lets the "fading metric" experiments of
+Corollary 14 run on the same code path as the planar ones.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point, points_to_array
+
+
+class Metric(ABC):
+    """A finite metric space over nodes ``0 .. n-1``."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of points in the space."""
+
+    @abstractmethod
+    def distance(self, i: int, j: int) -> float:
+        """Distance between nodes ``i`` and ``j``."""
+
+    @abstractmethod
+    def pairwise(self) -> np.ndarray:
+        """The full ``(n, n)`` distance matrix (cached by implementations)."""
+
+    def ball(self, center: int, radius: float) -> List[int]:
+        """Indices of all nodes within ``radius`` of ``center`` (inclusive)."""
+        row = self.pairwise()[center]
+        return [int(j) for j in np.nonzero(row <= radius)[0]]
+
+
+class EuclideanMetric(Metric):
+    """The Euclidean plane restricted to a finite list of points."""
+
+    def __init__(self, points: Sequence[Point]):
+        if len(points) == 0:
+            raise ConfigurationError("EuclideanMetric requires at least one point")
+        self._points = list(points)
+        self._array = points_to_array(self._points)
+        self._cached: Optional[np.ndarray] = None
+
+    @property
+    def size(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> List[Point]:
+        """The underlying points, in index order."""
+        return list(self._points)
+
+    def distance(self, i: int, j: int) -> float:
+        return self._points[i].distance_to(self._points[j])
+
+    def pairwise(self) -> np.ndarray:
+        if self._cached is None:
+            diff = self._array[:, None, :] - self._array[None, :, :]
+            self._cached = np.sqrt((diff**2).sum(axis=2))
+        return self._cached
+
+
+class FiniteMetric(Metric):
+    """An explicit finite metric given by its distance matrix."""
+
+    def __init__(self, matrix: np.ndarray, validate: bool = True):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ConfigurationError(
+                f"distance matrix must be square, got shape {matrix.shape}"
+            )
+        if validate:
+            self._validate(matrix)
+        self._matrix = matrix
+
+    @staticmethod
+    def _validate(matrix: np.ndarray) -> None:
+        n = matrix.shape[0]
+        if not np.allclose(np.diag(matrix), 0.0):
+            raise ConfigurationError("distance matrix must have a zero diagonal")
+        if not np.allclose(matrix, matrix.T):
+            raise ConfigurationError("distance matrix must be symmetric")
+        if (matrix < 0).any():
+            raise ConfigurationError("distances must be non-negative")
+        # Triangle inequality: d(i,k) <= d(i,j) + d(j,k) for all i, j, k.
+        # One vectorised pass: for each j, check matrix <= d(:,j) + d(j,:).
+        for j in range(n):
+            via_j = matrix[:, j][:, None] + matrix[j, :][None, :]
+            if (matrix > via_j + 1e-9).any():
+                raise ConfigurationError(
+                    f"triangle inequality violated via intermediate node {j}"
+                )
+
+    @property
+    def size(self) -> int:
+        return self._matrix.shape[0]
+
+    def distance(self, i: int, j: int) -> float:
+        return float(self._matrix[i, j])
+
+    def pairwise(self) -> np.ndarray:
+        return self._matrix
+
+
+def estimate_doubling_dimension(metric: Metric, sample_radii: int = 8) -> float:
+    """Estimate the doubling dimension of a finite metric.
+
+    The doubling dimension is ``log2`` of the doubling constant: the
+    smallest ``M`` such that every ball of radius ``r`` is covered by ``M``
+    balls of radius ``r/2``. For a finite metric we estimate it by, for a
+    range of radii, greedily covering each radius-``r`` ball with
+    half-radius balls and taking the worst case.
+
+    This is an upper-bound estimate (greedy covering is within a constant
+    of optimal) — adequate for deciding whether ``alpha`` exceeds the
+    dimension, which is all the fading-metric results need.
+    """
+    pairwise = metric.pairwise()
+    n = metric.size
+    if n <= 1:
+        return 0.0
+    positive = pairwise[pairwise > 0]
+    if positive.size == 0:
+        return 0.0
+    radii = np.geomspace(float(positive.min()), float(positive.max()), sample_radii)
+    worst = 1
+    for radius in radii:
+        for center in range(n):
+            members = np.nonzero(pairwise[center] <= radius)[0]
+            worst = max(worst, _greedy_half_cover(pairwise, members, radius / 2.0))
+    return math.log2(worst)
+
+
+def _greedy_half_cover(pairwise: np.ndarray, members: np.ndarray, radius: float) -> int:
+    """Number of radius-``radius`` balls a greedy cover of ``members`` uses."""
+    remaining = set(int(i) for i in members)
+    count = 0
+    while remaining:
+        center = next(iter(remaining))
+        covered = {j for j in remaining if pairwise[center, j] <= radius}
+        remaining -= covered
+        count += 1
+    return count
+
+
+__all__ = [
+    "Metric",
+    "EuclideanMetric",
+    "FiniteMetric",
+    "estimate_doubling_dimension",
+]

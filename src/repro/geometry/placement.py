@@ -1,0 +1,141 @@
+"""Node-placement generators.
+
+Each function returns a list of :class:`~repro.geometry.point.Point` and
+takes a seedable ``rng`` so placements are reproducible. These feed the
+topology builders in :mod:`repro.network.topology`; the distributions were
+chosen to exercise the regimes the paper's corollaries distinguish:
+
+* ``uniform_placement`` — the classic random ad-hoc deployment.
+* ``cluster_placement`` — hotspots, stressing interference locality.
+* ``grid_placement`` / ``line_placement`` — structured deployments with
+  predictable path diversity (used for the latency-vs-path-length
+  experiment E3).
+* ``annulus_placement`` — near-equal link lengths, the friendly case for
+  uniform power.
+* ``exponential_chain_placement`` — link lengths spanning many orders of
+  magnitude, maximising ``Delta`` (the long/short link ratio) that enters
+  the oblivious-power competitive ratios of Section 6.2.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+def uniform_placement(
+    count: int, side: float = 1.0, rng: RngLike = None
+) -> List[Point]:
+    """``count`` points uniform in the ``side x side`` square."""
+    _check_count(count)
+    check_positive("side", side)
+    gen = ensure_rng(rng)
+    coords = gen.random((count, 2)) * side
+    return [Point(float(x), float(y)) for x, y in coords]
+
+
+def grid_placement(rows: int, cols: int, spacing: float = 1.0) -> List[Point]:
+    """A ``rows x cols`` grid with the given ``spacing`` (row-major order)."""
+    _check_count(rows)
+    _check_count(cols)
+    check_positive("spacing", spacing)
+    return [
+        Point(c * spacing, r * spacing) for r in range(rows) for c in range(cols)
+    ]
+
+
+def line_placement(count: int, spacing: float = 1.0) -> List[Point]:
+    """``count`` points on the x-axis, ``spacing`` apart."""
+    _check_count(count)
+    check_positive("spacing", spacing)
+    return [Point(i * spacing, 0.0) for i in range(count)]
+
+
+def cluster_placement(
+    clusters: int,
+    per_cluster: int,
+    side: float = 1.0,
+    cluster_radius: float = 0.05,
+    rng: RngLike = None,
+) -> List[Point]:
+    """Gaussian clusters with uniformly placed centres.
+
+    Returns ``clusters * per_cluster`` points. Coordinates are clipped to
+    the square so the metric stays bounded.
+    """
+    _check_count(clusters)
+    _check_count(per_cluster)
+    check_positive("side", side)
+    check_positive("cluster_radius", cluster_radius)
+    gen = ensure_rng(rng)
+    centres = gen.random((clusters, 2)) * side
+    points: List[Point] = []
+    for cx, cy in centres:
+        offsets = gen.normal(scale=cluster_radius, size=(per_cluster, 2))
+        for ox, oy in offsets:
+            x = min(max(cx + ox, 0.0), side)
+            y = min(max(cy + oy, 0.0), side)
+            points.append(Point(float(x), float(y)))
+    return points
+
+
+def annulus_placement(
+    count: int,
+    inner_radius: float = 0.8,
+    outer_radius: float = 1.0,
+    rng: RngLike = None,
+) -> List[Point]:
+    """``count`` points uniform (in area) on an annulus around the origin."""
+    _check_count(count)
+    check_positive("inner_radius", inner_radius)
+    if outer_radius <= inner_radius:
+        raise ConfigurationError(
+            f"outer_radius ({outer_radius}) must exceed inner_radius ({inner_radius})"
+        )
+    gen = ensure_rng(rng)
+    # Inverse-CDF sampling of radius for uniform area density.
+    u = gen.random(count)
+    radii = np.sqrt(inner_radius**2 + u * (outer_radius**2 - inner_radius**2))
+    angles = gen.random(count) * 2.0 * math.pi
+    return [
+        Point(float(r * math.cos(a)), float(r * math.sin(a)))
+        for r, a in zip(radii, angles)
+    ]
+
+
+def exponential_chain_placement(count: int, base: float = 2.0) -> List[Point]:
+    """Points at ``x = 0, 1, base, base^2, ...`` — exponentially growing gaps.
+
+    Consecutive-point links have lengths spanning ``base**(count-2)``
+    orders, which maximises the length diversity ``Delta`` appearing in
+    the oblivious-power bounds.
+    """
+    _check_count(count)
+    if base <= 1.0:
+        raise ConfigurationError(f"base must exceed 1, got {base}")
+    xs = [0.0]
+    for i in range(count - 1):
+        xs.append(xs[-1] + base**i)
+    return [Point(x, 0.0) for x in xs]
+
+
+def _check_count(count: int) -> None:
+    if count < 1:
+        raise ConfigurationError(f"count must be at least 1, got {count}")
+
+
+__all__ = [
+    "uniform_placement",
+    "grid_placement",
+    "line_placement",
+    "cluster_placement",
+    "annulus_placement",
+    "exponential_chain_placement",
+]

@@ -1,0 +1,69 @@
+"""Immutable 2-D points.
+
+Points are plain frozen dataclasses rather than numpy arrays so they can
+be dictionary keys and compare by value; bulk distance computations
+convert collections of points to arrays once (see
+:meth:`repro.geometry.metric.EuclideanMetric.pairwise`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the Euclidean plane."""
+
+    x: float
+    y: float
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def scaled(self, factor: float) -> "Point":
+        """Return a new point with both coordinates multiplied by ``factor``."""
+        return Point(self.x * factor, self.y * factor)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def midpoint(a: Point, b: Point) -> Point:
+    """The midpoint of segment ``ab``."""
+    return Point((a.x + b.x) / 2.0, (a.y + b.y) / 2.0)
+
+
+def points_to_array(points: Iterable[Point]) -> np.ndarray:
+    """Convert an iterable of points to an ``(n, 2)`` float array."""
+    return np.asarray([(p.x, p.y) for p in points], dtype=float).reshape(-1, 2)
+
+
+def array_to_points(array: np.ndarray) -> List[Point]:
+    """Convert an ``(n, 2)`` array back to a list of :class:`Point`."""
+    arr = np.asarray(array, dtype=float)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an (n, 2) array, got shape {arr.shape}")
+    return [Point(float(x), float(y)) for x, y in arr]
+
+
+__all__ = ["Point", "distance", "midpoint", "points_to_array", "array_to_points"]

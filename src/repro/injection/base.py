@@ -1,0 +1,53 @@
+"""The injection-process interface.
+
+An injection process is an iterator over slots: ``packets_for_slot(t)``
+returns the packets injected in slot ``t`` (possibly empty). Processes
+are deterministic functions of their seed, and slots must be queried in
+increasing order (the engine does), though repeated queries for the
+same slot are allowed and cached for the adversaries that precompute
+windows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Iterator, List
+
+from repro.injection.packet import Packet
+
+
+class InjectionProcess(ABC):
+    """Produces the packets injected at each slot."""
+
+    def __init__(self):
+        self._ids = itertools.count()
+
+    @abstractmethod
+    def packets_for_slot(self, slot: int) -> List[Packet]:
+        """Packets injected in slot ``slot`` (fresh list, caller owns it)."""
+
+    def packets_for_range(self, start_slot: int, end_slot: int) -> List[Packet]:
+        """Packets injected in slots ``[start_slot, end_slot)``.
+
+        The default iterates slots; processes with cheap batch sampling
+        (e.g. the stochastic model, where only the per-frame multiset
+        matters to the protocol) override this with an equivalent
+        distribution sampled in one shot.
+        """
+        packets: List[Packet] = []
+        for slot in range(start_slot, end_slot):
+            packets.extend(self.packets_for_slot(slot))
+        return packets
+
+    def _new_packet(self, path, slot: int) -> Packet:
+        """Create a packet with the next sequential id."""
+        return Packet(id=next(self._ids), path=tuple(path), injected_at=slot)
+
+    def stream(self, horizon: int) -> Iterator[List[Packet]]:
+        """Iterate packet batches for slots ``0 .. horizon-1``."""
+        for slot in range(horizon):
+            yield self.packets_for_slot(slot)
+
+
+__all__ = ["InjectionProcess"]

@@ -1,0 +1,247 @@
+"""Bursty-but-stationary injection processes beyond the paper's models.
+
+The paper's stochastic model (Section 2.1) requires slot-independence
+(property (b)) and one packet per generator per slot (property (c)).
+Real traffic is burstier. These processes relax exactly one property
+each, giving controlled stress tests that sit *between* the stochastic
+model and the window adversary:
+
+* :class:`MarkovModulatedInjection` keeps property (c) but drops (b):
+  each generator carries an ON/OFF two-state Markov chain; it injects
+  only while ON. The process is stationary (started from the chain's
+  stationary distribution), so a long-run injection rate
+  ``lambda = ||W . F||_inf`` is still exact and the protocol's
+  provisioning story applies — but arrivals cluster into ON bursts
+  whose mean length is ``1 / p_off``.
+* :class:`PoissonBatchInjection` keeps (b) but drops (c): a single
+  infinite-user population injects a Poisson-distributed *batch* each
+  slot. This is the classical multiple-access arrival model (ALOHA
+  lineage) and the natural "infinitely many users" limit the related
+  work studies.
+
+Both expose the same ``mean_usage`` / ``injection_rate`` interface as
+:class:`~repro.injection.stochastic.StochasticInjection`, so frame
+provisioning and the stability experiments treat them uniformly.
+:func:`empirical_usage` closes the loop by measuring the realised mean
+usage of *any* process over a horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InjectionError
+from repro.injection.base import InjectionProcess
+from repro.injection.packet import Packet
+from repro.injection.stochastic import PathDist, PathGenerator
+from repro.interference.base import InterferenceModel
+from repro.utils.rng import RngLike, spawn_rngs
+
+
+class MarkovModulatedInjection(InjectionProcess):
+    """Finite generators gated by independent ON/OFF Markov chains.
+
+    Each generator behaves like a Section-2.1 :class:`PathGenerator`
+    while its chain is ON and stays silent while OFF. Chains evolve
+    once per slot with switching probabilities ``p_on_off`` (leave ON)
+    and ``p_off_on`` (leave OFF); the stationary ON-probability is
+    ``pi_on = p_off_on / (p_on_off + p_off_on)``.
+
+    Starting every chain from its stationary distribution makes the
+    process time-stationary, so the long-run mean usage vector is
+    exactly ``pi_on`` times the always-on usage — property (a) of the
+    paper's model holds, property (b) (independence across slots) is
+    deliberately violated. Mean burst length is ``1 / p_on_off`` slots.
+
+    Parameters
+    ----------
+    generators:
+        The per-generator path distributions (conditioned on ON).
+    p_on_off, p_off_on:
+        Per-slot switching probabilities, both in ``(0, 1]``.
+    rng:
+        Seed or generator; split into one stream per generator plus one
+        for the chain states.
+    """
+
+    def __init__(
+        self,
+        generators: Sequence[PathGenerator],
+        p_on_off: float,
+        p_off_on: float,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        if not generators:
+            raise InjectionError("at least one generator is required")
+        if not 0.0 < p_on_off <= 1.0:
+            raise ConfigurationError(
+                f"p_on_off must be in (0, 1], got {p_on_off}"
+            )
+        if not 0.0 < p_off_on <= 1.0:
+            raise ConfigurationError(
+                f"p_off_on must be in (0, 1], got {p_off_on}"
+            )
+        self._generators = list(generators)
+        self._p_on_off = float(p_on_off)
+        self._p_off_on = float(p_off_on)
+        streams = spawn_rngs(rng, len(self._generators) + 1)
+        self._rngs = streams[: len(self._generators)]
+        state_rng = streams[-1]
+        pi_on = self.stationary_on_probability
+        self._states = [
+            bool(state_rng.random() < pi_on) for _ in self._generators
+        ]
+        self._next_slot = 0
+
+    @property
+    def stationary_on_probability(self) -> float:
+        """``pi_on = p_off_on / (p_on_off + p_off_on)``."""
+        return self._p_off_on / (self._p_on_off + self._p_off_on)
+
+    @property
+    def mean_burst_length(self) -> float:
+        """Expected number of consecutive ON slots (``1 / p_on_off``)."""
+        return 1.0 / self._p_on_off
+
+    @property
+    def generators(self) -> List[PathGenerator]:
+        return list(self._generators)
+
+    def mean_usage(self, num_links: int) -> np.ndarray:
+        """Stationary mean per-slot usage: ``pi_on`` times the ON usage."""
+        usage = np.zeros(num_links, dtype=float)
+        for generator in self._generators:
+            usage += generator.mean_usage(num_links)
+        return self.stationary_on_probability * usage
+
+    def injection_rate(self, model: InterferenceModel) -> float:
+        """Long-run ``lambda = ||W . F||_inf`` under ``model``."""
+        return model.injection_norm(self.mean_usage(model.num_links))
+
+    def packets_for_slot(self, slot: int) -> List[Packet]:
+        if slot != self._next_slot:
+            raise InjectionError(
+                f"Markov-modulated injection must be queried in slot order; "
+                f"expected slot {self._next_slot}, got {slot}"
+            )
+        self._next_slot += 1
+        packets: List[Packet] = []
+        for index, (generator, rng) in enumerate(
+            zip(self._generators, self._rngs)
+        ):
+            if self._states[index]:
+                draw = rng.random()
+                cumulative = 0.0
+                for path, probability in generator.distribution:
+                    cumulative += probability
+                    if draw < cumulative:
+                        packets.append(self._new_packet(path, slot))
+                        break
+                if rng.random() < self._p_on_off:
+                    self._states[index] = False
+            else:
+                if rng.random() < self._p_off_on:
+                    self._states[index] = True
+        return packets
+
+
+class PoissonBatchInjection(InjectionProcess):
+    """Poisson batch arrivals from an infinite-user population.
+
+    In each slot an independent ``Poisson(batch_mean)`` number of
+    packets arrives; each packet independently draws its path from
+    ``path_distribution`` (probabilities summing to 1). Slots are
+    independent and identically distributed — properties (a) and (b)
+    of the paper's model hold, but a single slot can carry arbitrarily
+    many packets, so the finite-generator property (c) is dropped.
+
+    The mean usage vector is ``batch_mean`` times the per-packet
+    expected usage, so ``injection_rate`` remains exact.
+    """
+
+    def __init__(
+        self,
+        path_distribution: PathDist,
+        batch_mean: float,
+        rng: RngLike = None,
+    ):
+        super().__init__()
+        if batch_mean < 0:
+            raise ConfigurationError(
+                f"batch_mean must be non-negative, got {batch_mean}"
+            )
+        total = 0.0
+        cleaned: List[Tuple[Tuple[int, ...], float]] = []
+        for path, probability in path_distribution:
+            if probability < 0:
+                raise InjectionError(
+                    f"negative path probability {probability}"
+                )
+            if len(path) == 0:
+                raise InjectionError("path distribution contains an empty path")
+            total += probability
+            cleaned.append((tuple(int(e) for e in path), float(probability)))
+        if cleaned and abs(total - 1.0) > 1e-9:
+            raise InjectionError(
+                f"path probabilities must sum to 1, got {total}"
+            )
+        self._paths = cleaned
+        self._cumulative = np.cumsum([p for _, p in cleaned]) if cleaned else None
+        self._batch_mean = float(batch_mean)
+        (self._rng,) = spawn_rngs(rng, 1)
+
+    @property
+    def batch_mean(self) -> float:
+        return self._batch_mean
+
+    def mean_usage(self, num_links: int) -> np.ndarray:
+        """``batch_mean`` times the per-packet expected link usage."""
+        usage = np.zeros(num_links, dtype=float)
+        for path, probability in self._paths:
+            for link_id in path:
+                usage[link_id] += probability
+        return self._batch_mean * usage
+
+    def injection_rate(self, model: InterferenceModel) -> float:
+        """Exact ``lambda = ||W . F||_inf`` under ``model``."""
+        return model.injection_norm(self.mean_usage(model.num_links))
+
+    def packets_for_slot(self, slot: int) -> List[Packet]:
+        if not self._paths or self._batch_mean == 0.0:
+            return []
+        count = int(self._rng.poisson(self._batch_mean))
+        packets: List[Packet] = []
+        for _ in range(count):
+            draw = self._rng.random()
+            index = int(np.searchsorted(self._cumulative, draw, side="right"))
+            index = min(index, len(self._paths) - 1)
+            packets.append(self._new_packet(self._paths[index][0], slot))
+        return packets
+
+
+def empirical_usage(
+    process: InjectionProcess, num_links: int, horizon: int
+) -> np.ndarray:
+    """Measured mean per-slot usage of ``process`` over ``horizon`` slots.
+
+    Consumes the process (stateful processes advance); use a freshly
+    seeded instance when comparing against :meth:`mean_usage`.
+    """
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be positive, got {horizon}")
+    usage = np.zeros(num_links, dtype=float)
+    for slot in range(horizon):
+        for packet in process.packets_for_slot(slot):
+            for link_id in packet.path:
+                usage[link_id] += 1.0
+    return usage / horizon
+
+
+__all__ = [
+    "MarkovModulatedInjection",
+    "PoissonBatchInjection",
+    "empirical_usage",
+]

@@ -1,0 +1,96 @@
+"""The packet record.
+
+A packet is injected at a slot with a fixed path (sequence of link ids,
+paper Section 2); the protocol advances ``hops_done`` as hops complete.
+Mutable by design — the protocol owns packet lifecycles — but the path
+itself is an immutable tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import TopologyError
+
+
+@dataclass
+class Packet:
+    """A packet travelling along a fixed multi-hop path.
+
+    Attributes
+    ----------
+    id:
+        Unique per simulation; assigned by the injection process.
+    path:
+        Link ids in traversal order, length >= 1.
+    injected_at:
+        Slot index of injection.
+    hops_done:
+        Number of completed hops (0 at injection).
+    delivered_at:
+        Slot index of final delivery, or ``None`` while in flight.
+    failed:
+        Whether the packet has ever failed in a phase-1 execution (the
+        protocol then routes it through clean-up phases; Section 4).
+    failed_at_frame:
+        Frame index of the (first) failure, for age-ordering the failed
+        buffers ("whose failure is longest ago").
+    """
+
+    id: int
+    path: Tuple[int, ...]
+    injected_at: int
+    hops_done: int = 0
+    delivered_at: Optional[int] = None
+    failed: bool = False
+    failed_at_frame: Optional[int] = None
+
+    def __post_init__(self):
+        if len(self.path) == 0:
+            raise TopologyError(f"packet {self.id} has an empty path")
+        self.path = tuple(int(e) for e in self.path)
+
+    @property
+    def path_length(self) -> int:
+        """Total number of hops ``d``."""
+        return len(self.path)
+
+    @property
+    def current_link(self) -> int:
+        """The next link to cross."""
+        if self.is_delivered:
+            raise TopologyError(f"packet {self.id} already delivered")
+        return self.path[self.hops_done]
+
+    @property
+    def remaining_hops(self) -> int:
+        """Hops still to cross (the packet's potential contribution)."""
+        return self.path_length - self.hops_done
+
+    @property
+    def is_delivered(self) -> bool:
+        """Whether the packet has crossed its whole path."""
+        return self.hops_done >= self.path_length
+
+    def advance(self, slot: int) -> bool:
+        """Record one completed hop; returns True if now delivered.
+
+        ``slot`` stamps :attr:`delivered_at` when this was the last hop.
+        """
+        if self.is_delivered:
+            raise TopologyError(f"packet {self.id} advanced past delivery")
+        self.hops_done += 1
+        if self.is_delivered:
+            self.delivered_at = slot
+            return True
+        return False
+
+    def latency(self) -> int:
+        """Slots between injection and delivery (delivered packets only)."""
+        if self.delivered_at is None:
+            raise TopologyError(f"packet {self.id} not delivered yet")
+        return self.delivered_at - self.injected_at
+
+
+__all__ = ["Packet"]

@@ -1,0 +1,56 @@
+"""Injection-rate arithmetic.
+
+Small helpers shared by experiments: compute the rate
+``lambda = ||W . F||_inf`` of a mean-usage vector, and rescale a usage
+pattern to hit a target rate exactly. Kept separate from the processes
+so analysis code can reason about rates without instantiating one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.interference.base import InterferenceModel
+
+
+def injection_rate_of_distribution(
+    model: InterferenceModel, mean_usage: np.ndarray
+) -> float:
+    """``||W . F||_inf`` — the injection rate of a mean-usage vector."""
+    return model.injection_norm(np.asarray(mean_usage, dtype=float))
+
+
+def scale_to_rate(
+    model: InterferenceModel, mean_usage: np.ndarray, target_rate: float
+) -> Tuple[np.ndarray, float]:
+    """Scale ``mean_usage`` so its rate equals ``target_rate``.
+
+    Returns ``(scaled_usage, factor)``. The base usage must have a
+    strictly positive rate.
+    """
+    if target_rate < 0:
+        raise ConfigurationError(f"target_rate must be >= 0, got {target_rate}")
+    usage = np.asarray(mean_usage, dtype=float)
+    base = injection_rate_of_distribution(model, usage)
+    if base <= 0:
+        raise ConfigurationError("cannot scale a zero-rate usage vector")
+    factor = target_rate / base
+    return usage * factor, factor
+
+
+def paths_mean_usage(num_links: int, paths: Sequence[Sequence[int]]) -> np.ndarray:
+    """Mean-usage vector of one uniformly random path per slot."""
+    usage = np.zeros(num_links, dtype=float)
+    if not paths:
+        return usage
+    probability = 1.0 / len(paths)
+    for path in paths:
+        for link_id in path:
+            usage[link_id] += probability
+    return usage
+
+
+__all__ = ["injection_rate_of_distribution", "scale_to_rate", "paths_mean_usage"]

@@ -1,0 +1,200 @@
+"""Stochastic injection by finite, independent generators (Section 2.1).
+
+Each :class:`PathGenerator` holds a distribution over paths with total
+probability at most 1; in every slot it independently injects at most
+one packet according to that distribution (property (c): one packet per
+generator per slot; properties (a)/(b): time-invariance and
+independence come from drawing fresh uniform randomness each slot from
+the generator's own RNG stream).
+
+:class:`StochasticInjection` aggregates generators, computes the exact
+mean path-usage vector ``F`` (``F(e) = sum_g sum_{P : e in P} E[X_{g,P}]``,
+multiplicity counted), and therefore the exact injection rate
+``lambda = ||W . F||_inf`` against any interference model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InjectionError
+from repro.injection.base import InjectionProcess
+from repro.injection.packet import Packet
+from repro.interference.base import InterferenceModel
+from repro.network.routing import RoutingTable
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+PathDist = Sequence[Tuple[Tuple[int, ...], float]]
+
+
+@dataclass
+class PathGenerator:
+    """One packet generator: a distribution over paths.
+
+    ``distribution`` is a list of ``(path, probability)`` pairs; the
+    probabilities must sum to at most 1 (the remainder is the
+    probability of injecting nothing in a slot).
+    """
+
+    distribution: PathDist
+
+    def __post_init__(self):
+        total = 0.0
+        cleaned = []
+        for path, probability in self.distribution:
+            if probability < 0:
+                raise InjectionError(
+                    f"negative path probability {probability} in generator"
+                )
+            if len(path) == 0:
+                raise InjectionError("generator contains an empty path")
+            total += probability
+            cleaned.append((tuple(int(e) for e in path), float(probability)))
+        if total > 1.0 + 1e-9:
+            raise InjectionError(
+                f"generator path probabilities sum to {total} > 1; a generator "
+                "injects at most one packet per slot"
+            )
+        self.distribution = cleaned
+
+    @property
+    def total_probability(self) -> float:
+        """Probability of injecting any packet in a slot."""
+        return sum(p for _, p in self.distribution)
+
+    def scaled(self, factor: float) -> "PathGenerator":
+        """A copy with all probabilities multiplied by ``factor``."""
+        if factor < 0:
+            raise InjectionError(f"scale factor must be non-negative, got {factor}")
+        return PathGenerator(
+            [(path, probability * factor) for path, probability in self.distribution]
+        )
+
+    def mean_usage(self, num_links: int) -> np.ndarray:
+        """This generator's contribution to ``F`` (per-slot expectation)."""
+        usage = np.zeros(num_links, dtype=float)
+        for path, probability in self.distribution:
+            for link_id in path:
+                usage[link_id] += probability
+        return usage
+
+
+class StochasticInjection(InjectionProcess):
+    """Aggregate of independent :class:`PathGenerator` s."""
+
+    def __init__(self, generators: Sequence[PathGenerator], rng: RngLike = None):
+        super().__init__()
+        if not generators:
+            raise InjectionError("at least one generator is required")
+        self._generators = list(generators)
+        self._rngs = spawn_rngs(rng, len(self._generators))
+
+    @property
+    def generators(self) -> List[PathGenerator]:
+        return list(self._generators)
+
+    def mean_usage(self, num_links: int) -> np.ndarray:
+        """The exact mean per-slot path-usage vector ``F``."""
+        usage = np.zeros(num_links, dtype=float)
+        for generator in self._generators:
+            usage += generator.mean_usage(num_links)
+        return usage
+
+    def injection_rate(self, model: InterferenceModel) -> float:
+        """The exact rate ``lambda = ||W . F||_inf`` under ``model``."""
+        return model.injection_norm(self.mean_usage(model.num_links))
+
+    def packets_for_slot(self, slot: int) -> List[Packet]:
+        packets: List[Packet] = []
+        for generator, rng in zip(self._generators, self._rngs):
+            draw = rng.random()
+            cumulative = 0.0
+            for path, probability in generator.distribution:
+                cumulative += probability
+                if draw < cumulative:
+                    packets.append(self._new_packet(path, slot))
+                    break
+        return packets
+
+    def packets_for_range(self, start_slot: int, end_slot: int) -> List[Packet]:
+        """Batch sampling: one multinomial per generator per range.
+
+        Over ``L`` slots a generator injects a multinomially distributed
+        number of packets per path (``L`` trials over the path
+        probabilities plus the idle remainder) — identical in
+        distribution to ``L`` independent per-slot draws. Injection
+        slots are stamped uniformly inside the range; the dynamic
+        protocol only consumes whole-frame batches, so the stamps only
+        affect latency bookkeeping, for which uniform placement is the
+        faithful marginal.
+        """
+        length = end_slot - start_slot
+        if length <= 0:
+            return []
+        packets: List[Packet] = []
+        for generator, rng in zip(self._generators, self._rngs):
+            probabilities = [p for _, p in generator.distribution]
+            idle = max(0.0, 1.0 - sum(probabilities))
+            counts = rng.multinomial(length, probabilities + [idle])
+            for (path, _), count in zip(generator.distribution, counts):
+                for _ in range(int(count)):
+                    slot = start_slot + int(rng.integers(length))
+                    packets.append(self._new_packet(path, slot))
+        packets.sort(key=lambda p: (p.injected_at, p.id))
+        return packets
+
+
+def uniform_pair_injection(
+    routing: RoutingTable,
+    model: InterferenceModel,
+    target_rate: float,
+    num_generators: int = 1,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    rng: RngLike = None,
+) -> StochasticInjection:
+    """Injection uniform over routed pairs, scaled to an exact target rate.
+
+    Builds ``num_generators`` identical generators, each uniform over
+    the given source/destination ``pairs`` (default: every routed pair),
+    then scales the per-path probabilities so that the aggregate
+    injection rate under ``model`` is exactly ``target_rate``.
+
+    Raises if the target rate would force some generator above one
+    packet per slot (property (c)) — use more generators in that case.
+    """
+    if target_rate < 0:
+        raise ConfigurationError(f"target_rate must be >= 0, got {target_rate}")
+    if num_generators < 1:
+        raise ConfigurationError(
+            f"num_generators must be >= 1, got {num_generators}"
+        )
+    if pairs is None:
+        pairs = routing.pairs()
+    if not pairs:
+        raise ConfigurationError("no routed pairs available for injection")
+    paths = [routing.path(s, d) for s, d in pairs]
+    base_probability = 1.0 / len(paths)
+    base = PathGenerator([(path, base_probability) for path in paths])
+    base_rate = model.injection_norm(
+        sum(
+            (base.mean_usage(model.num_links) for _ in range(num_generators)),
+            np.zeros(model.num_links),
+        )
+    )
+    if base_rate <= 0:
+        raise ConfigurationError("base injection rate is zero; cannot scale")
+    factor = target_rate / base_rate
+    if base.total_probability * factor > 1.0 + 1e-9:
+        raise ConfigurationError(
+            f"target rate {target_rate} needs per-generator injection "
+            f"probability {base.total_probability * factor:.3f} > 1; "
+            "increase num_generators"
+        )
+    generators = [base.scaled(factor) for _ in range(num_generators)]
+    return StochasticInjection(generators, rng=rng)
+
+
+__all__ = ["PathGenerator", "StochasticInjection", "uniform_pair_injection"]

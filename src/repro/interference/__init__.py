@@ -1,0 +1,72 @@
+"""Interference models: the linear measure ``I = ||W . R||_inf`` and
+per-model success predicates.
+
+The paper abstracts every interference assumption into a matrix
+``W in [0,1]^{E x E}`` (Section 2): ``W[e, e']`` is the relative impact a
+transmission on ``e'`` has on one on ``e``, with ``W[e, e] = 1``. All
+algorithms and injection bounds are phrased in terms of the induced
+measure ``I = max_e sum_e' W[e, e'] R(e')``.
+
+Ground truth for *which transmissions actually succeed* is a separate,
+model-specific predicate (:meth:`InterferenceModel.successes`): exact
+SINR feasibility for the SINR models, "alone on the channel" for the
+multiple-access channel, "no conflicting neighbour" for conflict graphs,
+and so on. Keeping measure and predicate separate mirrors the paper,
+where ``W`` is chosen *so that* the measure tracks the predicate.
+"""
+
+from repro.interference.base import InterferenceModel, request_vector
+from repro.interference.matrix_model import AffectanceThresholdModel, ExplicitMatrixModel
+from repro.interference.mac import MultipleAccessChannel
+from repro.interference.packet_routing import PacketRoutingModel
+from repro.interference.conflict import ConflictGraphModel
+from repro.interference.inductive import (
+    inductive_independence_for_ordering,
+    length_ordering,
+    degree_ordering,
+)
+from repro.interference.builders import (
+    distance2_matching_conflicts,
+    node_constraint_conflicts,
+    protocol_model_conflicts,
+    radio_network_conflicts,
+)
+from repro.interference.unreliable import (
+    UnreliableModel,
+    reliability_budget_factor,
+)
+from repro.interference.jamming import (
+    FrontLoadedPattern,
+    JammedModel,
+    JammingPattern,
+    PeriodicBurstPattern,
+    RandomPattern,
+    jamming_budget_factor,
+    worst_window_fraction,
+)
+
+__all__ = [
+    "InterferenceModel",
+    "request_vector",
+    "ExplicitMatrixModel",
+    "AffectanceThresholdModel",
+    "MultipleAccessChannel",
+    "PacketRoutingModel",
+    "ConflictGraphModel",
+    "inductive_independence_for_ordering",
+    "length_ordering",
+    "degree_ordering",
+    "node_constraint_conflicts",
+    "protocol_model_conflicts",
+    "radio_network_conflicts",
+    "distance2_matching_conflicts",
+    "UnreliableModel",
+    "reliability_budget_factor",
+    "JammingPattern",
+    "PeriodicBurstPattern",
+    "RandomPattern",
+    "FrontLoadedPattern",
+    "JammedModel",
+    "jamming_budget_factor",
+    "worst_window_fraction",
+]

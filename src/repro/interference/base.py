@@ -1,0 +1,177 @@
+"""The :class:`InterferenceModel` abstract base class.
+
+An interference model couples a network with
+
+1. an impact matrix ``W`` defining the linear interference measure
+   ``I(R) = ||W . R||_inf`` of a request vector ``R`` (paper Section 2), and
+2. a *success predicate*: given the set of links transmitting in a slot,
+   which of those transmissions are received.
+
+Conventions (fixed across the library):
+
+* ``W[e, e']`` is the impact **on** link ``e`` **from** link ``e'``;
+  ``W[e, e] = 1`` (the paper's normalisation).
+* Request vectors ``R`` are float arrays indexed by link id; entries are
+  multiplicities (a path visiting a link twice contributes 2).
+* ``successes`` receives link ids with *set semantics*: each listed link
+  makes one transmission attempt in the slot. Schedulers are responsible
+  for never scheduling two packets on one link in the same slot (the
+  paper's "via each communication link at most one packet may be
+  transmitted per time step").
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Optional, Sequence, Set, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.network.network import Network
+
+RequestsLike = Union[np.ndarray, Sequence[int]]
+
+
+def request_vector(num_links: int, link_ids: Iterable[int]) -> np.ndarray:
+    """Build a request vector from link ids (multiplicities respected)."""
+    vector = np.zeros(num_links, dtype=float)
+    for link_id in link_ids:
+        if not 0 <= link_id < num_links:
+            raise SchedulingError(
+                f"request references link id {link_id}, outside 0..{num_links - 1}"
+            )
+        vector[link_id] += 1.0
+    return vector
+
+
+class InterferenceModel(ABC):
+    """Couples a network with an impact matrix and a success predicate."""
+
+    def __init__(self, network: Network):
+        self._network = network
+        self._weight_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def network(self) -> Network:
+        """The underlying network."""
+        return self._network
+
+    @property
+    def num_links(self) -> int:
+        """Number of links (dimension of ``W`` and of request vectors)."""
+        return self._network.num_links
+
+    # ------------------------------------------------------------------
+    # The linear measure
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def _build_weight_matrix(self) -> np.ndarray:
+        """Construct ``W``; called once, result cached."""
+
+    def weight_matrix(self) -> np.ndarray:
+        """The impact matrix ``W`` (cached; treat as read-only)."""
+        if self._weight_cache is None:
+            matrix = np.asarray(self._build_weight_matrix(), dtype=float)
+            expected = (self.num_links, self.num_links)
+            if matrix.shape != expected:
+                raise ConfigurationError(
+                    f"weight matrix has shape {matrix.shape}, expected {expected}"
+                )
+            if (matrix < 0).any() or (matrix > 1).any():
+                raise ConfigurationError("weight matrix entries must lie in [0, 1]")
+            if not np.allclose(np.diag(matrix), 1.0):
+                raise ConfigurationError("weight matrix diagonal must be 1")
+            matrix.setflags(write=False)
+            self._weight_cache = matrix
+        return self._weight_cache
+
+    def weight(self, e: int, e_prime: int) -> float:
+        """``W[e, e']`` — impact on ``e`` from ``e'``."""
+        return float(self.weight_matrix()[e, e_prime])
+
+    def as_request_vector(self, requests: RequestsLike) -> np.ndarray:
+        """Normalise ``requests`` (vector or link-id list) to a vector."""
+        if isinstance(requests, np.ndarray) and requests.dtype != object:
+            if requests.shape != (self.num_links,):
+                raise SchedulingError(
+                    f"request vector has shape {requests.shape}, expected "
+                    f"({self.num_links},)"
+                )
+            return requests.astype(float, copy=False)
+        return request_vector(self.num_links, requests)
+
+    def interference_measure(self, requests: RequestsLike) -> float:
+        """``I = ||W . R||_inf`` for the given requests.
+
+        The plain infinity norm over *all* rows, exactly as in the
+        paper's Section 2 (``I := max_e sum_e' W[e, e'] R(e')``). Taking
+        all rows (not just requested links') keeps the measure monotone
+        *and sub-additive* in ``R`` — properties both the transformation
+        analysis and the window-adversary budget arithmetic rely on.
+        """
+        vector = self.as_request_vector(requests)
+        if vector.sum() == 0:
+            return 0.0
+        return float((self.weight_matrix() @ vector).max())
+
+    def injection_norm(self, average_rates: RequestsLike) -> float:
+        """``||W . F||_inf`` — the paper's injection rate of a mean-usage vector.
+
+        Numerically the same norm as :meth:`interference_measure`; kept
+        as a separate entry point because the argument is a *rate*
+        (packets per slot in expectation), not a packet count.
+        """
+        vector = self.as_request_vector(average_rates)
+        return float((self.weight_matrix() @ vector).max()) if vector.size else 0.0
+
+    # ------------------------------------------------------------------
+    # Ground truth
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def successes(self, transmitting: Sequence[int]) -> Set[int]:
+        """Which of the simultaneously transmitting links are received.
+
+        ``transmitting`` must not contain duplicates (one transmission
+        per link per slot).
+        """
+
+    def singleton_succeeds(self, link_id: int) -> bool:
+        """Whether a lone transmission on ``link_id`` is received."""
+        return link_id in self.successes([link_id])
+
+    def check_all_singletons(self) -> None:
+        """Raise if some link cannot even transmit alone.
+
+        Protocols assume every link is individually usable; models built
+        from bad geometry (e.g. SINR with too much noise) can violate
+        this, and it is better to fail loudly at setup.
+        """
+        for link in range(self.num_links):
+            if not self.singleton_succeeds(link):
+                raise ConfigurationError(
+                    f"link {link} cannot succeed even transmitting alone"
+                )
+
+    def feasible_set(self, transmitting: Sequence[int]) -> bool:
+        """Whether *all* the given links succeed simultaneously."""
+        attempted = set(transmitting)
+        return self.successes(transmitting) == attempted
+
+    def _check_no_duplicates(self, transmitting: Sequence[int]) -> Set[int]:
+        attempted = set(transmitting)
+        if len(attempted) != len(list(transmitting)):
+            raise SchedulingError(
+                "duplicate link ids in one slot: a link transmits at most one "
+                "packet per time step"
+            )
+        return attempted
+
+
+__all__ = ["InterferenceModel", "request_vector", "RequestsLike"]

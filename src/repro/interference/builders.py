@@ -1,0 +1,152 @@
+"""Conflict-graph builders for the classic wireless models.
+
+Each builder maps a (geometric) network to a conflict adjacency
+``{link_id: set of conflicting link ids}`` consumable by
+:class:`~repro.interference.conflict.ConflictGraphModel`. These realise
+the models the paper names in Section 7.2:
+
+* **node-constraint model** — a node transmits or receives at most one
+  packet per slot: links sharing an endpoint conflict. Bounded
+  independence, so constant-competitive protocols exist.
+* **protocol model** — a transmission on ``e = (s, r)`` requires every
+  other active sender to be outside ``(1 + delta) * d(e)`` of ``r``.
+* **radio network model (disk graphs)** — a node receives iff *exactly
+  one* of its in-range neighbours transmits: any other sender within
+  range of the receiver kills the reception.
+* **distance-2 matching (disk graphs)** — scheduled links must form a
+  distance-2 matching of the connectivity graph: links conflict when
+  any of their endpoints are within the connectivity radius.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.network.network import Network
+
+
+def node_constraint_conflicts(network: Network) -> Dict[int, Set[int]]:
+    """Links conflict iff they share an endpoint (transmit-or-receive-one)."""
+    conflicts: Dict[int, Set[int]] = {e: set() for e in range(network.num_links)}
+    by_node: Dict[int, Set[int]] = {v: set() for v in range(network.num_nodes)}
+    for link in network.links:
+        by_node[link.sender].add(link.id)
+        by_node[link.receiver].add(link.id)
+    for incident in by_node.values():
+        for e in incident:
+            conflicts[e] |= incident - {e}
+    return conflicts
+
+
+def protocol_model_conflicts(
+    network: Network, guard_factor: float = 0.5
+) -> Dict[int, Set[int]]:
+    """The protocol (interference-range) model.
+
+    ``e'`` conflicts with ``e = (s, r)`` when the sender of ``e'`` lies
+    within ``(1 + guard_factor) * d(e)`` of ``r`` — i.e. inside the
+    guard zone of ``e``'s receiver. Symmetrised, since the paper's
+    conflict graphs are undirected.
+    """
+    if guard_factor < 0:
+        raise ConfigurationError(f"guard_factor must be >= 0, got {guard_factor}")
+    _require_geometry(network)
+    pairwise = network.metric.pairwise()
+    lengths = network.link_lengths()
+    conflicts: Dict[int, Set[int]] = {e: set() for e in range(network.num_links)}
+    links = network.links
+    for e in links:
+        guard = (1.0 + guard_factor) * lengths[e.id]
+        for e_prime in links:
+            if e_prime.id == e.id:
+                continue
+            if pairwise[e_prime.sender, e.receiver] <= guard:
+                conflicts[e.id].add(e_prime.id)
+                conflicts[e_prime.id].add(e.id)
+    return conflicts
+
+
+def radio_network_conflicts(
+    network: Network, range_radius: float
+) -> Dict[int, Set[int]]:
+    """The radio-network model on a disk graph of radius ``range_radius``.
+
+    Reception at ``r`` requires that no *other* sender within
+    ``range_radius`` of ``r`` transmits (a second in-range transmission
+    collides at the receiver).
+    """
+    if range_radius <= 0:
+        raise ConfigurationError(f"range_radius must be positive, got {range_radius}")
+    _require_geometry(network)
+    pairwise = network.metric.pairwise()
+    conflicts: Dict[int, Set[int]] = {e: set() for e in range(network.num_links)}
+    links = network.links
+    for e in links:
+        for e_prime in links:
+            if e_prime.id == e.id:
+                continue
+            if (
+                e_prime.sender != e.sender
+                and pairwise[e_prime.sender, e.receiver] <= range_radius
+            ):
+                conflicts[e.id].add(e_prime.id)
+                conflicts[e_prime.id].add(e.id)
+    return conflicts
+
+
+def distance2_matching_conflicts(
+    network: Network, connectivity_radius: float
+) -> Dict[int, Set[int]]:
+    """Distance-2 matching in the disk graph of ``connectivity_radius``.
+
+    Two links conflict when any endpoint of one is within the
+    connectivity radius of any endpoint of the other (or they share an
+    endpoint) — the scheduled set must be a matching even after one hop
+    of the connectivity graph.
+    """
+    if connectivity_radius <= 0:
+        raise ConfigurationError(
+            f"connectivity_radius must be positive, got {connectivity_radius}"
+        )
+    _require_geometry(network)
+    pairwise = network.metric.pairwise()
+    conflicts: Dict[int, Set[int]] = {e: set() for e in range(network.num_links)}
+    links = network.links
+    for e in links:
+        e_nodes = (e.sender, e.receiver)
+        for e_prime in links:
+            if e_prime.id <= e.id:
+                continue
+            p_nodes = (e_prime.sender, e_prime.receiver)
+            if set(e_nodes) & set(p_nodes) or any(
+                pairwise[a, b] <= connectivity_radius
+                for a in e_nodes
+                for b in p_nodes
+            ):
+                conflicts[e.id].add(e_prime.id)
+                conflicts[e_prime.id].add(e.id)
+    return conflicts
+
+
+def conflict_density(conflicts: Dict[int, Set[int]]) -> float:
+    """Average conflict degree — a quick sizing diagnostic for experiments."""
+    if not conflicts:
+        return 0.0
+    return float(np.mean([len(neigh) for neigh in conflicts.values()]))
+
+
+def _require_geometry(network: Network) -> None:
+    if not network.is_geometric:
+        raise TopologyError("this conflict builder requires a geometric network")
+
+
+__all__ = [
+    "node_constraint_conflicts",
+    "protocol_model_conflicts",
+    "radio_network_conflicts",
+    "distance2_matching_conflicts",
+    "conflict_density",
+]

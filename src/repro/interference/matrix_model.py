@@ -1,0 +1,104 @@
+"""Interference models defined directly by an explicit matrix.
+
+Two flavours:
+
+* :class:`ExplicitMatrixModel` — the caller supplies both ``W`` and a
+  success predicate. Escape hatch for custom models (the Theorem-20
+  lower-bound instance uses it).
+* :class:`AffectanceThresholdModel` — the caller supplies ``W`` and
+  success is the *affectance criterion*: a transmission on ``e`` within
+  set ``S`` is received iff the accumulated impact
+  ``sum_{e' in S, e' != e} W[e, e']`` stays below a threshold (default 1).
+  This is exactly how affectance interacts with SINR feasibility (a link
+  meets its SINR constraint iff the affectances of the other active
+  links sum to at most 1), so the class doubles as a fast approximate
+  SINR model and as the natural semantics for abstract ``W`` benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.interference.base import InterferenceModel
+from repro.network.network import Network
+
+SuccessPredicate = Callable[[Sequence[int]], Set[int]]
+
+
+class ExplicitMatrixModel(InterferenceModel):
+    """A model given by an explicit ``W`` and an explicit success predicate."""
+
+    def __init__(
+        self,
+        network: Network,
+        weight_matrix: np.ndarray,
+        success_predicate: SuccessPredicate,
+    ):
+        super().__init__(network)
+        self._matrix = np.asarray(weight_matrix, dtype=float)
+        self._predicate = success_predicate
+
+    def _build_weight_matrix(self) -> np.ndarray:
+        return self._matrix
+
+    def successes(self, transmitting: Sequence[int]) -> Set[int]:
+        attempted = self._check_no_duplicates(transmitting)
+        result = set(self._predicate(sorted(attempted)))
+        if not result <= attempted:
+            raise ConfigurationError(
+                "success predicate returned links that were not transmitting"
+            )
+        return result
+
+
+class AffectanceThresholdModel(InterferenceModel):
+    """Success iff accumulated impact from the other active links <= threshold.
+
+    Parameters
+    ----------
+    network:
+        The underlying network.
+    weight_matrix:
+        The impact matrix ``W``.
+    threshold:
+        Maximum tolerable accumulated impact (exclusive bound is *not*
+        used: success requires ``impact <= threshold``). The affectance
+        normalisation of the SINR literature makes 1.0 the natural
+        default.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        weight_matrix: np.ndarray,
+        threshold: float = 1.0,
+    ):
+        super().__init__(network)
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be positive, got {threshold}")
+        self._matrix = np.asarray(weight_matrix, dtype=float)
+        self._threshold = float(threshold)
+
+    @property
+    def threshold(self) -> float:
+        """The accumulated-impact success threshold."""
+        return self._threshold
+
+    def _build_weight_matrix(self) -> np.ndarray:
+        return self._matrix
+
+    def successes(self, transmitting: Sequence[int]) -> Set[int]:
+        attempted = self._check_no_duplicates(transmitting)
+        if not attempted:
+            return set()
+        ids = np.fromiter(attempted, dtype=int)
+        sub = self.weight_matrix()[np.ix_(ids, ids)]
+        # Row sums minus the diagonal = impact from the *other* active links.
+        impact = sub.sum(axis=1) - np.diag(sub)
+        return {int(e) for e, a in zip(ids, impact) if a <= self._threshold}
+
+
+__all__ = ["ExplicitMatrixModel", "AffectanceThresholdModel"]

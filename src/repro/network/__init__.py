@@ -1,0 +1,35 @@
+"""Network substrate: links, the network container, routing, topologies.
+
+The paper models the network as a directed graph ``G = (V, E)`` whose
+edges are the possible communication links (Section 2). Packets follow
+fixed paths of length at most ``D``; the significant network size is
+``m = max(|E|, D)``. This subpackage provides those structures plus
+routing-table construction and ready-made topology generators, including
+the Figure-1 instance used by the Theorem-20 lower bound.
+"""
+
+from repro.network.link import Link
+from repro.network.network import Network
+from repro.network.routing import RoutingTable, shortest_link_path, build_routing_table
+from repro.network.topology import (
+    figure1_instance,
+    grid_network,
+    line_network,
+    mac_network,
+    random_sinr_network,
+    star_network,
+)
+
+__all__ = [
+    "Link",
+    "Network",
+    "RoutingTable",
+    "shortest_link_path",
+    "build_routing_table",
+    "random_sinr_network",
+    "grid_network",
+    "line_network",
+    "star_network",
+    "mac_network",
+    "figure1_instance",
+]

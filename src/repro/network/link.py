@@ -1,0 +1,51 @@
+"""Directed communication links.
+
+A link is an ordered pair (sender node, receiver node) with an integer id
+equal to its index in the owning network's link list. The id is what
+appears in packet paths, request vectors ``R``, and interference-matrix
+indices — all per-link data in the library is stored in arrays indexed by
+link id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed communication link ``sender -> receiver``."""
+
+    id: int
+    sender: int
+    receiver: int
+
+    def __post_init__(self):
+        if self.sender == self.receiver:
+            raise TopologyError(
+                f"link {self.id}: sender and receiver are the same node "
+                f"({self.sender})"
+            )
+        if self.id < 0:
+            raise TopologyError(f"link id must be non-negative, got {self.id}")
+
+    @property
+    def endpoints(self) -> frozenset:
+        """The unordered pair of endpoint node ids."""
+        return frozenset((self.sender, self.receiver))
+
+    def reversed(self, new_id: int) -> "Link":
+        """The opposite-direction link, under a fresh id."""
+        return Link(new_id, self.receiver, self.sender)
+
+    def shares_endpoint(self, other: "Link") -> bool:
+        """Whether the two links touch a common node (node-constraint model)."""
+        return bool(self.endpoints & other.endpoints)
+
+    def __str__(self) -> str:
+        return f"e{self.id}({self.sender}->{self.receiver})"
+
+
+__all__ = ["Link"]

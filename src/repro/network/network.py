@@ -1,0 +1,238 @@
+"""The network container.
+
+:class:`Network` owns the node set (optionally with geometric positions),
+the directed link list, and the maximum path length ``D``. It provides
+the derived quantities the paper uses throughout:
+
+* ``m`` — the significant network size ``max(|E|, D)`` (Section 2);
+* link length (for geometric networks), used by power assignments;
+* adjacency indices (links out of / into a node), used by routing and by
+  the node-constraint conflict model.
+
+The container is immutable after construction: algorithms never mutate
+the network, they only read it. Dynamic state (queues, buffers) lives in
+the protocol objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.geometry.metric import EuclideanMetric, Metric
+from repro.geometry.point import Point
+from repro.network.link import Link
+
+
+class Network:
+    """A directed communication graph with optional geometry.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node ids are ``0 .. num_nodes-1``.
+    links:
+        Directed links as ``(sender, receiver)`` pairs, in id order.
+    positions:
+        Optional node positions. When given, the network is *geometric*:
+        link lengths and a :class:`~repro.geometry.metric.Metric` become
+        available (required by the SINR models).
+    metric:
+        Optional explicit metric overriding the Euclidean one derived
+        from ``positions`` (for fading-metric experiments). Must have
+        ``size == num_nodes``.
+    max_path_length:
+        The bound ``D`` on path lengths. Defaults to ``num_nodes`` (any
+        simple path fits). The significant size ``m = max(|E|, D)``.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        links: Sequence[Tuple[int, int]],
+        positions: Optional[Sequence[Point]] = None,
+        metric: Optional[Metric] = None,
+        max_path_length: Optional[int] = None,
+    ):
+        if num_nodes < 1:
+            raise ConfigurationError(f"num_nodes must be >= 1, got {num_nodes}")
+        self._num_nodes = int(num_nodes)
+
+        self._links: List[Link] = []
+        seen = set()
+        for idx, (s, r) in enumerate(links):
+            if not (0 <= s < num_nodes and 0 <= r < num_nodes):
+                raise TopologyError(
+                    f"link {idx} endpoints ({s}, {r}) outside node range "
+                    f"0..{num_nodes - 1}"
+                )
+            if (s, r) in seen:
+                raise TopologyError(f"duplicate link ({s}, {r}) at index {idx}")
+            seen.add((s, r))
+            self._links.append(Link(idx, int(s), int(r)))
+
+        if positions is not None and len(positions) != num_nodes:
+            raise ConfigurationError(
+                f"got {len(positions)} positions for {num_nodes} nodes"
+            )
+        self._positions = list(positions) if positions is not None else None
+
+        if metric is not None:
+            if metric.size != num_nodes:
+                raise ConfigurationError(
+                    f"metric has {metric.size} points but network has "
+                    f"{num_nodes} nodes"
+                )
+            self._metric: Optional[Metric] = metric
+        elif self._positions is not None:
+            self._metric = EuclideanMetric(self._positions)
+        else:
+            self._metric = None
+
+        if max_path_length is None:
+            max_path_length = num_nodes
+        if max_path_length < 1:
+            raise ConfigurationError(
+                f"max_path_length must be >= 1, got {max_path_length}"
+            )
+        self._max_path_length = int(max_path_length)
+
+        self._out: Dict[int, List[int]] = {v: [] for v in range(num_nodes)}
+        self._in: Dict[int, List[int]] = {v: [] for v in range(num_nodes)}
+        self._by_endpoints: Dict[Tuple[int, int], int] = {}
+        for link in self._links:
+            self._out[link.sender].append(link.id)
+            self._in[link.receiver].append(link.id)
+            self._by_endpoints[(link.sender, link.receiver)] = link.id
+
+        self._lengths: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``|V|``."""
+        return self._num_nodes
+
+    @property
+    def num_links(self) -> int:
+        """Number of directed links ``|E|``."""
+        return len(self._links)
+
+    @property
+    def links(self) -> List[Link]:
+        """All links in id order (a fresh list; the network is immutable)."""
+        return list(self._links)
+
+    def link(self, link_id: int) -> Link:
+        """The link with the given id."""
+        return self._links[link_id]
+
+    @property
+    def max_path_length(self) -> int:
+        """The path-length bound ``D``."""
+        return self._max_path_length
+
+    @property
+    def size_m(self) -> int:
+        """The paper's significant network size ``m = max(|E|, D)``."""
+        return max(self.num_links, self._max_path_length)
+
+    @property
+    def is_geometric(self) -> bool:
+        """Whether node positions / a metric are available."""
+        return self._metric is not None
+
+    @property
+    def positions(self) -> List[Point]:
+        """Node positions (geometric networks only)."""
+        if self._positions is None:
+            raise TopologyError("network has no node positions")
+        return list(self._positions)
+
+    @property
+    def metric(self) -> Metric:
+        """The node metric (geometric networks only)."""
+        if self._metric is None:
+            raise TopologyError("network has no metric")
+        return self._metric
+
+    # ------------------------------------------------------------------
+    # Adjacency
+    # ------------------------------------------------------------------
+
+    def links_from(self, node: int) -> List[int]:
+        """Ids of links leaving ``node``."""
+        return list(self._out[node])
+
+    def links_into(self, node: int) -> List[int]:
+        """Ids of links entering ``node``."""
+        return list(self._in[node])
+
+    def link_between(self, sender: int, receiver: int) -> Optional[int]:
+        """Id of the link ``sender -> receiver`` if present, else ``None``."""
+        return self._by_endpoints.get((sender, receiver))
+
+    # ------------------------------------------------------------------
+    # Geometry-derived quantities
+    # ------------------------------------------------------------------
+
+    def link_lengths(self) -> np.ndarray:
+        """Array of link lengths ``d(sender, receiver)`` indexed by link id."""
+        if self._metric is None:
+            raise TopologyError("link lengths require a geometric network")
+        if self._lengths is None:
+            pair = self._metric.pairwise()
+            self._lengths = np.asarray(
+                [pair[link.sender, link.receiver] for link in self._links]
+            )
+        return self._lengths
+
+    def length_diversity(self) -> float:
+        """``Delta``: ratio of the longest to the shortest link length."""
+        lengths = self.link_lengths()
+        shortest = float(lengths.min())
+        if shortest <= 0:
+            raise TopologyError("zero-length link; length diversity undefined")
+        return float(lengths.max()) / shortest
+
+    # ------------------------------------------------------------------
+    # Path validation
+    # ------------------------------------------------------------------
+
+    def validate_path(self, path: Sequence[int]) -> Tuple[int, ...]:
+        """Check that ``path`` is a connected link sequence within bounds.
+
+        Returns the path as a tuple. Paths may revisit nodes and links
+        (the paper allows this) but must chain head-to-tail and respect
+        ``D``.
+        """
+        if len(path) == 0:
+            raise TopologyError("empty path")
+        if len(path) > self._max_path_length:
+            raise TopologyError(
+                f"path length {len(path)} exceeds bound D={self._max_path_length}"
+            )
+        for link_id in path:
+            if not (0 <= link_id < self.num_links):
+                raise TopologyError(f"path references unknown link id {link_id}")
+        for prev, nxt in zip(path, path[1:]):
+            if self._links[prev].receiver != self._links[nxt].sender:
+                raise TopologyError(
+                    f"path breaks between {self._links[prev]} and {self._links[nxt]}"
+                )
+        return tuple(int(e) for e in path)
+
+    def __repr__(self) -> str:
+        geo = "geometric" if self.is_geometric else "abstract"
+        return (
+            f"Network(nodes={self.num_nodes}, links={self.num_links}, "
+            f"D={self._max_path_length}, {geo})"
+        )
+
+
+__all__ = ["Network"]

@@ -1,0 +1,147 @@
+"""Routing tables and shortest link paths.
+
+The paper assumes packet paths are "fixed for each packet, e.g., by
+routing tables" (Section 2). This module builds those tables: for every
+ordered node pair with a directed path, the table stores a shortest path
+*as a sequence of link ids*, computed once with breadth-first search (all
+links cost 1, matching the paper's hop-count bound ``D``).
+
+Injection processes then sample source/destination pairs and look the
+path up, so every injected packet carries a valid, length-bounded path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.network.network import Network
+
+
+def shortest_link_path(
+    network: Network, source: int, destination: int
+) -> Optional[Tuple[int, ...]]:
+    """Shortest directed path from ``source`` to ``destination`` as link ids.
+
+    Returns ``None`` when no path exists, and an empty tuple when
+    ``source == destination``. Uses BFS, so the result minimises hop
+    count.
+    """
+    if source == destination:
+        return ()
+    parent_link: Dict[int, int] = {}
+    visited = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for link_id in network.links_from(node):
+            nxt = network.link(link_id).receiver
+            if nxt in visited:
+                continue
+            visited.add(nxt)
+            parent_link[nxt] = link_id
+            if nxt == destination:
+                return _unwind(network, parent_link, source, destination)
+            frontier.append(nxt)
+    return None
+
+
+def _unwind(
+    network: Network, parent_link: Dict[int, int], source: int, destination: int
+) -> Tuple[int, ...]:
+    path: List[int] = []
+    node = destination
+    while node != source:
+        link_id = parent_link[node]
+        path.append(link_id)
+        node = network.link(link_id).sender
+    path.reverse()
+    return tuple(path)
+
+
+class RoutingTable:
+    """All-pairs shortest link paths for a network.
+
+    Paths longer than the network's ``D`` are excluded (they could never
+    be injected), so :meth:`pairs` is exactly the set of node pairs an
+    injection process may legally use.
+    """
+
+    def __init__(self, network: Network, paths: Dict[Tuple[int, int], Tuple[int, ...]]):
+        self._network = network
+        self._paths = paths
+
+    @property
+    def network(self) -> Network:
+        return self._network
+
+    def path(self, source: int, destination: int) -> Tuple[int, ...]:
+        """The stored path; raises :class:`TopologyError` if absent."""
+        key = (source, destination)
+        if key not in self._paths:
+            raise TopologyError(f"no routed path from {source} to {destination}")
+        return self._paths[key]
+
+    def has_path(self, source: int, destination: int) -> bool:
+        return (source, destination) in self._paths
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """All routed ``(source, destination)`` pairs, sorted."""
+        return sorted(self._paths)
+
+    def pairs_with_length(self, hops: int) -> List[Tuple[int, int]]:
+        """Routed pairs whose stored path has exactly ``hops`` links."""
+        return sorted(k for k, v in self._paths.items() if len(v) == hops)
+
+    def max_hops(self) -> int:
+        """Length of the longest stored path (0 for an empty table)."""
+        if not self._paths:
+            return 0
+        return max(len(p) for p in self._paths.values())
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+
+def build_routing_table(
+    network: Network, sources: Optional[Sequence[int]] = None
+) -> RoutingTable:
+    """BFS from each source; keep all reachable pairs within the ``D`` bound.
+
+    ``sources`` restricts the table rows (useful for large networks where
+    only a few nodes inject).
+    """
+    if sources is None:
+        sources = range(network.num_nodes)
+    paths: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+    for source in sources:
+        for destination, path in _bfs_tree_paths(network, source).items():
+            if 0 < len(path) <= network.max_path_length:
+                paths[(source, destination)] = path
+    return RoutingTable(network, paths)
+
+
+def _bfs_tree_paths(network: Network, source: int) -> Dict[int, Tuple[int, ...]]:
+    """Shortest link paths from ``source`` to every reachable node."""
+    parent_link: Dict[int, int] = {}
+    visited = {source}
+    frontier = deque([source])
+    while frontier:
+        node = frontier.popleft()
+        for link_id in network.links_from(node):
+            nxt = network.link(link_id).receiver
+            if nxt in visited:
+                continue
+            visited.add(nxt)
+            parent_link[nxt] = link_id
+            frontier.append(nxt)
+    result: Dict[int, Tuple[int, ...]] = {}
+    for destination in visited:
+        if destination == source:
+            continue
+        result[destination] = _unwind(network, parent_link, source, destination)
+    return result
+
+
+__all__ = ["RoutingTable", "shortest_link_path", "build_routing_table"]

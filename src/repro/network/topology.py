@@ -1,0 +1,207 @@
+"""Ready-made topology generators.
+
+Each generator returns a :class:`~repro.network.network.Network`. The
+geometric ones also carry node positions so the SINR machinery applies;
+the abstract ones (multiple-access channel) do not need geometry.
+
+``figure1_instance`` reconstructs the lower-bound network of the paper's
+Figure 1 / Theorem 20: ``m - 1`` short links whose transmissions always
+succeed, plus one long link that is silenced by any short-link activity.
+The geometric layout here *realises* that behaviour under uniform powers
+with a suitable path-loss exponent; the idealised success predicate the
+proof actually uses lives in :mod:`repro.core.lower_bound`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.placement import (
+    grid_placement,
+    line_placement,
+    uniform_placement,
+)
+from repro.geometry.point import Point
+from repro.network.network import Network
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def random_sinr_network(
+    num_nodes: int,
+    side: float = 1.0,
+    max_link_length: Optional[float] = None,
+    max_path_length: Optional[int] = None,
+    rng: RngLike = None,
+) -> Network:
+    """Random geometric network: uniform nodes, bidirected proximity links.
+
+    Nodes are uniform in the ``side x side`` square; a pair is linked (in
+    both directions) when within ``max_link_length``. The default
+    ``max_link_length`` is the standard connectivity radius
+    ``side * sqrt(2 * ln(n) / n)``, which makes the graph connected with
+    high probability without being dense.
+    """
+    if num_nodes < 2:
+        raise ConfigurationError(f"need at least 2 nodes, got {num_nodes}")
+    gen = ensure_rng(rng)
+    points = uniform_placement(num_nodes, side=side, rng=gen)
+    if max_link_length is None:
+        max_link_length = side * math.sqrt(2.0 * math.log(num_nodes) / num_nodes)
+    links = _proximity_links(points, max_link_length)
+    if not links:
+        # Degenerate draw (tiny n): fall back to linking nearest neighbours.
+        links = _nearest_neighbour_links(points)
+    return Network(
+        num_nodes, links, positions=points, max_path_length=max_path_length
+    )
+
+
+def _proximity_links(points: List[Point], radius: float) -> List[Tuple[int, int]]:
+    coords = np.asarray([(p.x, p.y) for p in points])
+    diff = coords[:, None, :] - coords[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=2))
+    links: List[Tuple[int, int]] = []
+    n = len(points)
+    for i in range(n):
+        for j in range(n):
+            if i != j and dist[i, j] <= radius:
+                links.append((i, j))
+    return links
+
+
+def _nearest_neighbour_links(points: List[Point]) -> List[Tuple[int, int]]:
+    coords = np.asarray([(p.x, p.y) for p in points])
+    diff = coords[:, None, :] - coords[None, :, :]
+    dist = np.sqrt((diff**2).sum(axis=2))
+    np.fill_diagonal(dist, np.inf)
+    links = []
+    for i in range(len(points)):
+        j = int(dist[i].argmin())
+        links.append((i, j))
+        links.append((j, i))
+    return sorted(set(links))
+
+
+def grid_network(
+    rows: int, cols: int, spacing: float = 1.0, max_path_length: Optional[int] = None
+) -> Network:
+    """A ``rows x cols`` grid; links connect 4-neighbours in both directions."""
+    points = grid_placement(rows, cols, spacing)
+    links: List[Tuple[int, int]] = []
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                links.append((node(r, c), node(r, c + 1)))
+                links.append((node(r, c + 1), node(r, c)))
+            if r + 1 < rows:
+                links.append((node(r, c), node(r + 1, c)))
+                links.append((node(r + 1, c), node(r, c)))
+    return Network(
+        rows * cols, links, positions=points, max_path_length=max_path_length
+    )
+
+
+def line_network(
+    num_nodes: int,
+    spacing: float = 1.0,
+    bidirectional: bool = False,
+    max_path_length: Optional[int] = None,
+) -> Network:
+    """A chain ``0 -> 1 -> ... -> n-1`` (optionally with reverse links).
+
+    The workhorse of the latency-vs-path-length experiment (E3): a packet
+    injected at node 0 for node ``d`` has a unique path of exactly ``d``
+    hops.
+    """
+    if num_nodes < 2:
+        raise ConfigurationError(f"need at least 2 nodes, got {num_nodes}")
+    points = line_placement(num_nodes, spacing)
+    links = [(i, i + 1) for i in range(num_nodes - 1)]
+    if bidirectional:
+        links += [(i + 1, i) for i in range(num_nodes - 1)]
+    return Network(
+        num_nodes, links, positions=points, max_path_length=max_path_length
+    )
+
+
+def star_network(leaves: int, radius: float = 1.0) -> Network:
+    """A star: ``leaves`` outer nodes, each linked to and from the centre.
+
+    Node 0 is the centre; leaves sit evenly on a circle of ``radius``.
+    """
+    if leaves < 1:
+        raise ConfigurationError(f"need at least 1 leaf, got {leaves}")
+    points = [Point(0.0, 0.0)]
+    for k in range(leaves):
+        angle = 2.0 * math.pi * k / leaves
+        points.append(Point(radius * math.cos(angle), radius * math.sin(angle)))
+    links: List[Tuple[int, int]] = []
+    for leaf in range(1, leaves + 1):
+        links.append((leaf, 0))
+        links.append((0, leaf))
+    return Network(leaves + 1, links, positions=points)
+
+
+def mac_network(num_stations: int) -> Network:
+    """The multiple-access channel as a network: stations -> base station.
+
+    Node ``num_stations`` is the base; station ``i`` has the single link
+    ``i -> base`` with link id ``i``. No geometry — the channel model in
+    :mod:`repro.interference.mac` declares every pair of links mutually
+    conflicting, which is exactly the all-ones ``W`` of Section 7.1.
+    """
+    if num_stations < 1:
+        raise ConfigurationError(f"need at least 1 station, got {num_stations}")
+    base = num_stations
+    links = [(i, base) for i in range(num_stations)]
+    return Network(num_stations + 1, links, max_path_length=1)
+
+
+def figure1_instance(
+    m: int, short_length: float = 1.0, separation: float = 1000.0
+) -> Network:
+    """The Figure-1 lower-bound instance: ``m - 1`` short links + 1 long link.
+
+    Link ids ``0 .. m-2`` are the short links; link id ``m - 1`` is the
+    long link. Short link ``i`` occupies nodes ``2i`` (sender) and
+    ``2i + 1`` (receiver), laid out along a line with ``separation``
+    between consecutive short links so that, under uniform powers, short
+    links never disturb each other. The long link runs from node
+    ``2(m-1)`` to node ``2(m-1)+1``: its sender sits beyond the last
+    short link and its receiver at the line's origin end, so the
+    transmission must traverse (and be jammed by) every short link.
+
+    All paths have length 1 (single-hop instance), matching the proof.
+    """
+    if m < 2:
+        raise ConfigurationError(f"Figure-1 instance needs m >= 2, got {m}")
+    points: List[Point] = []
+    links: List[Tuple[int, int]] = []
+    for i in range(m - 1):
+        x = i * separation
+        points.append(Point(x, 0.0))  # node 2i, sender
+        points.append(Point(x + short_length, 0.0))  # node 2i+1, receiver
+        links.append((2 * i, 2 * i + 1))
+    long_sender_x = (m - 1) * separation
+    points.append(Point(long_sender_x, 0.0))  # node 2(m-1), long sender
+    points.append(Point(-separation, 0.0))  # node 2(m-1)+1, long receiver
+    links.append((2 * (m - 1), 2 * (m - 1) + 1))
+    return Network(2 * m, links, positions=points, max_path_length=1)
+
+
+__all__ = [
+    "random_sinr_network",
+    "grid_network",
+    "line_network",
+    "star_network",
+    "mac_network",
+    "figure1_instance",
+]

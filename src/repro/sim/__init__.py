@@ -1,0 +1,40 @@
+"""Simulation driver, metrics, and stability detection.
+
+:class:`~repro.sim.engine.FrameSimulation` couples an injection process
+with any frame-protocol object (duck-typed: ``run_frame``,
+``frame_length``, ``packets_in_system``, ``delivered``) and records a
+:class:`~repro.sim.metrics.MetricsRecorder` time series. The
+:mod:`repro.sim.stability` detector turns a queue series into a
+stable/unstable verdict; :mod:`repro.sim.runner` sweeps rates and seeds
+for the benchmarks. :mod:`repro.sim.trace` records per-packet event
+streams when a :class:`~repro.sim.trace.Tracer` is attached to a
+protocol.
+"""
+
+from repro.sim.engine import FrameSimulation
+from repro.sim.metrics import LatencySummary, MetricsRecorder
+from repro.sim.stability import StabilityVerdict, assess_stability
+from repro.sim.runner import RateSweepRecord, run_rate_sweep, simulate_protocol
+from repro.sim.trace import (
+    EventKind,
+    TraceEvent,
+    Tracer,
+    format_journey,
+    packet_journey,
+)
+
+__all__ = [
+    "FrameSimulation",
+    "MetricsRecorder",
+    "LatencySummary",
+    "StabilityVerdict",
+    "assess_stability",
+    "run_rate_sweep",
+    "RateSweepRecord",
+    "simulate_protocol",
+    "EventKind",
+    "TraceEvent",
+    "Tracer",
+    "packet_journey",
+    "format_journey",
+]

@@ -1,0 +1,119 @@
+"""Metrics collection for protocol simulations.
+
+One :class:`MetricsRecorder` per simulation run. Records a per-frame
+time series (queue sizes, potential, cumulative counts) plus, at the
+end, latency statistics derived from the delivered packets. Everything
+the EXPERIMENTS tables report flows through here, so benches and tests
+read a single, consistent schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.injection.packet import Packet
+
+
+@dataclass
+class LatencySummary:
+    """Latency statistics (in slots) for a set of delivered packets."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+
+    @staticmethod
+    def from_packets(packets: Sequence[Packet]) -> "LatencySummary":
+        if not packets:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+        latencies = np.asarray([p.latency() for p in packets], dtype=float)
+        return LatencySummary(
+            count=len(latencies),
+            mean=float(latencies.mean()),
+            median=float(np.median(latencies)),
+            p95=float(np.percentile(latencies, 95)),
+            maximum=float(latencies.max()),
+        )
+
+
+@dataclass
+class MetricsRecorder:
+    """Per-frame series plus end-of-run summaries."""
+
+    frames: int = 0
+    injected_total: int = 0
+    queue_series: List[int] = field(default_factory=list)
+    active_series: List[int] = field(default_factory=list)
+    failed_series: List[int] = field(default_factory=list)
+    potential_series: List[int] = field(default_factory=list)
+    delivered_series: List[int] = field(default_factory=list)
+    injected_series: List[int] = field(default_factory=list)
+
+    def record_frame(
+        self,
+        injected: int,
+        in_system: int,
+        active: int,
+        failed: int,
+        potential: int,
+        delivered_total: int,
+    ) -> None:
+        self.frames += 1
+        self.injected_total += injected
+        self.injected_series.append(injected)
+        self.queue_series.append(in_system)
+        self.active_series.append(active)
+        self.failed_series.append(failed)
+        self.potential_series.append(potential)
+        self.delivered_series.append(delivered_total)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    @property
+    def final_queue(self) -> int:
+        return self.queue_series[-1] if self.queue_series else 0
+
+    @property
+    def max_queue(self) -> int:
+        return max(self.queue_series) if self.queue_series else 0
+
+    def mean_queue(self, tail_fraction: float = 0.5) -> float:
+        """Mean in-system count over the trailing fraction of the run."""
+        if not self.queue_series:
+            return 0.0
+        start = int(len(self.queue_series) * (1.0 - tail_fraction))
+        return float(np.mean(self.queue_series[start:]))
+
+    def delivered_count(self) -> int:
+        return self.delivered_series[-1] if self.delivered_series else 0
+
+    def throughput(self) -> float:
+        """Delivered packets per frame."""
+        if self.frames == 0:
+            return 0.0
+        return self.delivered_count() / self.frames
+
+    def latency_summary(self, delivered: Sequence[Packet]) -> LatencySummary:
+        return LatencySummary.from_packets(delivered)
+
+    def latency_by_path_length(
+        self, delivered: Sequence[Packet]
+    ) -> Dict[int, LatencySummary]:
+        """Latency statistics grouped by path length (for Theorem 8)."""
+        groups: Dict[int, List[Packet]] = {}
+        for packet in delivered:
+            groups.setdefault(packet.path_length, []).append(packet)
+        return {
+            d: LatencySummary.from_packets(group)
+            for d, group in sorted(groups.items())
+        }
+
+
+__all__ = ["MetricsRecorder", "LatencySummary"]

@@ -1,0 +1,109 @@
+"""Experiment runners: one simulation, and rate sweeps over seeds.
+
+The benchmark harness shares these helpers so every table is produced
+by the same code path: build protocol + injection from factories, run
+``frames`` frames, assess stability, aggregate across seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.injection.base import InjectionProcess
+from repro.sim.engine import FrameSimulation
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.stability import StabilityVerdict, assess_stability
+
+ProtocolFactory = Callable[[float, int], object]
+InjectionFactory = Callable[[float, int, object], InjectionProcess]
+
+
+def simulate_protocol(
+    protocol,
+    injection: InjectionProcess,
+    frames: int,
+) -> FrameSimulation:
+    """Run one simulation to completion and return the engine."""
+    simulation = FrameSimulation(protocol, injection)
+    simulation.run(frames)
+    return simulation
+
+
+@dataclass
+class RateSweepRecord:
+    """Aggregated outcome of one (rate, seeds) sweep cell."""
+
+    rate: float
+    seeds: int
+    stable_fraction: float
+    mean_tail_queue: float
+    mean_throughput: float
+    mean_latency: float
+    verdicts: List[StabilityVerdict] = field(default_factory=list)
+
+    @property
+    def stable(self) -> bool:
+        """Majority verdict across seeds."""
+        return self.stable_fraction >= 0.5
+
+
+def run_rate_sweep(
+    make_protocol: ProtocolFactory,
+    make_injection: InjectionFactory,
+    rates: Sequence[float],
+    frames: int,
+    seeds: Sequence[int] = (0, 1, 2),
+    load_per_frame: Optional[Callable[[float], float]] = None,
+) -> List[RateSweepRecord]:
+    """Simulate every (rate, seed) cell and aggregate per rate.
+
+    ``make_protocol(rate, seed)`` builds a fresh protocol;
+    ``make_injection(rate, seed, protocol)`` builds the matching
+    injection process (it may read the protocol's frame length).
+    ``load_per_frame(rate)`` normalises the drift detector; defaults to
+    ``rate * frame_length`` of each built protocol.
+    """
+    records: List[RateSweepRecord] = []
+    for rate in rates:
+        verdicts: List[StabilityVerdict] = []
+        tails: List[float] = []
+        throughputs: List[float] = []
+        latencies: List[float] = []
+        for seed in seeds:
+            protocol = make_protocol(rate, seed)
+            injection = make_injection(rate, seed, protocol)
+            simulation = simulate_protocol(protocol, injection, frames)
+            metrics = simulation.metrics
+            if load_per_frame is not None:
+                load = load_per_frame(rate)
+            else:
+                load = max(1.0, rate * float(protocol.frame_length))
+            verdict = assess_stability(
+                metrics.queue_series, load_per_frame=load
+            )
+            verdicts.append(verdict)
+            tails.append(metrics.mean_queue())
+            throughputs.append(metrics.throughput())
+            delivered = list(protocol.delivered)
+            summary = metrics.latency_summary(delivered)
+            latencies.append(summary.mean)
+        records.append(
+            RateSweepRecord(
+                rate=rate,
+                seeds=len(list(seeds)),
+                stable_fraction=float(
+                    np.mean([1.0 if v.stable else 0.0 for v in verdicts])
+                ),
+                mean_tail_queue=float(np.mean(tails)),
+                mean_throughput=float(np.mean(throughputs)),
+                mean_latency=float(np.mean(latencies)),
+                verdicts=verdicts,
+            )
+        )
+    return records
+
+
+__all__ = ["simulate_protocol", "run_rate_sweep", "RateSweepRecord"]

@@ -1,0 +1,109 @@
+"""Finite-horizon stability detection.
+
+The paper's stability notion (bounded expected queues over an infinite
+horizon) is approximated by two complementary finite-horizon signals on
+the in-system queue series:
+
+1. **Drift**: the least-squares slope over the trailing portion of the
+   series, normalised by the injected load per frame. A stable queue
+   hovers (slope ~ 0); an unstable one grows linearly with the excess
+   rate.
+2. **Blow-up**: the ratio of the tail mean to the early mean. Stable
+   runs plateau; unstable runs keep climbing, making the ratio grow
+   with the horizon.
+
+The thresholds are deliberately loose — the sweeps place rates well on
+either side of the boundary, and the detector is calibrated in the test
+suite on known-stable and known-unstable workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import StabilityError
+
+
+@dataclass(frozen=True)
+class StabilityVerdict:
+    """Outcome of a stability assessment."""
+
+    stable: bool
+    slope_per_frame: float
+    normalised_slope: float
+    blowup_ratio: float
+    tail_mean: float
+
+    def __bool__(self) -> bool:
+        return self.stable
+
+
+def _linear_slope(series: np.ndarray) -> float:
+    """Least-squares slope of ``series`` against the frame index."""
+    x = np.arange(len(series), dtype=float)
+    x -= x.mean()
+    y = series - series.mean()
+    denominator = float((x**2).sum())
+    if denominator == 0:
+        return 0.0
+    return float((x * y).sum() / denominator)
+
+
+def assess_stability(
+    queue_series: Sequence[float],
+    load_per_frame: float = 1.0,
+    tail_fraction: float = 0.6,
+    slope_tolerance: float = 0.02,
+    blowup_tolerance: float = 3.0,
+    min_frames: int = 20,
+) -> StabilityVerdict:
+    """Classify a queue series as stable or unstable.
+
+    Parameters
+    ----------
+    queue_series:
+        In-system packet counts, one per frame.
+    load_per_frame:
+        Expected injected packets per frame, used to normalise the
+        slope (an unstable queue grows by a constant *fraction* of the
+        load per frame).
+    tail_fraction:
+        The trailing fraction of the series used for the drift fit.
+    slope_tolerance:
+        Verdict is unstable when the normalised slope exceeds this.
+    blowup_tolerance:
+        ... or when tail mean exceeds this multiple of the early mean
+        (with an additive floor so tiny queues don't trip it).
+    """
+    series = np.asarray(list(queue_series), dtype=float)
+    if len(series) < min_frames:
+        raise StabilityError(
+            f"need at least {min_frames} frames to assess stability, got "
+            f"{len(series)}"
+        )
+    tail_start = int(len(series) * (1.0 - tail_fraction))
+    tail = series[tail_start:]
+    slope = _linear_slope(tail)
+    load = max(load_per_frame, 1e-9)
+    normalised = slope / load
+
+    head = series[: max(2, len(series) // 4)]
+    head_mean = float(head.mean())
+    tail_mean = float(tail.mean())
+    floor = 5.0 * load + 10.0
+    blowup = (tail_mean + 1.0) / (max(head_mean, floor) + 1.0)
+
+    stable = normalised <= slope_tolerance and blowup <= blowup_tolerance
+    return StabilityVerdict(
+        stable=stable,
+        slope_per_frame=slope,
+        normalised_slope=normalised,
+        blowup_ratio=blowup,
+        tail_mean=tail_mean,
+    )
+
+
+__all__ = ["assess_stability", "StabilityVerdict"]

@@ -1,0 +1,196 @@
+"""Structured event tracing for protocol runs.
+
+Debugging a dynamic protocol from aggregate metrics alone is painful:
+"queue grew in frame 412" says nothing about *which* packet failed on
+*which* link and how long it sat in a failed buffer. The tracer records
+a bounded stream of per-packet events that the protocol emits when a
+tracer is attached (``DynamicProtocol(..., tracer=Tracer())``); with no
+tracer attached the protocol skips all event construction, so the
+default path pays nothing.
+
+Event kinds (chronological for a typical packet)::
+
+    HELD        packet waiting out its Section-5 random shift
+    RELEASED    shift elapsed, handed to the inner protocol
+    ACTIVATED   joined the active set at a frame boundary
+    PHASE1_HOP  crossed one hop in phase 1
+    FAILED      missed its hop; parked in a failed buffer
+    CLEANUP_OFFERED  won the per-link clean-up lottery this frame
+    CLEANUP_HOP crossed one hop in a clean-up phase
+    DELIVERED   reached its final destination
+
+:class:`Tracer` is a ring buffer (``capacity`` most recent events) with
+query helpers; :func:`packet_journey` and :func:`format_journey`
+reconstruct a single packet's life for post-mortems.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class EventKind(str, Enum):
+    """What happened to a packet."""
+
+    HELD = "held"
+    RELEASED = "released"
+    ACTIVATED = "activated"
+    PHASE1_HOP = "phase1_hop"
+    FAILED = "failed"
+    CLEANUP_OFFERED = "cleanup_offered"
+    CLEANUP_HOP = "cleanup_hop"
+    DELIVERED = "delivered"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One packet event.
+
+    ``link`` is the link the event concerns (the hop crossed, the
+    buffer the packet sits in, ...); ``None`` for events with no link
+    (e.g. ``HELD``).
+    """
+
+    frame: int
+    kind: EventKind
+    packet_id: int
+    link: Optional[int] = None
+
+    def describe(self) -> str:
+        """One human-readable line."""
+        location = f" on link {self.link}" if self.link is not None else ""
+        return f"frame {self.frame:>5}: packet {self.packet_id} {self.kind.value}{location}"
+
+
+class Tracer:
+    """Bounded recorder of :class:`TraceEvent` s.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum events retained; older events are dropped first (the
+        recent window is what post-mortems need). ``None`` keeps
+        everything — only sensible for short runs.
+    """
+
+    def __init__(self, capacity: Optional[int] = 100_000):
+        if capacity is not None and capacity <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive or None, got {capacity}"
+            )
+        self._events: deque = deque(maxlen=capacity)
+        self._recorded = 0
+
+    # ------------------------------------------------------------------
+    # Recording (called by protocols)
+    # ------------------------------------------------------------------
+
+    def record(
+        self,
+        frame: int,
+        kind: EventKind,
+        packet_id: int,
+        link: Optional[int] = None,
+    ) -> None:
+        """Append one event."""
+        self._events.append(TraceEvent(frame, kind, packet_id, link))
+        self._recorded += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def recorded_total(self) -> int:
+        """Events ever recorded (including dropped ones)."""
+        return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring buffer."""
+        return self._recorded - len(self._events)
+
+    def events(
+        self,
+        kind: Optional[EventKind] = None,
+        packet_id: Optional[int] = None,
+        frame_range: Optional[Sequence[int]] = None,
+    ) -> List[TraceEvent]:
+        """Retained events, optionally filtered.
+
+        ``frame_range`` is a ``(start, end)`` pair, end-exclusive.
+        Filters compose (AND).
+        """
+        if frame_range is not None:
+            start, end = frame_range
+            if end < start:
+                raise ConfigurationError(
+                    f"frame_range end ({end}) precedes start ({start})"
+                )
+        out = []
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if packet_id is not None and event.packet_id != packet_id:
+                continue
+            if frame_range is not None and not (
+                frame_range[0] <= event.frame < frame_range[1]
+            ):
+                continue
+            out.append(event)
+        return out
+
+    def counts(self) -> Dict[EventKind, int]:
+        """Retained events per kind (kinds with zero events omitted)."""
+        return dict(Counter(event.kind for event in self._events))
+
+    def failure_hotspots(self, top: int = 5) -> List[tuple]:
+        """Links ranked by retained FAILED events: ``[(link, count), ...]``."""
+        if top <= 0:
+            raise ConfigurationError(f"top must be positive, got {top}")
+        counter: Counter = Counter(
+            event.link
+            for event in self._events
+            if event.kind == EventKind.FAILED and event.link is not None
+        )
+        return counter.most_common(top)
+
+    def to_dicts(self) -> List[dict]:
+        """Plain-dict export (e.g. for JSON serialisation)."""
+        return [
+            {
+                "frame": event.frame,
+                "kind": event.kind.value,
+                "packet_id": event.packet_id,
+                "link": event.link,
+            }
+            for event in self._events
+        ]
+
+
+def packet_journey(tracer: Tracer, packet_id: int) -> List[TraceEvent]:
+    """All retained events of one packet, in recording order."""
+    return tracer.events(packet_id=packet_id)
+
+
+def format_journey(tracer: Tracer, packet_id: int) -> str:
+    """A packet's life as readable lines (empty string if untraced)."""
+    events = packet_journey(tracer, packet_id)
+    return "\n".join(event.describe() for event in events)
+
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "Tracer",
+    "packet_journey",
+    "format_journey",
+]

@@ -1,0 +1,57 @@
+"""The SINR (physical) interference model and its Section-6 instantiations.
+
+Signal propagation follows power-law path loss: a transmission at power
+``p`` is received at distance ``d`` with strength ``p / d**alpha``. A
+transmission on link ``l = (s, r)`` succeeds within a simultaneous set
+``S`` iff its signal-to-interference-plus-noise ratio clears the
+threshold ``beta``:
+
+    p(l) / d(s, r)**alpha  >=  beta * ( sum_{l' != l} p(l') / d(s', r)**alpha + nu )
+
+This subpackage provides the exact feasibility check (vectorised), the
+power assignments of Section 6 (uniform, linear, square-root, general
+monotone sub-linear), affectance, the three weight-matrix constructions
+(fixed linear power / monotone sub-linear power / free power control),
+and a power-control capacity-selection routine in the style of
+Kesselheim (SODA 2011) used by Corollary 14.
+"""
+
+from repro.sinr.model import SinrModel
+from repro.sinr.power import (
+    LinearPower,
+    PowerAssignment,
+    SquareRootPower,
+    UniformPower,
+    is_monotone_sublinear,
+)
+from repro.sinr.affectance import affectance, affectance_matrix
+from repro.sinr.weights import (
+    linear_power_weights,
+    monotone_power_weights,
+    power_control_weights,
+)
+from repro.sinr.capacity import PowerControlCapacity, assign_powers_decreasing
+from repro.sinr.fading import (
+    RayleighFadingSinrModel,
+    fading_budget_factor,
+    worst_singleton_success,
+)
+
+__all__ = [
+    "SinrModel",
+    "PowerAssignment",
+    "UniformPower",
+    "LinearPower",
+    "SquareRootPower",
+    "is_monotone_sublinear",
+    "affectance",
+    "affectance_matrix",
+    "linear_power_weights",
+    "monotone_power_weights",
+    "power_control_weights",
+    "PowerControlCapacity",
+    "assign_powers_decreasing",
+    "RayleighFadingSinrModel",
+    "fading_budget_factor",
+    "worst_singleton_success",
+]

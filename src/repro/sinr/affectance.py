@@ -1,0 +1,135 @@
+"""Affectance: normalised pairwise interference (paper Section 6.1).
+
+For links ``l = (s, r)`` and ``l' = (s', r')`` under power assignment
+``p``, the affectance of ``l`` **on** ``l'`` is
+
+    a_p(l, l') = min{ 1,  beta * (p(l) / d(s, r')**alpha)
+                          / (p(l') / d(s', r')**alpha - beta * nu) }
+
+i.e. the interference ``l``'s sender creates at ``l'``'s receiver,
+normalised by ``l'``'s signal margin over noise, capped at 1. The
+normalisation is chosen so that (ignoring the cap) a transmission on
+``l'`` meets its SINR constraint within a set ``S`` iff
+
+    sum_{l in S, l != l'} a_p(l, l') <= 1,
+
+which is the bridge between the exact SINR predicate and the paper's
+linear measure.
+
+Array convention: ``affectance_matrix(...)[l, l_prime] = a_p(l, l_prime)``
+(effect OF the row ON the column). The Section-6 weight matrices
+transpose this as needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, InfeasibleLinkError
+from repro.network.network import Network
+
+
+def sender_receiver_gains(network: Network, alpha: float) -> np.ndarray:
+    """``G[l, l'] = 1 / d(s_l, r_{l'})**alpha`` — propagation gain matrix.
+
+    Entry ``[l, l']`` is the channel gain from the *sender* of ``l`` to
+    the *receiver* of ``l'``. The diagonal holds each link's own gain.
+
+    Off-diagonal zero distances are legitimate — e.g. the sender of
+    ``i -> j`` *is* the receiver of ``j -> i`` — and yield infinite
+    gain: such a transmission always drowns the co-located reception
+    (affectance caps it at 1; the exact SINR check fails it). A zero
+    distance on the *diagonal* (a link's own sender on top of its own
+    receiver) is a configuration error.
+    """
+    if alpha <= 0:
+        raise ConfigurationError(f"alpha must be positive, got {alpha}")
+    pairwise = network.metric.pairwise()
+    senders = np.asarray([link.sender for link in network.links])
+    receivers = np.asarray([link.receiver for link in network.links])
+    dist = pairwise[np.ix_(senders, receivers)]
+    if (np.diag(dist) <= 0).any():
+        raise ConfigurationError(
+            "some link's sender is co-located with its own receiver; "
+            "path loss undefined"
+        )
+    with np.errstate(divide="ignore"):
+        return np.where(dist > 0, dist ** (-float(alpha)), np.inf)
+
+
+def affectance_matrix(
+    network: Network,
+    powers: np.ndarray,
+    alpha: float,
+    beta: float,
+    noise: float,
+    cap: bool = True,
+) -> np.ndarray:
+    """The full affectance matrix ``A[l, l'] = a_p(l, l')``.
+
+    Raises :class:`InfeasibleLinkError` if some link's signal does not
+    clear ``beta * noise`` even without interference (its margin is
+    non-positive, so no schedule could ever serve it).
+
+    With ``cap=False`` the raw (uncapped) ratio is returned — useful for
+    the exact additive criterion in tests.
+    """
+    if beta <= 0:
+        raise ConfigurationError(f"beta must be positive, got {beta}")
+    if noise < 0:
+        raise ConfigurationError(f"noise must be non-negative, got {noise}")
+    powers = np.asarray(powers, dtype=float)
+    if powers.shape != (network.num_links,):
+        raise ConfigurationError(
+            f"power vector has shape {powers.shape}, expected "
+            f"({network.num_links},)"
+        )
+    gains = sender_receiver_gains(network, alpha)
+    received = powers[:, None] * gains  # received[l, l'] at receiver of l'
+    own_signal = np.diag(received)  # signal of each link at its own receiver
+    margin = own_signal - beta * noise
+    for link_id, value in enumerate(margin):
+        if value <= 0:
+            raise InfeasibleLinkError(link_id)
+    matrix = beta * received / margin[None, :]
+    np.fill_diagonal(matrix, 1.0)
+    if cap:
+        np.minimum(matrix, 1.0, out=matrix)
+    return matrix
+
+
+def affectance(
+    network: Network,
+    powers: np.ndarray,
+    alpha: float,
+    beta: float,
+    noise: float,
+    l: int,
+    l_prime: int,
+) -> float:
+    """Single affectance value ``a_p(l, l')`` (effect of ``l`` on ``l'``)."""
+    return float(
+        affectance_matrix(network, powers, alpha, beta, noise)[l, l_prime]
+    )
+
+
+def average_affectance(affect: np.ndarray, members: np.ndarray) -> float:
+    """The average affectance ``avg_{l' in M} sum_{l in M} a_p(l, l')``.
+
+    The quantity ``A-bar`` from Kesselheim-Voecking (paper Section 6.1):
+    for a multiset of requests ``M`` (given as link ids), the average
+    over members of the summed affectance from all members. The paper
+    observes ``I >= A-bar / 2`` for the Corollary-13 weight matrix.
+    """
+    if members.size == 0:
+        return 0.0
+    sub = affect[np.ix_(members, members)]
+    return float(sub.sum(axis=0).mean())
+
+
+__all__ = [
+    "sender_receiver_gains",
+    "affectance_matrix",
+    "affectance",
+    "average_affectance",
+]

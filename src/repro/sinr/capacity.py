@@ -1,0 +1,148 @@
+"""Power-control capacity selection (Kesselheim, SODA 2011 style).
+
+Corollary 14 relies on a centralized algorithm that, when transmission
+powers are free, serves requests of measure ``I`` (under the
+power-control weights of Section 6.2) in ``O(I log n)`` slots. The core
+per-slot primitive is *capacity selection*: pick a subset of the pending
+links plus powers so that the whole subset is simultaneously SINR-
+feasible.
+
+Re-implementation of the SODA'11 mechanism:
+
+1. **Selection.** Process pending links in increasing length. Greedily
+   admit link ``l`` if its accumulated power-control weight against the
+   already admitted set stays below a budget ``tau`` (counted in both
+   directions — admitted links must tolerate ``l`` too).
+2. **Power assignment.** Process the admitted set in *decreasing*
+   length. Each link's power is set to overcome noise plus a factor-2
+   margin over the interference from the already-powered (longer)
+   links: ``p(l) = 2 * beta * d(l)**alpha * (nu + I_longer(r))``.
+   Longer links tolerate the shorter ones because the selection budget
+   capped the geometric weight.
+3. **Verification.** The exact SINR predicate is evaluated; any violator
+   is dropped (with the default budget this is rare — the drop keeps
+   the primitive *sound* regardless of constants).
+
+The constants differ from the original analysis (which needs a page of
+case distinctions); soundness here is enforced by step 3, and the
+O(I log n) scaling is validated empirically in the E7 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.network import Network
+from repro.sinr.model import SinrModel
+from repro.sinr.weights import power_control_weights
+
+
+@dataclass
+class CapacitySelection:
+    """Result of one capacity-selection round."""
+
+    links: List[int] = field(default_factory=list)
+    powers: Dict[int, float] = field(default_factory=dict)
+
+    def power_list(self) -> List[float]:
+        """Powers aligned with :attr:`links`."""
+        return [self.powers[link] for link in self.links]
+
+
+def assign_powers_decreasing(
+    model: SinrModel, links: Sequence[int], margin: float = 2.0
+) -> Dict[int, float]:
+    """Assign powers to ``links`` processing from longest to shortest.
+
+    Each link receives power ``margin * beta * d**alpha * (noise + I)``
+    where ``I`` is the interference its receiver gets from the
+    already-powered (longer) links. With zero noise the longest link
+    gets power ``margin * beta * d**alpha`` (normalised base power 1 per
+    unit gain).
+    """
+    if margin <= 1.0:
+        raise ConfigurationError(f"margin must exceed 1, got {margin}")
+    network = model.network
+    lengths = network.link_lengths()
+    pairwise = network.metric.pairwise()
+    ordered = sorted(links, key=lambda e: (-lengths[e], e))
+    powers: Dict[int, float] = {}
+    for link_id in ordered:
+        link = network.link(link_id)
+        interference = 0.0
+        for other_id, p_other in powers.items():
+            other = network.link(other_id)
+            dist = pairwise[other.sender, link.receiver]
+            if dist <= 0:
+                interference = float("inf")
+                break
+            interference += p_other / dist**model.alpha
+        base = model.beta * (model.noise + interference)
+        # Floor the power so isolated links (zero noise, no interference)
+        # still transmit with a strictly positive power.
+        powers[link_id] = max(margin * base, 1.0) * lengths[link_id] ** model.alpha
+    return powers
+
+
+class PowerControlCapacity:
+    """Per-slot capacity selection with free power control.
+
+    Parameters
+    ----------
+    model:
+        The SINR ground truth (its fixed assignment is ignored; powers
+        are chosen per slot).
+    tau:
+        Admission budget on the accumulated power-control weight within
+        a slot. Smaller values admit fewer, safer links. The default
+        1/4 keeps the verification drop rate negligible for alpha >= 3.
+    margin:
+        Power head-room factor passed to :func:`assign_powers_decreasing`.
+    """
+
+    def __init__(self, model: SinrModel, tau: float = 0.25, margin: float = 2.0):
+        if tau <= 0:
+            raise ConfigurationError(f"tau must be positive, got {tau}")
+        self._model = model
+        self._tau = float(tau)
+        self._margin = float(margin)
+        self._weights = power_control_weights(model.network, model.alpha)
+        self._lengths = model.network.link_lengths()
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The Section-6.2 power-control weight matrix."""
+        return self._weights
+
+    def select(self, pending: Sequence[int]) -> CapacitySelection:
+        """Pick a feasible subset of ``pending`` links and their powers."""
+        admitted: List[int] = []
+        for link_id in sorted(pending, key=lambda e: (self._lengths[e], e)):
+            if self._admissible(link_id, admitted):
+                admitted.append(link_id)
+        if not admitted:
+            return CapacitySelection()
+        powers = assign_powers_decreasing(self._model, admitted, self._margin)
+        surviving = self._model.successes_with_powers(
+            admitted, [powers[e] for e in admitted]
+        )
+        kept = [e for e in admitted if e in surviving]
+        return CapacitySelection(kept, {e: powers[e] for e in kept})
+
+    def _admissible(self, link_id: int, admitted: List[int]) -> bool:
+        if not admitted:
+            return True
+        ids = np.asarray(admitted, dtype=int)
+        # Weight the candidate suffers from admitted links, and the
+        # worst weight any admitted link would suffer with the candidate
+        # added (both directions must stay within budget).
+        suffered = float(self._weights[link_id, ids].sum())
+        inflicted = float(self._weights[ids, link_id].max()) if ids.size else 0.0
+        return suffered <= self._tau and inflicted <= self._tau
+
+
+__all__ = ["PowerControlCapacity", "CapacitySelection", "assign_powers_decreasing"]

@@ -1,0 +1,168 @@
+"""The Section-6 weight-matrix constructions.
+
+Three regimes, three matrices (all with unit diagonal, entries in
+``[0, 1]``; convention ``W[l, l'] =`` impact on ``l`` from ``l'``):
+
+* **linear power** (Section 6.1, Corollary 12):
+  ``W[l, l'] = a_p(l', l)`` with ``p`` the linear assignment. The
+  induced measure matches Fanghaenel-Kesselheim-Voecking up to
+  constants, and feasible single-slot sets have measure ``O(1)``.
+* **monotone sub-linear power** (Section 6.1, Corollary 13):
+  ``W[l, l'] = max{a_p(l, l'), a_p(l', l)}`` when ``d(l) <= d(l')``,
+  0 otherwise — each link is only charged against *longer* links.
+* **free power control** (Section 6.2, Corollary 14): the power-
+  oblivious geometry term
+  ``W[l, l'] = min{1, d(l)**alpha/d(s, r')**alpha + d(l)**alpha/d(s', r)**alpha}``
+  when ``d(l) <= d(l')``, 0 otherwise, where ``l = (s, r)`` is the
+  shorter link. This is the measure Kesselheim's SODA'11 algorithm
+  schedules against.
+
+Each helper returns the matrix; ``*_model`` helpers return a ready
+:class:`~repro.sinr.model.SinrModel` with matched predicate and weights.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.network.network import Network
+from repro.sinr.affectance import affectance_matrix
+from repro.sinr.model import SinrModel
+from repro.sinr.power import (
+    LinearPower,
+    PowerAssignment,
+    is_monotone_sublinear,
+)
+
+
+def linear_power_weights(
+    network: Network,
+    alpha: float,
+    beta: float,
+    noise: float,
+    scale: float = 1.0,
+) -> np.ndarray:
+    """``W[l, l'] = a_p(l', l)`` under the linear power assignment."""
+    powers = LinearPower(scale).powers(network, alpha)
+    affect = affectance_matrix(network, powers, alpha, beta, noise)
+    return affect.T.copy()
+
+
+def monotone_power_weights(
+    network: Network,
+    power: PowerAssignment,
+    alpha: float,
+    beta: float,
+    noise: float,
+    verify_monotone: bool = True,
+) -> np.ndarray:
+    """Corollary-13 weights: symmetrised affectance charged to shorter links."""
+    powers = power.powers(network, alpha)
+    if verify_monotone and not is_monotone_sublinear(network, powers, alpha):
+        raise ConfigurationError(
+            f"power assignment {power.describe()} is not monotone sub-linear"
+        )
+    affect = affectance_matrix(network, powers, alpha, beta, noise)
+    lengths = network.link_lengths()
+    symmetric = np.maximum(affect, affect.T)
+    # Charge l only against links l' at least as long; ties resolved by id
+    # so that exactly one of each pair carries the weight.
+    shorter = _charge_mask(lengths)
+    matrix = np.where(shorter, symmetric, 0.0)
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
+def power_control_weights(network: Network, alpha: float) -> np.ndarray:
+    """Corollary-14 weights: the power-oblivious geometric interference term.
+
+    For ``l = (s, r)`` shorter than ``l' = (s', r')``:
+    ``min{1, d(l)**a / d(s, r')**a + d(l)**a / d(s', r)**a}``.
+    """
+    if not network.is_geometric:
+        raise ConfigurationError("power-control weights require geometry")
+    if alpha <= 0:
+        raise ConfigurationError(f"alpha must be positive, got {alpha}")
+    pairwise = network.metric.pairwise()
+    links = network.links
+    lengths = network.link_lengths()
+    n = len(links)
+    senders = np.asarray([link.sender for link in links])
+    receivers = np.asarray([link.receiver for link in links])
+    # cross_sr[l, l'] = d(s_l, r_{l'}); cross_rs[l, l'] = d(s_{l'}, r_l).
+    cross_sr = pairwise[np.ix_(senders, receivers)]
+    cross_rs = cross_sr.T
+    with np.errstate(divide="ignore"):
+        term = np.zeros((n, n), dtype=float)
+        own = lengths[:, None] ** alpha
+        term_sr = np.where(cross_sr > 0, own / cross_sr**alpha, np.inf)
+        term_rs = np.where(cross_rs > 0, own / cross_rs**alpha, np.inf)
+        term = term_sr + term_rs
+    matrix = np.minimum(1.0, term)
+    shorter = _charge_mask(lengths)
+    matrix = np.where(shorter, matrix, 0.0)
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
+def _charge_mask(lengths: np.ndarray) -> np.ndarray:
+    """``mask[l, l']`` true iff ``l`` is charged against ``l'``.
+
+    True when ``d(l) < d(l')``, with id tie-breaking for equal lengths
+    so each unordered pair is charged in exactly one direction.
+    """
+    n = lengths.shape[0]
+    ids = np.arange(n)
+    strictly_shorter = lengths[:, None] < lengths[None, :]
+    tie = (lengths[:, None] == lengths[None, :]) & (ids[:, None] < ids[None, :])
+    return strictly_shorter | tie
+
+
+def linear_power_model(
+    network: Network,
+    alpha: float = 3.0,
+    beta: float = 1.0,
+    noise: float = 0.0,
+    scale: float = 1.0,
+) -> SinrModel:
+    """SINR model with linear powers and the matched Corollary-12 weights."""
+    weights = linear_power_weights(network, alpha, beta, noise, scale)
+    return SinrModel(
+        network,
+        alpha=alpha,
+        beta=beta,
+        noise=noise,
+        power=LinearPower(scale),
+        weight_matrix=weights,
+    )
+
+
+def monotone_power_model(
+    network: Network,
+    power: PowerAssignment,
+    alpha: float = 3.0,
+    beta: float = 1.0,
+    noise: float = 0.0,
+) -> SinrModel:
+    """SINR model with a monotone sub-linear assignment and Cor.-13 weights."""
+    weights = monotone_power_weights(network, power, alpha, beta, noise)
+    return SinrModel(
+        network,
+        alpha=alpha,
+        beta=beta,
+        noise=noise,
+        power=power,
+        weight_matrix=weights,
+    )
+
+
+__all__ = [
+    "linear_power_weights",
+    "monotone_power_weights",
+    "power_control_weights",
+    "linear_power_model",
+    "monotone_power_model",
+]

@@ -1,0 +1,240 @@
+"""The static-algorithm interface and shared bookkeeping.
+
+Requests
+--------
+A request set is a sequence of link ids — one entry per packet that must
+cross that link once (single-hop view, which is all the dynamic protocol
+ever asks for: one hop per packet per frame). Duplicates mean several
+packets queued on the same link; requests are identified by their index
+in the sequence so callers can map results back to packets.
+
+Results
+-------
+:class:`RunResult` reports which request indices were served within the
+slot budget, which remain, and how many slots were consumed (an
+algorithm may finish early). ``history`` optionally records each slot's
+attempted and successful link sets for schedule-feasibility tests.
+
+Length bounds
+-------------
+:class:`LengthBound` captures the ``f(m) * I + g(m, n)`` schedule-length
+form the Section-4 protocol needs to size frames: ``multiplicative`` is
+``f`` (a function of the network size ``m``), ``additive`` is ``g``.
+Raw algorithms whose factor depends on ``n`` (e.g. ``O(I log n)``)
+expose their *post-transformation* bound via
+:meth:`StaticAlgorithm.network_bound` only after wrapping with
+Algorithm 1 (:mod:`repro.core.transform`); natively well-scaling
+algorithms return one directly.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SchedulingError
+from repro.interference.base import InterferenceModel
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class SlotRecord:
+    """One slot of a run: which links attempted, which succeeded."""
+
+    attempted: Tuple[int, ...]
+    succeeded: Tuple[int, ...]
+
+
+@dataclass
+class RunResult:
+    """Outcome of running a static algorithm under a slot budget."""
+
+    delivered: List[int] = field(default_factory=list)
+    remaining: List[int] = field(default_factory=list)
+    slots_used: int = 0
+    history: Optional[List[SlotRecord]] = None
+
+    @property
+    def all_delivered(self) -> bool:
+        """Whether every request was served."""
+        return not self.remaining
+
+    def merge_after(self, other: "RunResult") -> "RunResult":
+        """Combine with a follow-up run executed on :attr:`remaining`.
+
+        ``other``'s request indices must refer to the same original
+        request sequence (the transformation re-runs on leftover
+        indices, keeping identity).
+        """
+        history = None
+        if self.history is not None and other.history is not None:
+            history = self.history + other.history
+        return RunResult(
+            delivered=self.delivered + other.delivered,
+            remaining=list(other.remaining),
+            slots_used=self.slots_used + other.slots_used,
+            history=history,
+        )
+
+
+@dataclass
+class LengthBound:
+    """Schedule length in the form ``f(m) * I + g(m, n)``."""
+
+    multiplicative: Callable[[int], float]
+    additive: Callable[[int, int], float]
+    description: str = ""
+
+    def f(self, m: int) -> float:
+        """The multiplicative factor ``f(m)``."""
+        return float(self.multiplicative(m))
+
+    def g(self, m: int, n: int) -> float:
+        """The additive term ``g(m, n)``."""
+        return float(self.additive(m, n))
+
+    def slots(self, m: int, measure: float, n: int) -> int:
+        """Total budget ``ceil(f(m) * I + g(m, n))`` (at least 1)."""
+        return max(1, math.ceil(self.f(m) * measure + self.g(m, n)))
+
+
+class LinkQueues:
+    """FIFO queues of request indices, one per link.
+
+    The universal bookkeeping for slotted schedulers: requests are
+    enqueued on their link; when a link transmits, the head request is
+    in flight; on success it is popped.
+    """
+
+    def __init__(self, requests: Sequence[int], num_links: int):
+        self._queues: Dict[int, deque] = {}
+        for index, link_id in enumerate(requests):
+            if not 0 <= link_id < num_links:
+                raise SchedulingError(
+                    f"request {index} references link {link_id}, outside "
+                    f"0..{num_links - 1}"
+                )
+            self._queues.setdefault(int(link_id), deque()).append(index)
+        self._pending = len(list(requests))
+
+    @property
+    def pending(self) -> int:
+        """Total requests not yet served."""
+        return self._pending
+
+    def busy_links(self) -> List[int]:
+        """Links with at least one pending request, sorted."""
+        return sorted(link for link, q in self._queues.items() if q)
+
+    def queue_length(self, link_id: int) -> int:
+        """Pending requests on one link."""
+        return len(self._queues.get(link_id, ()))
+
+    def head(self, link_id: int) -> int:
+        """Request index at the head of a link's queue."""
+        queue = self._queues.get(link_id)
+        if not queue:
+            raise SchedulingError(f"link {link_id} has no pending requests")
+        return queue[0]
+
+    def pop(self, link_id: int) -> int:
+        """Serve (remove and return) the head request of a link."""
+        queue = self._queues.get(link_id)
+        if not queue:
+            raise SchedulingError(f"link {link_id} has no pending requests")
+        self._pending -= 1
+        return queue.popleft()
+
+    def remaining_indices(self) -> List[int]:
+        """All still-pending request indices, in link order then FIFO order."""
+        out: List[int] = []
+        for link_id in sorted(self._queues):
+            out.extend(self._queues[link_id])
+        return out
+
+
+class StaticAlgorithm(ABC):
+    """A slotted algorithm serving a fixed set of single-hop requests."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "static"
+
+    @abstractmethod
+    def run(
+        self,
+        model: InterferenceModel,
+        requests: Sequence[int],
+        budget: int,
+        rng: RngLike = None,
+        record_history: bool = False,
+    ) -> RunResult:
+        """Serve ``requests`` for at most ``budget`` slots."""
+
+    @abstractmethod
+    def budget_for(self, measure: float, n: int) -> int:
+        """Slots this algorithm wants for measure ``measure``, ``n`` requests.
+
+        Sized so that the run succeeds with high probability (the
+        algorithm's advertised bound); the dynamic protocol treats
+        requests left over after this budget as *failed*.
+        """
+
+    def network_bound(self, m: int) -> LengthBound:
+        """The ``f(m) * I + g(m, n)`` bound, if the algorithm has one.
+
+        Algorithms whose factor genuinely depends on ``n`` (the case
+        Section 3 exists to fix) raise ``SchedulingError`` here; wrap
+        them with :class:`repro.core.transform.TransformedAlgorithm`.
+        """
+        raise SchedulingError(
+            f"{self.name} has no network-size length bound; apply the "
+            "Section-3 transformation first"
+        )
+
+    # ------------------------------------------------------------------
+    # Shared slot loop
+    # ------------------------------------------------------------------
+
+    def _finalise(
+        self,
+        queues: LinkQueues,
+        delivered: List[int],
+        slots_used: int,
+        history: Optional[List[SlotRecord]],
+    ) -> RunResult:
+        return RunResult(
+            delivered=delivered,
+            remaining=queues.remaining_indices(),
+            slots_used=slots_used,
+            history=history,
+        )
+
+    @staticmethod
+    def _transmit(
+        model: InterferenceModel,
+        queues: LinkQueues,
+        transmitting: Sequence[int],
+        delivered: List[int],
+        history: Optional[List[SlotRecord]],
+    ) -> Set[int]:
+        """Run one slot: evaluate the model, serve heads of successful links."""
+        successes = model.successes(transmitting) if transmitting else set()
+        for link_id in sorted(successes):
+            delivered.append(queues.pop(link_id))
+        if history is not None:
+            history.append(
+                SlotRecord(tuple(sorted(transmitting)), tuple(sorted(successes)))
+            )
+        return successes
+
+
+__all__ = [
+    "StaticAlgorithm",
+    "RunResult",
+    "SlotRecord",
+    "LengthBound",
+    "LinkQueues",
+]

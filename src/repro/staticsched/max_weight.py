@@ -1,0 +1,136 @@
+"""A Tassiulas-Ephremides-style max-weight comparator.
+
+The paper positions its protocol as a distributed, polynomial-time
+approximation of the Tassiulas-Ephremides optimum: the (centralized,
+generally intractable) policy that each slot serves a maximum-weight
+feasible set, weights being queue lengths, and that is stable whenever
+*any* policy is.
+
+:class:`MaxWeightScheduler` implements that policy with the exact
+maximum over feasible sets for small instances (branch-and-bound over
+the model's success predicate) and a greedy weight-ordered fallback
+beyond ``exact_limit`` busy links. As a :class:`StaticAlgorithm` it
+slots into the same runners and protocols as everything else, giving
+the benchmarks an "optimal-ish" throughput reference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.interference.base import InterferenceModel
+from repro.staticsched.base import (
+    LengthBound,
+    LinkQueues,
+    RunResult,
+    SlotRecord,
+    StaticAlgorithm,
+)
+from repro.utils.rng import RngLike
+
+
+class MaxWeightScheduler(StaticAlgorithm):
+    """Serve a maximum-queue-weight feasible set every slot.
+
+    Parameters
+    ----------
+    exact_limit:
+        Maximum number of busy links for which the feasible-set search
+        is exact; beyond it, greedy-by-weight (still maximal). The
+        search cost is exponential in this limit.
+    """
+
+    name = "max-weight"
+
+    def __init__(self, exact_limit: int = 12):
+        if exact_limit < 1:
+            raise SchedulingError(f"exact_limit must be >= 1, got {exact_limit}")
+        self._exact_limit = int(exact_limit)
+
+    def budget_for(self, measure: float, n: int) -> int:
+        """Generous: one slot per request plus the measure."""
+        return max(1, math.ceil(measure) + int(n))
+
+    def network_bound(self, m: int) -> LengthBound:
+        """Heuristic bound for protocol use: ``2 I + 1``.
+
+        Max-weight has no closed-form whp length guarantee in general;
+        this comparator bound is adequate for the benchmarks' purposes
+        (it is what the protocol would *like* to be true; instability
+        under it is informative, not a bug).
+        """
+        return LengthBound(
+            multiplicative=lambda m_: 2.0,
+            additive=lambda m_, n: 1.0,
+            description="2 I + 1 [max-weight comparator heuristic]",
+        )
+
+    # ------------------------------------------------------------------
+
+    def best_feasible_set(
+        self, model: InterferenceModel, queues: LinkQueues
+    ) -> List[int]:
+        """The (approximately) maximum-weight feasible set of busy links."""
+        busy = sorted(
+            queues.busy_links(),
+            key=lambda e: (-queues.queue_length(e), e),
+        )
+        weights = {e: queues.queue_length(e) for e in busy}
+        if len(busy) <= self._exact_limit:
+            _, best = self._search(model, busy, weights, [], 0)
+            return best
+        chosen: List[int] = []
+        for link_id in busy:
+            candidate = chosen + [link_id]
+            if model.feasible_set(candidate):
+                chosen = candidate
+        return chosen
+
+    def _search(
+        self,
+        model: InterferenceModel,
+        remaining: List[int],
+        weights,
+        chosen: List[int],
+        chosen_weight: int,
+    ) -> Tuple[int, List[int]]:
+        """Branch and bound over feasible subsets; returns (weight, set)."""
+        if not remaining:
+            return chosen_weight, list(chosen)
+        head, tail = remaining[0], remaining[1:]
+        best_weight, best_set = self._search(
+            model, tail, weights, chosen, chosen_weight
+        )
+        with_head = chosen + [head]
+        if model.feasible_set(with_head):
+            weight, candidate = self._search(
+                model, tail, weights, with_head, chosen_weight + weights[head]
+            )
+            if weight > best_weight:
+                best_weight, best_set = weight, candidate
+        return best_weight, best_set
+
+    def run(
+        self,
+        model: InterferenceModel,
+        requests: Sequence[int],
+        budget: int,
+        rng: RngLike = None,
+        record_history: bool = False,
+    ) -> RunResult:
+        if budget < 0:
+            raise SchedulingError(f"budget must be >= 0, got {budget}")
+        queues = LinkQueues(requests, model.num_links)
+        delivered: List[int] = []
+        history: Optional[List[SlotRecord]] = [] if record_history else None
+        slots = 0
+        while slots < budget and queues.pending:
+            transmitting = self.best_feasible_set(model, queues)
+            self._transmit(model, queues, transmitting, delivered, history)
+            slots += 1
+        return self._finalise(queues, delivered, slots, history)
+
+
+__all__ = ["MaxWeightScheduler"]

@@ -1,0 +1,76 @@
+"""Omniscient greedy baseline scheduler.
+
+Not from the paper — a *comparator*. Each slot it greedily packs a
+maximal feasible transmission set: busy links in decreasing backlog
+order, adding a link whenever the grown set remains fully successful
+under the model's exact predicate. This approximates the per-slot
+behaviour of the optimal (Tassiulas-Ephremides max-weight) policy that
+the paper's competitive ratios are measured against, at a cost the
+simulations can afford.
+
+Used by :mod:`repro.core.competitive` to upper-bound the achievable
+service rate of an instance and in benchmarks as the "OPT-ish" row.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import SchedulingError
+from repro.interference.base import InterferenceModel
+from repro.staticsched.base import (
+    LinkQueues,
+    RunResult,
+    SlotRecord,
+    StaticAlgorithm,
+)
+from repro.utils.rng import RngLike
+
+
+class OracleScheduler(StaticAlgorithm):
+    """Greedy maximal feasible set per slot, longest backlog first."""
+
+    name = "oracle"
+
+    def budget_for(self, measure: float, n: int) -> int:
+        """Generous fallback: measure plus one slot per request."""
+        return max(1, math.ceil(measure) + int(n))
+
+    def greedy_feasible_set(
+        self, model: InterferenceModel, busy_links: Sequence[int]
+    ) -> List[int]:
+        """A maximal set where *every* member succeeds simultaneously."""
+        chosen: List[int] = []
+        for link_id in busy_links:
+            candidate = chosen + [link_id]
+            if model.feasible_set(candidate):
+                chosen = candidate
+        return chosen
+
+    def run(
+        self,
+        model: InterferenceModel,
+        requests: Sequence[int],
+        budget: int,
+        rng: RngLike = None,
+        record_history: bool = False,
+    ) -> RunResult:
+        if budget < 0:
+            raise SchedulingError(f"budget must be >= 0, got {budget}")
+        queues = LinkQueues(requests, model.num_links)
+        delivered: List[int] = []
+        history: Optional[List[SlotRecord]] = [] if record_history else None
+        slots = 0
+        while slots < budget and queues.pending:
+            busy = sorted(
+                queues.busy_links(),
+                key=lambda e: (-queues.queue_length(e), e),
+            )
+            transmitting = self.greedy_feasible_set(model, busy)
+            self._transmit(model, queues, transmitting, delivered, history)
+            slots += 1
+        return self._finalise(queues, delivered, slots, history)
+
+
+__all__ = ["OracleScheduler"]

@@ -1,0 +1,19 @@
+"""Shared utilities: seeded randomness and argument validation."""
+
+from repro.utils.rng import RngFactory, ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_nonnegative,
+)
+
+__all__ = [
+    "RngFactory",
+    "ensure_rng",
+    "spawn_rngs",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_nonnegative",
+]

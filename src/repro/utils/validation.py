@@ -1,0 +1,83 @@
+"""Argument-validation helpers.
+
+Small, explicit checks used at public API boundaries. Each raises
+:class:`~repro.errors.ConfigurationError` with a message naming the
+offending parameter, so misconfiguration surfaces at construction time
+rather than as a numpy broadcast error deep inside a simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``; return it unchanged."""
+    if not (value > 0):
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value >= 0``; return it unchanged."""
+    if not (value >= 0):
+        raise ConfigurationError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``; return it unchanged."""
+    if not (0.0 <= value <= 1.0):
+        raise ConfigurationError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> float:
+    """Require ``value`` to lie in the given (possibly half-open) interval."""
+    if low is not None:
+        if low_inclusive and value < low:
+            raise ConfigurationError(f"{name} must be >= {low}, got {value!r}")
+        if not low_inclusive and value <= low:
+            raise ConfigurationError(f"{name} must be > {low}, got {value!r}")
+    if high is not None:
+        if high_inclusive and value > high:
+            raise ConfigurationError(f"{name} must be <= {high}, got {value!r}")
+        if not high_inclusive and value >= high:
+            raise ConfigurationError(f"{name} must be < {high}, got {value!r}")
+    return value
+
+
+def check_integer(name: str, value: int) -> int:
+    """Require ``value`` to be an integral number; return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    return int(value)
+
+
+def check_finite(name: str, value: float) -> float:
+    """Require ``value`` to be a finite float."""
+    if not math.isfinite(value):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_in_range",
+    "check_integer",
+    "check_finite",
+]

@@ -1,0 +1,201 @@
+"""Tests for the queueing-theory cross-checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.queueing import (
+    BusyPeriodStats,
+    busy_period_stats,
+    drift_confidence_interval,
+    littles_law_check,
+    utilisation,
+)
+from repro.errors import ConfigurationError, StabilityError
+
+
+class TestLittlesLaw:
+    def test_empty_series_rejected(self):
+        with pytest.raises(StabilityError):
+            littles_law_check([], [1.0])
+
+    def test_no_deliveries_rejected(self):
+        with pytest.raises(StabilityError):
+            littles_law_check([1, 2, 3], [])
+
+    def test_bad_warmup_rejected(self):
+        with pytest.raises(ConfigurationError):
+            littles_law_check([1, 2], [1.0], warmup_fraction=1.0)
+
+    def test_exact_on_synthetic_dd1(self):
+        # Deterministic system: one packet arrives and departs per
+        # frame, each spends exactly 2 frames => L = 2, lambda = 1, W = 2.
+        frames = 400
+        queue = [2.0] * frames
+        sojourns = [2.0] * frames
+        report = littles_law_check(queue, sojourns, warmup_fraction=0.0)
+        assert report.mean_in_system == pytest.approx(2.0)
+        assert report.arrival_rate == pytest.approx(1.0)
+        assert report.predicted_in_system == pytest.approx(2.0)
+        assert report.relative_gap == pytest.approx(0.0)
+        assert report.consistent()
+
+    def test_detects_violation(self):
+        # Queue says 10 in system, but sojourns say throughput*W = 1.
+        report = littles_law_check([10.0] * 100, [1.0] * 100)
+        assert report.relative_gap > 0.5
+        assert not report.consistent()
+
+    def test_warmup_trims_transient(self):
+        # Ramp then plateau: with warm-up trimming, L is the plateau.
+        series = list(np.linspace(0, 4, 50)) + [4.0] * 150
+        sojourns = [4.0] * 200
+        report = littles_law_check(series, sojourns, warmup_fraction=0.25)
+        assert report.mean_in_system == pytest.approx(4.0, rel=0.05)
+
+    def test_on_real_protocol_run(self, chain_net, routing_chain):
+        import repro
+
+        model = repro.PacketRoutingModel(chain_net)
+        algorithm = repro.SingleHopScheduler()
+        rate = 0.3
+        protocol = repro.DynamicProtocol(
+            model, algorithm, rate, t_scale=1.0, rng=2
+        )
+        injection = repro.uniform_pair_injection(
+            routing_chain, model, rate, num_generators=4, rng=3
+        )
+        simulation = repro.FrameSimulation(protocol, injection)
+        simulation.run(400)
+        frame_length = protocol.frame_length
+        sojourns = [
+            (p.delivered_at - p.injected_at) / frame_length
+            for p in protocol.delivered
+        ]
+        report = littles_law_check(
+            simulation.metrics.queue_series, sojourns
+        )
+        # Stable run: the identity holds within the bookkeeping
+        # granularity (injections mid-frame, deliveries at frame ends).
+        assert report.consistent(tolerance=0.5)
+
+
+class TestDriftCI:
+    def test_too_short_series(self):
+        with pytest.raises(StabilityError):
+            drift_confidence_interval([1, 2, 3])
+
+    def test_bad_confidence(self):
+        with pytest.raises(ConfigurationError):
+            drift_confidence_interval(list(range(20)), confidence=1.0)
+
+    def test_bad_resamples(self):
+        with pytest.raises(ConfigurationError):
+            drift_confidence_interval(list(range(20)), resamples=0)
+
+    def test_bad_block_length(self):
+        with pytest.raises(ConfigurationError):
+            drift_confidence_interval(list(range(20)), block_length=0)
+
+    def test_flat_noisy_series_contains_zero(self):
+        rng = np.random.default_rng(0)
+        series = 5.0 + rng.normal(0, 1, size=300)
+        point, lower, upper = drift_confidence_interval(series, rng=1)
+        assert lower <= 0.0 <= upper
+        assert abs(point) < 0.01
+
+    def test_diverging_series_excludes_zero(self):
+        rng = np.random.default_rng(0)
+        series = 0.5 * np.arange(300) + rng.normal(0, 1, size=300)
+        point, lower, upper = drift_confidence_interval(series, rng=1)
+        assert lower > 0.0
+        assert point == pytest.approx(0.5, abs=0.05)
+
+    def test_interval_ordering_and_determinism(self):
+        rng = np.random.default_rng(3)
+        series = rng.normal(0, 1, size=100).cumsum()
+        first = drift_confidence_interval(series, rng=7)
+        second = drift_confidence_interval(series, rng=7)
+        assert first == second
+        point, lower, upper = first
+        assert lower <= point <= upper
+
+    @given(slope=st.floats(min_value=-1.0, max_value=1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_point_estimate_tracks_true_slope(self, slope):
+        x = np.arange(120, dtype=float)
+        series = slope * x + 10.0
+        point, lower, upper = drift_confidence_interval(series, rng=0)
+        assert point == pytest.approx(slope, abs=1e-6)
+        assert lower - 1e-9 <= slope <= upper + 1e-9
+
+
+class TestBusyPeriods:
+    def test_empty_series_rejected(self):
+        with pytest.raises(StabilityError):
+            busy_period_stats([])
+
+    def test_all_idle(self):
+        stats = busy_period_stats([0, 0, 0, 0])
+        assert stats == BusyPeriodStats(0, 0.0, 0, 0)
+
+    def test_single_period(self):
+        stats = busy_period_stats([0, 1, 2, 1, 0, 0])
+        assert stats.count == 1
+        assert stats.mean_length == 3
+        assert stats.max_length == 3
+        assert stats.total_busy_frames == 3
+
+    def test_multiple_periods(self):
+        stats = busy_period_stats([1, 0, 2, 2, 0, 3, 3, 3])
+        assert stats.count == 3
+        assert stats.mean_length == pytest.approx(2.0)
+        assert stats.max_length == 3
+
+    def test_open_final_period_counts(self):
+        stats = busy_period_stats([0, 1, 1, 1])
+        assert stats.count == 1
+        assert stats.max_length == 3
+
+    def test_periods_lengthen_with_load(self):
+        # Synthetic M/D/1-ish: busy periods blow up near rho = 1.
+        rng = np.random.default_rng(5)
+
+        def simulate(rho, frames=4000):
+            queue, series = 0, []
+            for _ in range(frames):
+                queue += rng.poisson(rho)
+                queue = max(0, queue - 1)
+                series.append(queue)
+            return busy_period_stats(series)
+
+        light = simulate(0.3)
+        heavy = simulate(0.9)
+        assert heavy.mean_length > light.mean_length
+        assert heavy.max_length > light.max_length
+
+
+class TestUtilisation:
+    def test_empty_series_rejected(self):
+        with pytest.raises(StabilityError):
+            utilisation([])
+
+    def test_values(self):
+        assert utilisation([0, 1, 2, 0]) == pytest.approx(0.5)
+        assert utilisation([0, 0]) == 0.0
+        assert utilisation([3, 3]) == 1.0
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=0, max_value=10), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_and_consistent_with_busy_periods(self, values):
+        rho = utilisation(values)
+        stats = busy_period_stats(values)
+        assert 0.0 <= rho <= 1.0
+        assert stats.total_busy_frames == pytest.approx(rho * len(values))

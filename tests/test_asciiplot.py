@@ -1,0 +1,52 @@
+"""ASCII plotting helpers."""
+
+from repro.analysis.asciiplot import line_chart, sparkline
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""
+
+
+def test_sparkline_flat_series():
+    out = sparkline([5, 5, 5, 5])
+    assert len(out) == 4
+    assert len(set(out)) == 1
+
+
+def test_sparkline_monotone_levels():
+    out = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+    # Levels must be non-decreasing for a monotone series.
+    levels = " .:-=+*#%@"
+    ranks = [levels.index(c) for c in out]
+    assert ranks == sorted(ranks)
+    assert ranks[0] == 0
+    assert ranks[-1] == len(levels) - 1
+
+
+def test_sparkline_resamples_to_width():
+    out = sparkline(list(range(1000)), width=50)
+    assert len(out) == 50
+
+
+def test_line_chart_contains_markers_and_bounds():
+    chart = line_chart(
+        {"alpha": [0, 1, 2, 3], "beta": [3, 2, 1, 0]},
+        height=6,
+        width=20,
+        title="demo",
+    )
+    assert "demo" in chart
+    assert "a" in chart and "b" in chart
+    assert "a=alpha" in chart and "b=beta" in chart
+    assert "3" in chart  # max annotation
+    assert "0" in chart  # min annotation
+
+
+def test_line_chart_empty():
+    assert line_chart({}, title="t") == "t"
+    assert line_chart({"x": []}) == ""
+
+
+def test_line_chart_flat_series_does_not_crash():
+    chart = line_chart({"flat": [2, 2, 2]})
+    assert "f" in chart

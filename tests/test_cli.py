@@ -1,0 +1,222 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cli.builders import (
+    SCENARIOS,
+    TOPOLOGIES,
+    build_scenario,
+    build_topology,
+    scenario_names,
+    topology_names,
+)
+from repro.cli.main import main
+from repro.cli.registry import EXPERIMENTS, experiment_ids
+from repro.errors import ConfigurationError
+
+BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_every_scenario_builds(self, name):
+        scenario = build_scenario(name, nodes=9, seed=0)
+        assert scenario.network.num_links > 0
+        assert scenario.certified > 0
+        assert scenario.m == scenario.network.size_m
+        # The algorithm bound is usable (protocol sizing needs it).
+        bound = scenario.algorithm.network_bound(scenario.m)
+        assert bound.f(scenario.m) >= 1.0
+
+    @pytest.mark.parametrize("kind", topology_names())
+    def test_every_topology_builds(self, kind):
+        net = build_topology(kind, nodes=8, seed=1)
+        assert net.num_nodes >= 2
+        assert net.num_links >= 1
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("nope", nodes=9, seed=0)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_topology("nope", nodes=9, seed=0)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("packet-routing", nodes=1, seed=0)
+        with pytest.raises(ConfigurationError):
+            build_topology("grid", nodes=1, seed=0)
+
+    def test_registries_expose_names(self):
+        assert set(scenario_names()) == set(SCENARIOS)
+        assert set(topology_names()) == set(TOPOLOGIES)
+
+
+class TestRegistry:
+    def test_ids_unique(self):
+        ids = experiment_ids()
+        assert len(ids) == len(set(ids))
+
+    def test_every_bench_file_exists(self):
+        for entry in EXPERIMENTS:
+            path = os.path.join(BENCH_DIR, entry.bench_file)
+            assert os.path.exists(path), (
+                f"registry lists {entry.bench_file} but it does not exist"
+            )
+
+    def test_every_bench_file_registered(self):
+        listed = {entry.bench_file for entry in EXPERIMENTS}
+        on_disk = {
+            name
+            for name in os.listdir(BENCH_DIR)
+            if name.startswith("bench_") and name.endswith(".py")
+        }
+        missing = on_disk - listed
+        assert not missing, f"benches not in the registry: {sorted(missing)}"
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "PODC 2012" in out
+        assert "sinr-linear" in out
+
+    def test_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for entry in EXPERIMENTS:
+            assert entry.id in out
+
+    def test_topology_geometric(self, capsys):
+        assert main(["topology", "--kind", "grid", "--nodes", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "9 nodes" in out
+        assert "geometric: True" in out
+
+    def test_topology_non_geometric(self, capsys):
+        assert main(["topology", "--kind", "mac", "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "geometric: False" in out
+
+    def test_topology_truncates_link_table(self, capsys):
+        assert main(
+            ["topology", "--kind", "grid", "--nodes", "16", "--links", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "more links" in out
+
+    def test_simulate_packet_routing(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model", "packet-routing",
+                "--nodes", "9",
+                "--frames", "40",
+                "--seed", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injected" in out
+        assert "queue series:" in out
+
+    def test_simulate_with_check(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model", "packet-routing",
+                "--nodes", "9",
+                "--frames", "40",
+                "--check",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "drift/frame" in out
+        assert "Little's law" in out
+
+    def test_simulate_with_trace(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model", "packet-routing",
+                "--nodes", "9",
+                "--frames", "40",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "activated" in out
+        assert "delivered" in out
+
+    def test_simulate_mac(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--model", "mac",
+                "--nodes", "5",
+                "--frames", "40",
+                "--rate-fraction", "0.4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario 'mac'" in out
+
+    def test_compare(self, capsys):
+        code = main(
+            ["compare", "--nodes", "10", "--frames", "20", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decay [Thm 19]" in out
+        assert "HM-style [26]" in out
+        assert "certified rate" in out
+
+    def test_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--model", "packet-routing",
+                "--nodes", "9",
+                "--frames", "60",
+                "--fractions", "0.3",
+                "--seeds", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.30x" in out
+        assert "stable frac" in out
+
+    def test_sweep_rejects_bad_fractions(self, capsys):
+        code = main(
+            ["sweep", "--fractions", "abc", "--seeds", "0"]
+        )
+        assert code == 2
+        assert "bad --fractions" in capsys.readouterr().err
+
+    def test_sweep_rejects_empty_seeds(self, capsys):
+        code = main(["sweep", "--fractions", "0.5", "--seeds", ""])
+        assert code == 2
+
+    def test_deterministic_output(self, capsys):
+        argv = [
+            "simulate",
+            "--model", "packet-routing",
+            "--nodes", "9",
+            "--frames", "30",
+            "--seed", "7",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second

@@ -1,0 +1,79 @@
+"""Competitive-ratio estimation utilities."""
+
+import pytest
+
+from repro.core.competitive import (
+    certified_rate,
+    competitive_ratio,
+    estimate_max_stable_rate,
+    feasible_measure_upper_bound,
+)
+from repro.errors import ConfigurationError
+from repro.staticsched.round_robin import RoundRobinScheduler
+from repro.staticsched.single_hop import SingleHopScheduler
+
+
+def test_certified_rate_single_hop():
+    # f = 1, eps = 0.5 -> rate 0.5.
+    assert certified_rate(SingleHopScheduler(), m=10) == pytest.approx(0.5)
+    assert certified_rate(SingleHopScheduler(), m=10, epsilon=0.2) == (
+        pytest.approx(0.8)
+    )
+
+
+def test_certified_rate_validation():
+    with pytest.raises(ConfigurationError):
+        certified_rate(SingleHopScheduler(), m=10, epsilon=0.0)
+
+
+def test_feasible_upper_bound_mac_is_one(mac_model):
+    # Only singletons are feasible; a singleton's measure is 1.
+    assert feasible_measure_upper_bound(mac_model, trials=8, rng=0) == 1.0
+
+
+def test_feasible_upper_bound_packet_routing(packet_routing_model):
+    # All links at once are feasible; identity W gives measure 1.
+    bound = feasible_measure_upper_bound(packet_routing_model, trials=4, rng=0)
+    assert bound == 1.0
+
+
+def test_feasible_upper_bound_sinr_small_constant(sinr_model):
+    bound = feasible_measure_upper_bound(sinr_model, trials=16, rng=1)
+    assert 1.0 <= bound <= 10.0  # "O(1)" for linear power
+
+
+def test_feasible_upper_bound_validation(mac_model):
+    with pytest.raises(ConfigurationError):
+        feasible_measure_upper_bound(mac_model, trials=0)
+
+
+def test_bisection_finds_threshold():
+    threshold = 0.37
+
+    def stable(rate):
+        return rate < threshold
+
+    low, high = estimate_max_stable_rate(stable, 0.0, 1.0, iterations=10)
+    assert low <= threshold <= high
+    assert high - low < 0.01
+
+
+def test_bisection_everything_stable():
+    low, high = estimate_max_stable_rate(lambda r: True, 0.1, 0.9)
+    assert (low, high) == (0.9, 0.9)
+
+
+def test_bisection_nothing_stable():
+    low, high = estimate_max_stable_rate(lambda r: False, 0.1, 0.9)
+    assert (low, high) == (0.0, 0.1)
+
+
+def test_bisection_validation():
+    with pytest.raises(ConfigurationError):
+        estimate_max_stable_rate(lambda r: True, 0.5, 0.5)
+
+
+def test_competitive_ratio_guards():
+    assert competitive_ratio(2.0, 1.0) == 2.0
+    assert competitive_ratio(1.0, 2.0) == 1.0  # never below 1
+    assert competitive_ratio(1.0, 0.0) == float("inf")

@@ -1,0 +1,46 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleLinkError,
+    InjectionError,
+    ReproError,
+    SchedulingError,
+    StabilityError,
+    TopologyError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc in (
+        ConfigurationError,
+        TopologyError,
+        InjectionError,
+        SchedulingError,
+        StabilityError,
+        InfeasibleLinkError,
+    ):
+        assert issubclass(exc, ReproError)
+
+
+def test_infeasible_link_error_carries_link_id():
+    err = InfeasibleLinkError(7)
+    assert err.link_id == 7
+    assert "7" in str(err)
+
+
+def test_infeasible_link_error_custom_message():
+    err = InfeasibleLinkError(3, "custom")
+    assert str(err) == "custom"
+    assert err.link_id == 3
+
+
+def test_infeasible_link_is_configuration_error():
+    assert issubclass(InfeasibleLinkError, ConfigurationError)
+
+
+def test_errors_catchable_as_repro_error():
+    with pytest.raises(ReproError):
+        raise SchedulingError("boom")

@@ -1,0 +1,95 @@
+"""Frame sizing (Section 4 constraints)."""
+
+import pytest
+
+from repro.core.frames import (
+    FrameParameters,
+    compute_frame_parameters,
+    epsilon_for_rate,
+)
+from repro.errors import ConfigurationError
+from repro.staticsched.round_robin import RoundRobinScheduler
+from repro.staticsched.single_hop import SingleHopScheduler
+
+
+def test_epsilon_from_rate():
+    # f = 1: rate 0.6 -> eps = 0.4.
+    assert epsilon_for_rate(0.6, 1.0) == pytest.approx(0.4)
+    # Clamped to 1/2 (paper's w.l.o.g.).
+    assert epsilon_for_rate(0.1, 1.0) == 0.5
+
+
+def test_epsilon_rejects_at_capacity():
+    with pytest.raises(ConfigurationError, match="capacity"):
+        epsilon_for_rate(1.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        epsilon_for_rate(1.5, 1.0)
+
+
+def test_parameters_satisfy_structure():
+    params = compute_frame_parameters(
+        SingleHopScheduler(), m=10, rate=0.5, t_scale=0.01
+    )
+    assert params.phase1_budget + params.cleanup_budget <= params.frame_length
+    assert params.measure_budget >= 1.0
+    assert params.epsilon == 0.5
+    assert params.f_m == 1.0
+
+
+def test_parameters_reject_bad_inputs():
+    with pytest.raises(ConfigurationError):
+        compute_frame_parameters(SingleHopScheduler(), m=0, rate=0.5)
+    with pytest.raises(ConfigurationError):
+        compute_frame_parameters(SingleHopScheduler(), m=5, rate=0.0)
+    with pytest.raises(ConfigurationError):
+        compute_frame_parameters(SingleHopScheduler(), m=5, rate=0.5,
+                                 t_scale=0.0)
+
+
+def test_higher_rate_means_smaller_epsilon_bigger_t():
+    low = compute_frame_parameters(
+        SingleHopScheduler(), m=10, rate=0.5, t_scale=0.01
+    )
+    high = compute_frame_parameters(
+        SingleHopScheduler(), m=10, rate=0.9, t_scale=0.01
+    )
+    assert high.epsilon < low.epsilon
+    assert high.frame_length >= low.frame_length
+
+
+def test_t_scale_shrinks_frames():
+    big = compute_frame_parameters(SingleHopScheduler(), m=10, rate=0.5)
+    small = compute_frame_parameters(
+        SingleHopScheduler(), m=10, rate=0.5, t_scale=0.001
+    )
+    assert small.frame_length <= big.frame_length
+
+
+def test_paper_scale_meets_drift_constants():
+    """At t_scale=1 the frame must clear the 100 f/eps^3 term."""
+    params = compute_frame_parameters(SingleHopScheduler(), m=4, rate=0.5)
+    f, eps = params.f_m, params.epsilon
+    assert params.frame_length >= 100 * f / eps**3
+
+
+def test_frame_parameters_post_init_validation():
+    with pytest.raises(ConfigurationError, match="fit"):
+        FrameParameters(
+            frame_length=10,
+            phase1_budget=8,
+            cleanup_budget=5,
+            measure_budget=1.0,
+            epsilon=0.5,
+            rate=0.5,
+            f_m=1.0,
+            m=4,
+        )
+
+
+def test_round_robin_parameters():
+    """RR's additive g = m + 1 shows up in both phase budgets."""
+    params = compute_frame_parameters(
+        RoundRobinScheduler(), m=6, rate=0.5, t_scale=0.01
+    )
+    assert params.cleanup_budget >= 6  # f*1 + (m+1)
+    assert params.phase1_budget >= params.measure_budget

@@ -1,0 +1,114 @@
+"""Metric spaces: Euclidean, explicit, doubling dimension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.metric import (
+    EuclideanMetric,
+    FiniteMetric,
+    estimate_doubling_dimension,
+)
+from repro.geometry.point import Point
+
+
+def unit_square_metric():
+    return EuclideanMetric(
+        [Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)]
+    )
+
+
+def test_euclidean_distances():
+    metric = unit_square_metric()
+    assert metric.distance(0, 1) == 1.0
+    assert metric.distance(0, 3) == pytest.approx(math.sqrt(2))
+
+
+def test_euclidean_pairwise_symmetric_zero_diagonal():
+    pairwise = unit_square_metric().pairwise()
+    assert np.allclose(pairwise, pairwise.T)
+    assert np.allclose(np.diag(pairwise), 0.0)
+
+
+def test_euclidean_pairwise_matches_pointwise():
+    metric = unit_square_metric()
+    pairwise = metric.pairwise()
+    for i in range(metric.size):
+        for j in range(metric.size):
+            assert pairwise[i, j] == pytest.approx(metric.distance(i, j))
+
+
+def test_euclidean_requires_points():
+    with pytest.raises(ConfigurationError):
+        EuclideanMetric([])
+
+
+def test_ball_inclusive():
+    metric = unit_square_metric()
+    assert metric.ball(0, 1.0) == [0, 1, 2]
+    assert metric.ball(0, 1.5) == [0, 1, 2, 3]
+    assert metric.ball(0, 0.0) == [0]
+
+
+def test_finite_metric_accepts_valid():
+    matrix = np.array([[0, 1, 2], [1, 0, 1], [2, 1, 0]], dtype=float)
+    metric = FiniteMetric(matrix)
+    assert metric.size == 3
+    assert metric.distance(0, 2) == 2.0
+
+
+def test_finite_metric_rejects_asymmetry():
+    bad = np.array([[0, 1], [2, 0]], dtype=float)
+    with pytest.raises(ConfigurationError, match="symmetric"):
+        FiniteMetric(bad)
+
+
+def test_finite_metric_rejects_nonzero_diagonal():
+    bad = np.array([[1, 1], [1, 0]], dtype=float)
+    with pytest.raises(ConfigurationError, match="diagonal"):
+        FiniteMetric(bad)
+
+
+def test_finite_metric_rejects_triangle_violation():
+    bad = np.array(
+        [[0, 1, 10], [1, 0, 1], [10, 1, 0]], dtype=float
+    )
+    with pytest.raises(ConfigurationError, match="triangle"):
+        FiniteMetric(bad)
+
+
+def test_finite_metric_rejects_negative():
+    bad = np.array([[0, -1], [-1, 0]], dtype=float)
+    with pytest.raises(ConfigurationError, match="non-negative"):
+        FiniteMetric(bad)
+
+
+def test_finite_metric_rejects_nonsquare():
+    with pytest.raises(ConfigurationError, match="square"):
+        FiniteMetric(np.zeros((2, 3)))
+
+
+def test_finite_metric_skip_validation():
+    # validate=False lets intentionally non-metric matrices through
+    # (documented escape hatch for adversarial-geometry experiments).
+    bad = np.array([[0, 1, 10], [1, 0, 1], [10, 1, 0]], dtype=float)
+    metric = FiniteMetric(bad, validate=False)
+    assert metric.distance(0, 2) == 10.0
+
+
+def test_doubling_dimension_of_line_is_small():
+    points = [Point(float(i), 0.0) for i in range(16)]
+    dim = estimate_doubling_dimension(EuclideanMetric(points))
+    assert 0.5 <= dim <= 3.0  # a line has doubling dimension 1
+
+
+def test_doubling_dimension_singleton_zero():
+    assert estimate_doubling_dimension(EuclideanMetric([Point(0, 0)])) == 0.0
+
+
+def test_doubling_dimension_grid_close_to_two(rng):
+    points = [Point(float(i), float(j)) for i in range(5) for j in range(5)]
+    dim = estimate_doubling_dimension(EuclideanMetric(points))
+    assert 1.0 <= dim <= 4.0  # the plane has doubling dimension 2

@@ -1,0 +1,74 @@
+"""Node-placement generators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.placement import (
+    annulus_placement,
+    cluster_placement,
+    exponential_chain_placement,
+    grid_placement,
+    line_placement,
+    uniform_placement,
+)
+
+
+def test_uniform_placement_in_square():
+    points = uniform_placement(100, side=2.0, rng=0)
+    assert len(points) == 100
+    assert all(0 <= p.x <= 2.0 and 0 <= p.y <= 2.0 for p in points)
+
+
+def test_uniform_placement_deterministic():
+    assert uniform_placement(10, rng=3) == uniform_placement(10, rng=3)
+
+
+def test_uniform_placement_rejects_zero_count():
+    with pytest.raises(ConfigurationError):
+        uniform_placement(0)
+
+
+def test_grid_placement_shape_and_spacing():
+    points = grid_placement(2, 3, spacing=0.5)
+    assert len(points) == 6
+    assert points[0].as_tuple() == (0.0, 0.0)
+    assert points[1].as_tuple() == (0.5, 0.0)  # row-major
+    assert points[3].as_tuple() == (0.0, 0.5)
+
+
+def test_line_placement():
+    points = line_placement(4, spacing=2.0)
+    assert [p.x for p in points] == [0.0, 2.0, 4.0, 6.0]
+    assert all(p.y == 0.0 for p in points)
+
+
+def test_cluster_placement_count_and_clipping():
+    points = cluster_placement(3, 5, side=1.0, cluster_radius=0.5, rng=1)
+    assert len(points) == 15
+    assert all(0 <= p.x <= 1.0 and 0 <= p.y <= 1.0 for p in points)
+
+
+def test_annulus_placement_radii():
+    points = annulus_placement(200, inner_radius=0.5, outer_radius=1.0, rng=2)
+    radii = [math.hypot(p.x, p.y) for p in points]
+    assert all(0.5 - 1e-9 <= r <= 1.0 + 1e-9 for r in radii)
+
+
+def test_annulus_rejects_inverted_radii():
+    with pytest.raises(ConfigurationError):
+        annulus_placement(10, inner_radius=1.0, outer_radius=0.5)
+
+
+def test_exponential_chain_gaps_grow():
+    points = exponential_chain_placement(5, base=2.0)
+    xs = [p.x for p in points]
+    gaps = [b - a for a, b in zip(xs, xs[1:])]
+    assert gaps == [1.0, 2.0, 4.0, 8.0]
+
+
+def test_exponential_chain_rejects_base_one():
+    with pytest.raises(ConfigurationError):
+        exponential_chain_placement(5, base=1.0)

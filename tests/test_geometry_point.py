@@ -1,0 +1,64 @@
+"""Point arithmetic."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import (
+    Point,
+    array_to_points,
+    distance,
+    midpoint,
+    points_to_array,
+)
+
+
+def test_distance_matches_hypot():
+    a, b = Point(0, 0), Point(3, 4)
+    assert distance(a, b) == 5.0
+    assert a.distance_to(b) == b.distance_to(a)
+
+
+def test_distance_to_self_is_zero():
+    p = Point(1.5, -2.5)
+    assert p.distance_to(p) == 0.0
+
+
+def test_midpoint():
+    assert midpoint(Point(0, 0), Point(2, 4)) == Point(1, 2)
+
+
+def test_translated_and_scaled():
+    p = Point(1, 2)
+    assert p.translated(3, -1) == Point(4, 1)
+    assert p.scaled(2) == Point(2, 4)
+    # Originals untouched (frozen dataclass).
+    assert p == Point(1, 2)
+
+
+def test_iter_and_tuple():
+    p = Point(1.0, 2.0)
+    assert tuple(p) == (1.0, 2.0)
+    assert p.as_tuple() == (1.0, 2.0)
+
+
+def test_points_are_hashable_and_ordered():
+    assert len({Point(0, 0), Point(0, 0), Point(1, 0)}) == 2
+    assert Point(0, 1) < Point(1, 0)
+
+
+def test_points_to_array_roundtrip():
+    points = [Point(0, 0), Point(1.5, 2.5), Point(-3, 4)]
+    arr = points_to_array(points)
+    assert arr.shape == (3, 2)
+    assert array_to_points(arr) == points
+
+
+def test_points_to_array_empty():
+    assert points_to_array([]).shape == (0, 2)
+
+
+def test_array_to_points_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        array_to_points(np.zeros((3, 3)))

@@ -1,0 +1,205 @@
+"""Tests for the Markov-modulated and Poisson-batch injection extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InjectionError
+from repro.injection.markov import (
+    MarkovModulatedInjection,
+    PoissonBatchInjection,
+    empirical_usage,
+)
+from repro.injection.stochastic import PathGenerator
+
+
+def two_generators():
+    return [
+        PathGenerator([((0,), 0.4), ((0, 1), 0.3)]),
+        PathGenerator([((1,), 0.5)]),
+    ]
+
+
+class TestMarkovModulatedConstruction:
+    def test_requires_generators(self):
+        with pytest.raises(InjectionError):
+            MarkovModulatedInjection([], 0.5, 0.5, rng=0)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_rejects_bad_p_on_off(self, bad):
+        with pytest.raises(ConfigurationError):
+            MarkovModulatedInjection(two_generators(), bad, 0.5, rng=0)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_rejects_bad_p_off_on(self, bad):
+        with pytest.raises(ConfigurationError):
+            MarkovModulatedInjection(two_generators(), 0.5, bad, rng=0)
+
+    def test_stationary_probability(self):
+        process = MarkovModulatedInjection(two_generators(), 0.25, 0.75, rng=0)
+        assert process.stationary_on_probability == pytest.approx(0.75)
+
+    def test_mean_burst_length(self):
+        process = MarkovModulatedInjection(two_generators(), 0.1, 0.5, rng=0)
+        assert process.mean_burst_length == pytest.approx(10.0)
+
+
+class TestMarkovModulatedBehaviour:
+    def test_mean_usage_scales_by_stationary_on(self):
+        generators = two_generators()
+        process = MarkovModulatedInjection(generators, 0.5, 0.5, rng=0)
+        always_on = sum(g.mean_usage(2) for g in generators)
+        np.testing.assert_allclose(process.mean_usage(2), 0.5 * always_on)
+
+    def test_slots_must_be_queried_in_order(self):
+        process = MarkovModulatedInjection(two_generators(), 0.5, 0.5, rng=0)
+        process.packets_for_slot(0)
+        with pytest.raises(InjectionError):
+            process.packets_for_slot(5)
+
+    def test_deterministic_under_seed(self):
+        runs = []
+        for _ in range(2):
+            process = MarkovModulatedInjection(two_generators(), 0.3, 0.3, rng=11)
+            runs.append(
+                [
+                    tuple(p.path)
+                    for slot in range(50)
+                    for p in process.packets_for_slot(slot)
+                ]
+            )
+        assert runs[0] == runs[1]
+
+    def test_empirical_usage_matches_stationary_mean(self):
+        generators = two_generators()
+        process = MarkovModulatedInjection(generators, 0.4, 0.4, rng=3)
+        measured = empirical_usage(process, 2, horizon=20000)
+        expected = MarkovModulatedInjection(
+            generators, 0.4, 0.4, rng=3
+        ).mean_usage(2)
+        np.testing.assert_allclose(measured, expected, atol=0.05)
+
+    def test_injection_rate_uses_model_norm(self, mac_model):
+        generators = [PathGenerator([((0,), 0.2)]), PathGenerator([((1,), 0.2)])]
+        process = MarkovModulatedInjection(generators, 0.5, 0.5, rng=0)
+        # MAC: W is all-ones, so lambda = total mean usage = 0.5 * 0.4.
+        assert process.injection_rate(mac_model) == pytest.approx(0.2)
+
+    def test_burstiness_shows_in_autocovariance(self):
+        """Long ON bursts: arrivals in adjacent slots correlate positively."""
+        generators = [PathGenerator([((0,), 1.0)])]
+        process = MarkovModulatedInjection(generators, 0.02, 0.02, rng=5)
+        counts = np.array(
+            [len(process.packets_for_slot(t)) for t in range(20000)], dtype=float
+        )
+        centred = counts - counts.mean()
+        autocov = float(np.mean(centred[:-1] * centred[1:]))
+        assert autocov > 0.1
+
+    def test_iid_limit_has_no_autocovariance(self):
+        """p_on_off = p_off_on = 1 flips every slot: near-zero correlation."""
+        generators = [PathGenerator([((0,), 1.0)])]
+        process = MarkovModulatedInjection(generators, 1.0, 1.0, rng=5)
+        counts = np.array(
+            [len(process.packets_for_slot(t)) for t in range(20000)], dtype=float
+        )
+        centred = counts - counts.mean()
+        autocov = float(np.mean(centred[:-1] * centred[1:]))
+        # Deterministic alternation gives *negative* correlation; the
+        # point is only that there is no bursty positive clustering.
+        assert autocov < 0.05
+
+    def test_at_most_one_packet_per_generator_per_slot(self):
+        process = MarkovModulatedInjection(two_generators(), 0.5, 0.5, rng=9)
+        for slot in range(500):
+            packets = process.packets_for_slot(slot)
+            assert len(packets) <= 2
+
+
+class TestPoissonBatchConstruction:
+    def test_rejects_negative_mean(self):
+        with pytest.raises(ConfigurationError):
+            PoissonBatchInjection([((0,), 1.0)], -1.0, rng=0)
+
+    def test_rejects_non_normalised_distribution(self):
+        with pytest.raises(InjectionError):
+            PoissonBatchInjection([((0,), 0.4)], 1.0, rng=0)
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(InjectionError):
+            PoissonBatchInjection([((0,), 1.5), ((1,), -0.5)], 1.0, rng=0)
+
+    def test_rejects_empty_path(self):
+        with pytest.raises(InjectionError):
+            PoissonBatchInjection([((), 1.0)], 1.0, rng=0)
+
+    def test_empty_distribution_injects_nothing(self):
+        process = PoissonBatchInjection([], 0.0, rng=0)
+        assert process.packets_for_slot(0) == []
+
+
+class TestPoissonBatchBehaviour:
+    def test_mean_usage(self):
+        process = PoissonBatchInjection(
+            [((0,), 0.5), ((0, 1), 0.5)], batch_mean=2.0, rng=0
+        )
+        np.testing.assert_allclose(process.mean_usage(2), [2.0, 1.0])
+
+    def test_zero_mean_injects_nothing(self):
+        process = PoissonBatchInjection([((0,), 1.0)], 0.0, rng=0)
+        assert all(process.packets_for_slot(t) == [] for t in range(20))
+
+    def test_batches_can_exceed_one(self):
+        process = PoissonBatchInjection([((0,), 1.0)], batch_mean=4.0, rng=1)
+        sizes = [len(process.packets_for_slot(t)) for t in range(200)]
+        assert max(sizes) > 1
+
+    def test_empirical_usage_matches_mean(self):
+        distribution = [((0,), 0.25), ((1,), 0.75)]
+        process = PoissonBatchInjection(distribution, batch_mean=1.5, rng=2)
+        measured = empirical_usage(process, 2, horizon=20000)
+        expected = PoissonBatchInjection(
+            distribution, batch_mean=1.5, rng=2
+        ).mean_usage(2)
+        np.testing.assert_allclose(measured, expected, rtol=0.1)
+
+    def test_deterministic_under_seed(self):
+        runs = []
+        for _ in range(2):
+            process = PoissonBatchInjection([((0,), 1.0)], 1.0, rng=13)
+            runs.append(
+                [len(process.packets_for_slot(t)) for t in range(100)]
+            )
+        assert runs[0] == runs[1]
+
+    def test_paths_drawn_from_distribution(self):
+        process = PoissonBatchInjection(
+            [((0,), 0.5), ((1,), 0.5)], batch_mean=1.0, rng=3
+        )
+        seen = set()
+        for slot in range(500):
+            for packet in process.packets_for_slot(slot):
+                seen.add(tuple(packet.path))
+        assert seen == {(0,), (1,)}
+
+
+class TestEmpiricalUsage:
+    def test_requires_positive_horizon(self):
+        process = PoissonBatchInjection([((0,), 1.0)], 1.0, rng=0)
+        with pytest.raises(ConfigurationError):
+            empirical_usage(process, 1, horizon=0)
+
+    @given(
+        batch_mean=st.floats(min_value=0.1, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_poisson_rate_concentrates(self, batch_mean, seed):
+        process = PoissonBatchInjection([((0,), 1.0)], batch_mean, rng=seed)
+        measured = empirical_usage(process, 1, horizon=4000)[0]
+        # 4000 iid Poisson draws: the mean is within ~5 sigma.
+        sigma = np.sqrt(batch_mean / 4000)
+        assert abs(measured - batch_mean) < 6 * sigma + 0.01

@@ -1,0 +1,54 @@
+"""Packet lifecycle."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.injection.packet import Packet
+
+
+def test_packet_requires_nonempty_path():
+    with pytest.raises(TopologyError):
+        Packet(id=0, path=(), injected_at=0)
+
+
+def test_packet_initial_state():
+    packet = Packet(id=1, path=(3, 4, 5), injected_at=10)
+    assert packet.path_length == 3
+    assert packet.remaining_hops == 3
+    assert packet.current_link == 3
+    assert not packet.is_delivered
+    assert not packet.failed
+
+
+def test_advance_through_delivery():
+    packet = Packet(id=2, path=(0, 1), injected_at=5)
+    assert packet.advance(slot=8) is False
+    assert packet.current_link == 1
+    assert packet.remaining_hops == 1
+    assert packet.advance(slot=12) is True
+    assert packet.is_delivered
+    assert packet.delivered_at == 12
+    assert packet.latency() == 7
+
+
+def test_advance_past_delivery_raises():
+    packet = Packet(id=3, path=(0,), injected_at=0)
+    packet.advance(1)
+    with pytest.raises(TopologyError):
+        packet.advance(2)
+    with pytest.raises(TopologyError):
+        packet.current_link
+
+
+def test_latency_before_delivery_raises():
+    packet = Packet(id=4, path=(0,), injected_at=0)
+    with pytest.raises(TopologyError):
+        packet.latency()
+
+
+def test_path_coerced_to_int_tuple():
+    import numpy as np
+
+    packet = Packet(id=5, path=[np.int64(2), np.int64(3)], injected_at=0)
+    assert packet.path == (2, 3)
+    assert all(isinstance(e, int) for e in packet.path)

@@ -1,0 +1,37 @@
+"""Injection-rate arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.injection.rates import (
+    injection_rate_of_distribution,
+    paths_mean_usage,
+    scale_to_rate,
+)
+
+
+def test_rate_of_distribution(mac_model):
+    usage = np.array([0.1, 0.2, 0.0, 0.0, 0.0])
+    # MAC: W all ones -> rate = sum of usage.
+    assert injection_rate_of_distribution(mac_model, usage) == pytest.approx(0.3)
+
+
+def test_scale_to_rate_exact(mac_model):
+    usage = np.array([0.1, 0.1, 0.0, 0.0, 0.0])
+    scaled, factor = scale_to_rate(mac_model, usage, 0.5)
+    assert injection_rate_of_distribution(mac_model, scaled) == pytest.approx(0.5)
+    assert factor == pytest.approx(2.5)
+
+
+def test_scale_to_rate_rejects_zero_usage(mac_model):
+    with pytest.raises(ConfigurationError):
+        scale_to_rate(mac_model, np.zeros(5), 0.5)
+    with pytest.raises(ConfigurationError):
+        scale_to_rate(mac_model, np.ones(5), -1.0)
+
+
+def test_paths_mean_usage_uniform():
+    usage = paths_mean_usage(4, [(0, 1), (1, 2)])
+    assert usage.tolist() == [0.5, 1.0, 0.5, 0.0]
+    assert paths_mean_usage(3, []).tolist() == [0.0, 0.0, 0.0]

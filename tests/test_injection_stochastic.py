@@ -1,0 +1,111 @@
+"""Stochastic injection: generators, rates, batch equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, InjectionError
+from repro.injection.stochastic import (
+    PathGenerator,
+    StochasticInjection,
+    uniform_pair_injection,
+)
+from repro.network.routing import build_routing_table
+
+
+def test_generator_validates_probabilities():
+    with pytest.raises(InjectionError):
+        PathGenerator([((0,), -0.1)])
+    with pytest.raises(InjectionError):
+        PathGenerator([((0,), 0.6), ((1,), 0.6)])
+    with pytest.raises(InjectionError):
+        PathGenerator([((), 0.5)])
+
+
+def test_generator_total_and_scaling():
+    gen = PathGenerator([((0,), 0.2), ((1, 2), 0.3)])
+    assert gen.total_probability == pytest.approx(0.5)
+    scaled = gen.scaled(0.5)
+    assert scaled.total_probability == pytest.approx(0.25)
+    # Original untouched.
+    assert gen.total_probability == pytest.approx(0.5)
+
+
+def test_generator_mean_usage_counts_multiplicity():
+    gen = PathGenerator([((0, 1, 0), 0.5)])
+    usage = gen.mean_usage(3)
+    assert usage.tolist() == [1.0, 0.5, 0.0]
+
+
+def test_injection_requires_generators():
+    with pytest.raises(InjectionError):
+        StochasticInjection([])
+
+
+def test_packets_per_slot_at_most_one_per_generator():
+    gen = PathGenerator([((0,), 1.0)])
+    injection = StochasticInjection([gen, gen], rng=0)
+    for slot in range(10):
+        packets = injection.packets_for_slot(slot)
+        assert len(packets) == 2  # both generators always inject
+        assert all(p.injected_at == slot for p in packets)
+
+
+def test_packet_ids_unique():
+    gen = PathGenerator([((0,), 0.8)])
+    injection = StochasticInjection([gen], rng=1)
+    ids = [p.id for batch in injection.stream(50) for p in batch]
+    assert len(ids) == len(set(ids))
+
+
+def test_empirical_rate_matches_mean(sinr_model, sinr_routing):
+    target = 0.3 * 1.0  # arbitrary but below generator capacity
+    injection = uniform_pair_injection(
+        sinr_routing, sinr_model, target_rate=target, num_generators=4, rng=3
+    )
+    assert injection.injection_rate(sinr_model) == pytest.approx(target)
+
+
+def test_uniform_pair_injection_rejects_overload(sinr_model, sinr_routing):
+    with pytest.raises(ConfigurationError, match="num_generators"):
+        uniform_pair_injection(
+            sinr_routing, sinr_model, target_rate=1e9, num_generators=1
+        )
+
+
+def test_batch_range_distribution_matches_slotwise():
+    """packets_for_range must match per-slot draws in distribution."""
+    gen = PathGenerator([((0,), 0.3), ((1,), 0.2)])
+    horizon = 4000
+
+    slotwise = StochasticInjection([gen], rng=11)
+    count_slotwise = sum(
+        len(slotwise.packets_for_slot(t)) for t in range(horizon)
+    )
+    batch = StochasticInjection([gen], rng=12)
+    count_batch = len(batch.packets_for_range(0, horizon))
+
+    expected = horizon * 0.5
+    sigma = (horizon * 0.5 * 0.5) ** 0.5
+    assert abs(count_slotwise - expected) < 5 * sigma
+    assert abs(count_batch - expected) < 5 * sigma
+
+
+def test_batch_range_stamps_inside_range():
+    gen = PathGenerator([((0,), 0.5)])
+    injection = StochasticInjection([gen], rng=2)
+    packets = injection.packets_for_range(100, 200)
+    assert all(100 <= p.injected_at < 200 for p in packets)
+
+
+def test_batch_range_empty_interval():
+    gen = PathGenerator([((0,), 0.5)])
+    injection = StochasticInjection([gen], rng=2)
+    assert injection.packets_for_range(5, 5) == []
+
+
+def test_mean_usage_aggregates_generators():
+    g1 = PathGenerator([((0,), 0.5)])
+    g2 = PathGenerator([((0, 1), 0.25)])
+    injection = StochasticInjection([g1, g2], rng=0)
+    usage = injection.mean_usage(2)
+    assert usage.tolist() == [0.75, 0.25]

@@ -1,0 +1,127 @@
+"""InterferenceModel base-class contracts and the linear measure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.interference.base import request_vector
+from repro.interference.matrix_model import AffectanceThresholdModel
+from repro.network.network import Network
+
+
+def triangle_model(threshold=1.0):
+    net = Network(3, [(0, 1), (1, 2), (2, 0)])
+    weights = np.array(
+        [
+            [1.0, 0.5, 0.0],
+            [0.5, 1.0, 0.5],
+            [0.0, 0.5, 1.0],
+        ]
+    )
+    return AffectanceThresholdModel(net, weights, threshold=threshold)
+
+
+def test_request_vector_counts_multiplicity():
+    vec = request_vector(4, [0, 2, 2, 3])
+    assert vec.tolist() == [1.0, 0.0, 2.0, 1.0]
+
+
+def test_request_vector_rejects_out_of_range():
+    with pytest.raises(SchedulingError):
+        request_vector(2, [2])
+
+
+def test_weight_matrix_cached_and_read_only():
+    model = triangle_model()
+    w1 = model.weight_matrix()
+    assert w1 is model.weight_matrix()
+    with pytest.raises(ValueError):
+        w1[0, 0] = 0.5
+
+
+def test_weight_accessor():
+    model = triangle_model()
+    assert model.weight(0, 1) == 0.5
+    assert model.weight(0, 2) == 0.0
+
+
+def test_interference_measure_full_infinity_norm():
+    model = triangle_model()
+    # Only link 0 requested: column 0 of W is [1, 0.5, 0], max = 1.
+    assert model.interference_measure([0]) == 1.0
+    # Links 0 and 2: W.[1,0,1] = [1, 1, 1] -> 1 (row 1's exposure counts
+    # even though link 1 carries nothing: the paper's norm is over all e).
+    assert model.interference_measure([0, 2]) == 1.0
+    # All three: row 1 sees 0.5 + 1 + 0.5.
+    assert model.interference_measure([0, 1, 2]) == 2.0
+
+
+def test_interference_measure_accepts_vector():
+    model = triangle_model()
+    vec = np.array([2.0, 0.0, 0.0])
+    assert model.interference_measure(vec) == 2.0
+
+
+def test_interference_measure_empty_is_zero():
+    model = triangle_model()
+    assert model.interference_measure([]) == 0.0
+    assert model.interference_measure(np.zeros(3)) == 0.0
+
+
+def test_interference_measure_monotone_in_requests():
+    model = triangle_model()
+    small = model.interference_measure([0, 1])
+    large = model.interference_measure([0, 1, 1, 2])
+    assert large >= small
+
+
+def test_injection_norm_uses_all_rows():
+    model = triangle_model()
+    usage = np.array([1.0, 0.0, 0.0])
+    # Row 1 sees 0.5 even though link 1 itself carries nothing.
+    assert model.injection_norm(usage) == 1.0
+    usage2 = np.array([0.0, 1.0, 0.0])
+    assert model.injection_norm(usage2) == 1.0
+
+
+def test_bad_vector_shape_rejected():
+    model = triangle_model()
+    with pytest.raises(SchedulingError):
+        model.interference_measure(np.zeros(5))
+
+
+def test_successes_duplicate_rejected():
+    model = triangle_model()
+    with pytest.raises(SchedulingError, match="duplicate"):
+        model.successes([0, 0])
+
+
+def test_feasible_set_and_singletons():
+    model = triangle_model()
+    assert model.singleton_succeeds(0)
+    assert model.feasible_set([0, 2])  # no mutual impact
+    assert model.feasible_set([0, 1])  # 0.5 <= 1 both ways
+    model.check_all_singletons()  # should not raise
+
+
+def test_weight_matrix_validation_rejects_bad_diagonal():
+    net = Network(2, [(0, 1), (1, 0)])
+    bad = np.array([[0.5, 0.0], [0.0, 1.0]])
+    model = AffectanceThresholdModel(net, bad)
+    with pytest.raises(ConfigurationError, match="diagonal"):
+        model.weight_matrix()
+
+
+def test_weight_matrix_validation_rejects_out_of_range():
+    net = Network(2, [(0, 1), (1, 0)])
+    bad = np.array([[1.0, 1.5], [0.0, 1.0]])
+    model = AffectanceThresholdModel(net, bad)
+    with pytest.raises(ConfigurationError, match=r"\[0, 1\]"):
+        model.weight_matrix()
+
+
+def test_weight_matrix_validation_rejects_wrong_shape():
+    net = Network(3, [(0, 1), (1, 2), (2, 0)])
+    model = AffectanceThresholdModel(net, np.eye(2))
+    with pytest.raises(ConfigurationError, match="shape"):
+        model.weight_matrix()

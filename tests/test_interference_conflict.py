@@ -1,0 +1,204 @@
+"""Conflict-graph model, orderings, and inductive independence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interference.builders import (
+    conflict_density,
+    distance2_matching_conflicts,
+    node_constraint_conflicts,
+    protocol_model_conflicts,
+    radio_network_conflicts,
+)
+from repro.interference.conflict import ConflictGraphModel
+from repro.interference.inductive import (
+    degree_ordering,
+    inductive_independence_for_ordering,
+    length_ordering,
+)
+from repro.network.network import Network
+from repro.network.topology import grid_network, line_network, star_network
+
+
+def path_conflicts():
+    """Conflict path 0 - 1 - 2 - 3 over a 4-link network."""
+    net = Network(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+    conflicts = {0: {1}, 1: {2}, 2: {3}, 3: set()}
+    return net, conflicts
+
+
+def test_symmetrisation():
+    net, conflicts = path_conflicts()
+    model = ConflictGraphModel(net, conflicts)
+    assert model.conflicts[1] == {0, 2}
+    assert model.conflicts[3] == {2}
+
+
+def test_success_requires_no_conflicting_neighbour():
+    net, conflicts = path_conflicts()
+    model = ConflictGraphModel(net, conflicts)
+    assert model.successes([0, 2]) == {0, 2}
+    assert model.successes([0, 1]) == set()
+    assert model.successes([0, 3]) == {0, 3}
+    assert model.is_independent([0, 2])
+    assert not model.is_independent([1, 2])
+
+
+def test_weight_matrix_charges_earlier_neighbours_only():
+    net, conflicts = path_conflicts()
+    model = ConflictGraphModel(net, conflicts, ordering=[0, 1, 2, 3])
+    weights = model.weight_matrix()
+    assert weights[1, 0] == 1.0  # 0 earlier than 1
+    assert weights[0, 1] == 0.0  # 1 later than 0: not charged
+    assert weights[2, 1] == 1.0
+    assert np.allclose(np.diag(weights), 1.0)
+
+
+def test_measure_depends_on_ordering():
+    net, conflicts = path_conflicts()
+    forward = ConflictGraphModel(net, conflicts, ordering=[0, 1, 2, 3])
+    backward = ConflictGraphModel(net, conflicts, ordering=[3, 2, 1, 0])
+    requests = [0, 1, 2, 3]
+    # Both orderings give a valid measure; they may differ numerically.
+    assert forward.interference_measure(requests) >= 1.0
+    assert backward.interference_measure(requests) >= 1.0
+
+
+def test_ordering_must_be_permutation():
+    net, conflicts = path_conflicts()
+    with pytest.raises(ConfigurationError):
+        ConflictGraphModel(net, conflicts, ordering=[0, 0, 1, 2])
+
+
+def test_conflict_map_rejects_unknown_links():
+    net, _ = path_conflicts()
+    with pytest.raises(ConfigurationError):
+        ConflictGraphModel(net, {9: {0}})
+
+
+def test_rank_and_degree():
+    net, conflicts = path_conflicts()
+    model = ConflictGraphModel(net, conflicts, ordering=[3, 2, 1, 0])
+    assert model.rank(3) == 0
+    assert model.rank(0) == 3
+    assert model.conflict_degree(1) == 2
+
+
+# ----------------------------------------------------------------------
+# Inductive independence
+# ----------------------------------------------------------------------
+
+
+def test_inductive_independence_of_path_is_one():
+    _, conflicts = path_conflicts()
+    full = {e: set(n) for e, n in conflicts.items()}
+    # Symmetrise by hand for the standalone function.
+    for e, neigh in list(full.items()):
+        for u in neigh:
+            full.setdefault(u, set()).add(e)
+    rho = inductive_independence_for_ordering(full, [0, 1, 2, 3])
+    assert rho == 1
+
+
+def test_inductive_independence_of_clique_is_one():
+    conflicts = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+    rho = inductive_independence_for_ordering(conflicts, [0, 1, 2])
+    assert rho == 1  # earlier-neighbourhoods are cliques
+
+
+def test_inductive_independence_of_star_centre_last():
+    # Star: centre 0 conflicts with 1..4, leaves mutually independent.
+    conflicts = {0: {1, 2, 3, 4}, 1: {0}, 2: {0}, 3: {0}, 4: {0}}
+    # Centre last: its earlier-neighbourhood is all 4 independent leaves.
+    rho_bad = inductive_independence_for_ordering(conflicts, [1, 2, 3, 4, 0])
+    assert rho_bad == 4
+    # Centre first: every leaf sees only the centre.
+    rho_good = inductive_independence_for_ordering(conflicts, [0, 1, 2, 3, 4])
+    assert rho_good == 1
+
+
+def test_inductive_independence_rejects_non_permutation():
+    conflicts = {0: {1}, 1: {0}}
+    with pytest.raises(ConfigurationError):
+        inductive_independence_for_ordering(conflicts, [0, 0])
+
+
+def test_degree_ordering_star_puts_centre_early():
+    conflicts = {0: {1, 2, 3, 4}, 1: {0}, 2: {0}, 3: {0}, 4: {0}}
+    ordering = degree_ordering(conflicts)
+    rho = inductive_independence_for_ordering(conflicts, ordering)
+    assert rho == 1
+
+
+def test_length_ordering_sorts_by_length():
+    net = line_network(4, spacing=1.0)
+    # All lengths equal: falls back to id order.
+    assert length_ordering(net) == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+
+def test_node_constraint_conflicts_shared_endpoint():
+    net = line_network(4)  # links 0:(0,1) 1:(1,2) 2:(2,3)
+    conflicts = node_constraint_conflicts(net)
+    assert conflicts[0] == {1}
+    assert conflicts[1] == {0, 2}
+    assert conflicts[2] == {1}
+
+
+def test_node_constraint_on_star_is_clique():
+    net = star_network(4)
+    conflicts = node_constraint_conflicts(net)
+    # Every link touches the centre, so all links mutually conflict.
+    for e, neigh in conflicts.items():
+        assert len(neigh) == net.num_links - 1
+
+
+def test_protocol_model_conflicts_nearby_senders():
+    net = line_network(4, spacing=1.0)
+    conflicts = protocol_model_conflicts(net, guard_factor=0.5)
+    # Sender of link 1 (node 1) is exactly at the receiver of link 0:
+    # within the guard zone.
+    assert 1 in conflicts[0]
+    model = ConflictGraphModel(net, conflicts)
+    assert not model.successes([0, 1]) == {0, 1}
+
+
+def test_protocol_model_rejects_negative_guard():
+    net = line_network(3)
+    with pytest.raises(ConfigurationError):
+        protocol_model_conflicts(net, guard_factor=-0.1)
+
+
+def test_radio_network_conflicts():
+    net = line_network(4, spacing=1.0)
+    conflicts = radio_network_conflicts(net, range_radius=1.0)
+    # Link 1's sender (node 1) is in range of link 0's receiver (node 1).
+    assert 1 in conflicts[0]
+    # Link 2's sender (node 2) is 1.0 from node 1... also in range.
+    assert 2 in conflicts[0]
+
+
+def test_distance2_matching_conflicts_share_endpoint_always_conflict():
+    net = line_network(4, spacing=10.0)
+    conflicts = distance2_matching_conflicts(net, connectivity_radius=1.0)
+    assert 1 in conflicts[0]  # shared node 1
+    assert 2 not in conflicts[0]  # 10 apart, out of radius
+
+
+def test_conflict_density():
+    conflicts = {0: {1}, 1: {0}, 2: set()}
+    assert conflict_density(conflicts) == pytest.approx(2.0 / 3.0)
+    assert conflict_density({}) == 0.0
+
+
+def test_builders_require_geometry():
+    net = Network(3, [(0, 1), (1, 2)])
+    from repro.errors import TopologyError
+
+    with pytest.raises(TopologyError):
+        protocol_model_conflicts(net)

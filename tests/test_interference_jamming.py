@@ -1,0 +1,241 @@
+"""Tests for the jamming extension (Section-9 direction, X3 bench)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.interference.jamming import (
+    FrontLoadedPattern,
+    JammedModel,
+    PeriodicBurstPattern,
+    RandomPattern,
+    jamming_budget_factor,
+    worst_window_fraction,
+)
+from repro.interference.packet_routing import PacketRoutingModel
+from repro.network.topology import line_network
+
+
+@pytest.fixture()
+def base_model():
+    """Packet routing over a 4-node chain: every attempt succeeds alone."""
+    return PacketRoutingModel(line_network(4))
+
+
+class TestPeriodicBurstPattern:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicBurstPattern(period=0, burst=0)
+
+    def test_rejects_burst_exceeding_period(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicBurstPattern(period=4, burst=5)
+
+    def test_rejects_negative_phase(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicBurstPattern(period=4, burst=1, phase=-1)
+
+    def test_jams_prefix_of_each_cycle(self):
+        pattern = PeriodicBurstPattern(period=5, burst=2)
+        flags = [pattern.is_jammed(t) for t in range(10)]
+        assert flags == [True, True, False, False, False] * 2
+
+    def test_phase_shifts_the_burst(self):
+        pattern = PeriodicBurstPattern(period=4, burst=1, phase=2)
+        assert [pattern.is_jammed(t) for t in range(4)] == [
+            False,
+            False,
+            True,
+            False,
+        ]
+
+    def test_jam_fraction(self):
+        assert PeriodicBurstPattern(10, 3).jam_fraction == pytest.approx(0.3)
+
+    def test_zero_burst_never_jams(self):
+        pattern = PeriodicBurstPattern(period=3, burst=0)
+        assert not any(pattern.is_jammed(t) for t in range(30))
+
+
+class TestRandomPattern:
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_rejects_bad_sigma(self, bad):
+        with pytest.raises(ConfigurationError):
+            RandomPattern(bad, rng=0)
+
+    def test_memoised_decisions(self):
+        pattern = RandomPattern(0.5, rng=0)
+        first = [pattern.is_jammed(t) for t in range(100)]
+        second = [pattern.is_jammed(t) for t in range(100)]
+        assert first == second
+
+    def test_fraction_concentrates(self):
+        pattern = RandomPattern(0.3, rng=1)
+        fraction = np.mean([pattern.is_jammed(t) for t in range(5000)])
+        assert abs(fraction - 0.3) < 0.03
+
+    def test_zero_sigma_never_jams(self):
+        pattern = RandomPattern(0.0, rng=0)
+        assert not any(pattern.is_jammed(t) for t in range(100))
+
+
+class TestFrontLoadedPattern:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            FrontLoadedPattern(window=0, sigma=0.5)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0])
+    def test_rejects_bad_sigma(self, bad):
+        with pytest.raises(ConfigurationError):
+            FrontLoadedPattern(window=10, sigma=bad)
+
+    def test_budget_is_floored(self):
+        pattern = FrontLoadedPattern(window=10, sigma=0.35)
+        assert pattern.per_window_budget == 3
+        assert pattern.jam_fraction == pytest.approx(0.3)
+
+    def test_burst_at_window_start(self):
+        pattern = FrontLoadedPattern(window=5, sigma=0.4)
+        flags = [pattern.is_jammed(t) for t in range(10)]
+        assert flags == [True, True, False, False, False] * 2
+
+    @given(
+        window=st.integers(min_value=1, max_value=60),
+        sigma=st.floats(min_value=0.0, max_value=0.95),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_respects_window_bound(self, window, sigma):
+        """Every window of ``window`` slots contains at most the budget."""
+        pattern = FrontLoadedPattern(window=window, sigma=sigma)
+        horizon = max(window * 6, window + 1)
+        worst = worst_window_fraction(pattern, window, horizon)
+        assert worst <= pattern.jam_fraction + 1e-12
+
+
+class TestJammedModel:
+    def test_rejects_bad_target(self, base_model):
+        pattern = PeriodicBurstPattern(2, 1)
+        with pytest.raises(ConfigurationError):
+            JammedModel(base_model, pattern, targets=[99])
+
+    def test_weight_matrix_unchanged(self, base_model):
+        jammed = JammedModel(base_model, PeriodicBurstPattern(2, 1))
+        np.testing.assert_allclose(
+            jammed.weight_matrix(), base_model.weight_matrix()
+        )
+
+    def test_jammed_slots_erase_successes(self, base_model):
+        jammed = JammedModel(base_model, PeriodicBurstPattern(2, 1))
+        assert jammed.successes([0]) == set()      # slot 0: jammed
+        assert jammed.successes([0]) == {0}        # slot 1: clear
+        assert jammed.successes([0]) == set()      # slot 2: jammed
+
+    def test_targets_limit_the_jammer(self, base_model):
+        always = PeriodicBurstPattern(1, 1)  # jams every slot
+        jammed = JammedModel(base_model, always, targets=[0])
+        assert jammed.successes([0, 2]) == {2}
+
+    def test_clock_advances_even_without_transmissions(self, base_model):
+        jammed = JammedModel(base_model, PeriodicBurstPattern(2, 1))
+        jammed.successes([])  # slot 0 consumed
+        assert jammed.successes([0]) == {0}  # slot 1: clear
+
+    def test_reset_rewinds_clock(self, base_model):
+        jammed = JammedModel(base_model, PeriodicBurstPattern(2, 1))
+        for _ in range(3):
+            jammed.successes([0])
+        jammed.reset()
+        assert jammed.slots_elapsed == 0
+        assert jammed.successes([0]) == set()  # slot 0 again: jammed
+
+    def test_slots_elapsed_counts_calls(self, base_model):
+        jammed = JammedModel(base_model, PeriodicBurstPattern(3, 1))
+        for _ in range(5):
+            jammed.successes([1])
+        assert jammed.slots_elapsed == 5
+
+    def test_base_collisions_still_apply(self, base_model):
+        """In a clear slot, the base predicate is the ground truth."""
+        never = PeriodicBurstPattern(period=1, burst=0)
+        jammed = JammedModel(base_model, never)
+        # Packet routing: all distinct links succeed together.
+        assert jammed.successes([0, 1, 2]) == {0, 1, 2}
+
+
+class TestBudgetFactor:
+    def test_zero_jamming_is_pure_slack(self):
+        assert jamming_budget_factor(0.0, slack=1.5) == pytest.approx(1.5)
+
+    def test_half_jamming_doubles(self):
+        assert jamming_budget_factor(0.5, slack=1.0) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0])
+    def test_rejects_bad_sigma(self, bad):
+        with pytest.raises(ConfigurationError):
+            jamming_budget_factor(bad)
+
+    def test_rejects_bad_slack(self):
+        with pytest.raises(ConfigurationError):
+            jamming_budget_factor(0.2, slack=0.5)
+
+    @given(sigma=st.floats(min_value=0.0, max_value=0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_sigma(self, sigma):
+        assert jamming_budget_factor(sigma) >= jamming_budget_factor(0.0)
+
+
+class TestWorstWindowFraction:
+    def test_requires_positive_window(self):
+        with pytest.raises(ConfigurationError):
+            worst_window_fraction(PeriodicBurstPattern(2, 1), 0, 10)
+
+    def test_requires_horizon_covering_window(self):
+        with pytest.raises(ConfigurationError):
+            worst_window_fraction(PeriodicBurstPattern(2, 1), 10, 5)
+
+    def test_periodic_pattern_exact(self):
+        pattern = PeriodicBurstPattern(period=4, burst=2)
+        assert worst_window_fraction(pattern, 4, 40) == pytest.approx(0.5)
+
+    def test_misaligned_window_sees_the_burst(self):
+        """A window smaller than the period can be fully jammed."""
+        pattern = PeriodicBurstPattern(period=10, burst=5)
+        assert worst_window_fraction(pattern, 5, 100) == pytest.approx(1.0)
+
+
+class TestJammedStaticScheduling:
+    """End to end: a scheduler under jamming needs the scaled budget."""
+
+    def test_round_trip_with_scaled_budget(self, base_model):
+        from repro.staticsched.single_hop import SingleHopScheduler
+
+        sigma = 0.5
+        pattern = PeriodicBurstPattern(period=2, burst=1)
+        jammed = JammedModel(base_model, pattern)
+        scheduler = SingleHopScheduler()
+        requests = [0, 1, 2] * 4
+        base_budget = scheduler.budget_for(
+            base_model.interference_measure(requests), len(requests)
+        )
+        scaled = int(
+            np.ceil(base_budget * jamming_budget_factor(sigma, slack=1.0))
+        ) + 1
+        result = scheduler.run(jammed, requests, scaled, rng=0)
+        assert result.all_delivered
+
+    def test_unscaled_budget_leaves_leftovers(self, base_model):
+        pattern = PeriodicBurstPattern(period=2, burst=1, phase=0)
+        jammed = JammedModel(base_model, pattern)
+        from repro.staticsched.single_hop import SingleHopScheduler
+
+        scheduler = SingleHopScheduler()
+        requests = [0] * 10
+        # 10 packets on one link need 10 clear slots; a 10-slot budget
+        # under 50% jamming serves only ~5.
+        result = scheduler.run(jammed, requests, 10, rng=0)
+        assert not result.all_delivered
+        assert len(result.delivered) == 5

@@ -1,0 +1,105 @@
+"""MAC, packet-routing, explicit-matrix, and threshold models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interference.mac import MultipleAccessChannel
+from repro.interference.matrix_model import (
+    AffectanceThresholdModel,
+    ExplicitMatrixModel,
+)
+from repro.interference.packet_routing import PacketRoutingModel
+from repro.network.network import Network
+from repro.network.topology import mac_network
+
+
+def test_mac_all_ones_matrix(mac_model):
+    weights = mac_model.weight_matrix()
+    assert np.allclose(weights, 1.0)
+
+
+def test_mac_measure_is_packet_count(mac_model):
+    assert mac_model.interference_measure([0, 1, 2, 2]) == 4.0
+
+
+def test_mac_success_iff_alone(mac_model):
+    assert mac_model.successes([3]) == {3}
+    assert mac_model.successes([1, 2]) == set()
+    assert mac_model.successes([]) == set()
+    assert mac_model.successes([0, 1, 2, 3, 4]) == set()
+
+
+def test_packet_routing_identity_matrix(packet_routing_model):
+    assert np.allclose(
+        packet_routing_model.weight_matrix(),
+        np.eye(packet_routing_model.num_links),
+    )
+
+
+def test_packet_routing_measure_is_congestion(packet_routing_model):
+    # Three packets on link 0, one on link 1: congestion 3.
+    assert packet_routing_model.interference_measure([0, 0, 0, 1]) == 3.0
+
+
+def test_packet_routing_everything_succeeds(packet_routing_model):
+    links = list(range(packet_routing_model.num_links))
+    assert packet_routing_model.successes(links) == set(links)
+
+
+def test_explicit_model_delegates_predicate():
+    net = mac_network(3)
+    weights = np.eye(3)
+
+    def only_even(links):
+        return {e for e in links if e % 2 == 0}
+
+    model = ExplicitMatrixModel(net, weights, only_even)
+    assert model.successes([0, 1, 2]) == {0, 2}
+
+
+def test_explicit_model_rejects_predicate_inventing_links():
+    net = mac_network(3)
+
+    def bad_predicate(links):
+        return {99}
+
+    model = ExplicitMatrixModel(net, np.eye(3), bad_predicate)
+    with pytest.raises(ConfigurationError):
+        model.successes([0])
+
+
+def test_threshold_model_accumulation():
+    net = Network(3, [(0, 1), (1, 2), (2, 0)])
+    weights = np.array(
+        [
+            [1.0, 0.6, 0.6],
+            [0.6, 1.0, 0.6],
+            [0.6, 0.6, 1.0],
+        ]
+    )
+    model = AffectanceThresholdModel(net, weights, threshold=1.0)
+    # Pairwise impact 0.6 <= 1: pairs feasible.
+    assert model.feasible_set([0, 1])
+    # All three: each suffers 1.2 > 1 -> everybody fails.
+    assert model.successes([0, 1, 2]) == set()
+
+
+def test_threshold_model_asymmetric_success():
+    net = Network(2, [(0, 1), (1, 0)])
+    weights = np.array([[1.0, 0.9], [0.1, 1.0]])
+    model = AffectanceThresholdModel(net, weights, threshold=0.5)
+    # Link 0 suffers 0.9 > 0.5 (fails); link 1 suffers 0.1 (succeeds).
+    assert model.successes([0, 1]) == {1}
+
+
+def test_threshold_model_rejects_nonpositive_threshold():
+    net = Network(2, [(0, 1), (1, 0)])
+    with pytest.raises(ConfigurationError):
+        AffectanceThresholdModel(net, np.eye(2), threshold=0.0)
+
+
+def test_threshold_model_empty_set():
+    net = Network(2, [(0, 1), (1, 0)])
+    model = AffectanceThresholdModel(net, np.eye(2))
+    assert model.successes([]) == set()

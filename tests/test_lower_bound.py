@@ -1,0 +1,100 @@
+"""Theorem 20 / Figure 1: the global-clock lower bound."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.lower_bound import Figure1Model, simulate_figure1
+from repro.errors import ConfigurationError
+from repro.network.topology import figure1_instance
+
+
+def test_model_weight_matrix_shape():
+    net = figure1_instance(5)
+    model = Figure1Model(net)
+    weights = model.weight_matrix()
+    assert np.allclose(np.diag(weights), 1.0)
+    # The long link's row is all ones; shorts only see themselves.
+    assert np.allclose(weights[model.long_link], 1.0)
+    assert weights[0, 1] == 0.0
+
+
+def test_short_links_always_succeed():
+    net = figure1_instance(4)
+    model = Figure1Model(net)
+    shorts = list(range(model.long_link))
+    assert model.successes(shorts) == set(shorts)
+
+
+def test_long_link_needs_silence():
+    net = figure1_instance(4)
+    model = Figure1Model(net)
+    long = model.long_link
+    assert model.successes([long]) == {long}
+    result = model.successes([0, long])
+    assert long not in result
+    assert 0 in result
+
+
+def test_simulation_validates_inputs():
+    with pytest.raises(ConfigurationError):
+        simulate_figure1(1, 0.1, 100)
+    with pytest.raises(ConfigurationError):
+        simulate_figure1(4, 1.5, 100)
+    with pytest.raises(ConfigurationError):
+        simulate_figure1(4, 0.1, 100, protocol="quantum")
+
+
+def test_global_clock_stable_below_half():
+    result = simulate_figure1(8, rate=0.35, horizon=6000, protocol="global",
+                              rng=1)
+    # Long queue stays bounded: no upward drift.
+    assert result.long_queue_slope() < 0.01
+    assert result.final_long_queue < 100
+
+
+def test_global_clock_unstable_above_half():
+    result = simulate_figure1(8, rate=0.6, horizon=6000, protocol="global",
+                              rng=2)
+    # Arrivals 0.6/slot, service at most 0.5/slot: linear growth.
+    assert result.long_queue_slope() > 0.05
+
+
+def test_local_clock_unstable_at_log_m_over_m():
+    m = 64
+    rate = 1.5 * math.log(m) / m  # comfortably above ln(m)/m
+    result = simulate_figure1(m, rate=rate, horizon=8000, protocol="local",
+                              rng=3)
+    assert result.long_queue_slope() > 0.01
+    # Short links are fine throughout (they always succeed).
+    assert max(result.max_short_queue) < 50
+
+
+def test_local_clock_fine_at_tiny_rates():
+    m = 64
+    rate = 0.05 / m  # far below ln(m)/m: idle slots abound
+    result = simulate_figure1(m, rate=rate, horizon=8000, protocol="local",
+                              rng=4)
+    assert result.long_queue_slope() < 0.005
+
+
+def test_global_beats_local_at_theorem_rate():
+    """The separation the theorem is about, at lambda = ln m / m."""
+    m = 64
+    rate = math.log(m) / m
+    global_run = simulate_figure1(m, rate, 8000, protocol="global", rng=5)
+    local_run = simulate_figure1(m, rate, 8000, protocol="local", rng=5)
+    assert global_run.long_queue_slope() < 0.01
+    assert local_run.final_long_queue > 5 * max(1, global_run.final_long_queue)
+
+
+def test_sampling_stride():
+    result = simulate_figure1(4, 0.2, 1000, rng=0, sample_every=10)
+    assert len(result.long_queue) == 100
+
+
+def test_deliveries_counted():
+    result = simulate_figure1(6, 0.3, 2000, protocol="global", rng=6)
+    assert result.short_delivered > 0
+    assert result.long_delivered > 0

@@ -1,0 +1,86 @@
+"""The Tassiulas-Ephremides max-weight comparator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.interference.mac import MultipleAccessChannel
+from repro.network.topology import mac_network
+from repro.staticsched.base import LinkQueues
+from repro.staticsched.decay import DecayScheduler
+from repro.staticsched.max_weight import MaxWeightScheduler
+
+
+def test_exact_limit_validation():
+    with pytest.raises(SchedulingError):
+        MaxWeightScheduler(exact_limit=0)
+
+
+def test_mac_picks_longest_queue(mac_model):
+    scheduler = MaxWeightScheduler()
+    queues = LinkQueues([0, 2, 2, 2, 4], num_links=mac_model.num_links)
+    chosen = scheduler.best_feasible_set(mac_model, queues)
+    # Only singletons are feasible on the MAC; the heaviest queue wins.
+    assert chosen == [2]
+
+
+def test_exact_search_beats_greedy_when_greedy_traps():
+    """A case where greedy-by-weight picks a blocking link."""
+    from repro.interference.conflict import ConflictGraphModel
+    from repro.network.network import Network
+
+    net = Network(4, [(0, 1), (1, 2), (2, 3)])
+    # Link 1 conflicts with both 0 and 2; 0 and 2 are independent.
+    model = ConflictGraphModel(net, {1: {0, 2}})
+    scheduler = MaxWeightScheduler()
+    # Weights: link 1 has 3 packets; links 0 and 2 have 2 each.
+    queues = LinkQueues([1, 1, 1, 0, 0, 2, 2], num_links=3)
+    chosen = scheduler.best_feasible_set(model, queues)
+    # Exact search must find {0, 2} (weight 4) over {1} (weight 3).
+    assert sorted(chosen) == [0, 2]
+
+
+def test_greedy_fallback_beyond_limit(sinr_model):
+    scheduler = MaxWeightScheduler(exact_limit=2)
+    requests = list(np.random.default_rng(0).integers(
+        0, sinr_model.num_links, size=30
+    ))
+    queues = LinkQueues(requests, sinr_model.num_links)
+    chosen = scheduler.best_feasible_set(sinr_model, queues)
+    assert chosen
+    assert sinr_model.feasible_set(chosen)
+
+
+def test_run_conserves_and_delivers(mac_model):
+    scheduler = MaxWeightScheduler()
+    requests = [0, 1, 2, 3, 4, 0, 1]
+    result = scheduler.run(mac_model, requests, 100, rng=0)
+    assert result.all_delivered
+    # MAC serves exactly one per slot: optimal length = n.
+    assert result.slots_used == len(requests)
+
+
+def test_run_respects_budget(mac_model):
+    scheduler = MaxWeightScheduler()
+    result = scheduler.run(mac_model, [0, 1, 2], 2, rng=0)
+    assert len(result.delivered) == 2
+    assert len(result.remaining) == 1
+
+
+def test_max_weight_at_least_as_good_as_decay(sinr_model):
+    requests = list(np.random.default_rng(3).integers(
+        0, sinr_model.num_links, size=40
+    ))
+    measure = sinr_model.interference_measure(requests)
+    budget = DecayScheduler().budget_for(measure, len(requests))
+    mw = MaxWeightScheduler(exact_limit=8).run(
+        sinr_model, requests, budget, rng=1
+    )
+    decay = DecayScheduler().run(sinr_model, requests, budget, rng=1)
+    assert mw.all_delivered
+    assert mw.slots_used <= decay.slots_used
+
+
+def test_network_bound_exists():
+    bound = MaxWeightScheduler().network_bound(10)
+    assert bound.f(10) == 2.0

@@ -1,0 +1,127 @@
+"""Links and the Network container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.geometry.point import Point
+from repro.network.link import Link
+from repro.network.network import Network
+
+
+def test_link_rejects_self_loop():
+    with pytest.raises(TopologyError):
+        Link(0, 1, 1)
+
+
+def test_link_rejects_negative_id():
+    with pytest.raises(TopologyError):
+        Link(-1, 0, 1)
+
+
+def test_link_endpoints_and_reverse():
+    link = Link(0, 1, 2)
+    assert link.endpoints == frozenset({1, 2})
+    rev = link.reversed(5)
+    assert (rev.id, rev.sender, rev.receiver) == (5, 2, 1)
+
+
+def test_link_shares_endpoint():
+    a = Link(0, 1, 2)
+    assert a.shares_endpoint(Link(1, 2, 3))
+    assert a.shares_endpoint(Link(2, 0, 1))
+    assert not a.shares_endpoint(Link(3, 3, 4))
+
+
+def simple_network(**kwargs):
+    return Network(4, [(0, 1), (1, 2), (2, 3), (3, 0)], **kwargs)
+
+
+def test_network_basic_counts():
+    net = simple_network()
+    assert net.num_nodes == 4
+    assert net.num_links == 4
+    assert net.max_path_length == 4
+    assert net.size_m == 4
+
+
+def test_size_m_uses_max_of_links_and_depth():
+    net = Network(4, [(0, 1)], max_path_length=9)
+    assert net.size_m == 9
+    net2 = Network(4, [(0, 1), (1, 2), (2, 3)], max_path_length=1)
+    assert net2.size_m == 3
+
+
+def test_network_rejects_duplicate_links():
+    with pytest.raises(TopologyError, match="duplicate"):
+        Network(3, [(0, 1), (0, 1)])
+
+
+def test_network_rejects_out_of_range_endpoints():
+    with pytest.raises(TopologyError):
+        Network(2, [(0, 2)])
+
+
+def test_network_adjacency():
+    net = simple_network()
+    assert net.links_from(0) == [0]
+    assert net.links_into(0) == [3]
+    assert net.link_between(1, 2) == 1
+    assert net.link_between(2, 1) is None
+
+
+def test_network_geometry_requires_positions():
+    net = simple_network()
+    assert not net.is_geometric
+    with pytest.raises(TopologyError):
+        net.positions
+    with pytest.raises(TopologyError):
+        net.link_lengths()
+
+
+def test_network_with_positions():
+    points = [Point(0, 0), Point(1, 0), Point(1, 1), Point(0, 1)]
+    net = simple_network(positions=points)
+    assert net.is_geometric
+    assert np.allclose(net.link_lengths(), 1.0)
+    assert net.length_diversity() == pytest.approx(1.0)
+
+
+def test_network_rejects_mismatched_positions():
+    with pytest.raises(ConfigurationError):
+        simple_network(positions=[Point(0, 0)])
+
+
+def test_validate_path_accepts_chain():
+    net = simple_network()
+    assert net.validate_path([0, 1, 2]) == (0, 1, 2)
+
+
+def test_validate_path_rejects_break():
+    net = simple_network()
+    with pytest.raises(TopologyError, match="breaks"):
+        net.validate_path([0, 2])
+
+
+def test_validate_path_rejects_empty_and_too_long():
+    net = Network(3, [(0, 1), (1, 2), (2, 0)], max_path_length=2)
+    with pytest.raises(TopologyError, match="empty"):
+        net.validate_path([])
+    with pytest.raises(TopologyError, match="exceeds"):
+        net.validate_path([0, 1, 2])
+
+
+def test_validate_path_allows_revisits():
+    net = Network(2, [(0, 1), (1, 0)], max_path_length=4)
+    # 0 -> 1 -> 0 -> 1: revisits both nodes, legal per the paper.
+    assert net.validate_path([0, 1, 0]) == (0, 1, 0)
+
+
+def test_validate_path_rejects_unknown_link():
+    net = simple_network()
+    with pytest.raises(TopologyError, match="unknown"):
+        net.validate_path([0, 9])
+
+
+def test_repr_mentions_size():
+    assert "nodes=4" in repr(simple_network())

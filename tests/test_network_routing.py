@@ -1,0 +1,95 @@
+"""Routing tables and shortest link paths."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.network.network import Network
+from repro.network.routing import (
+    build_routing_table,
+    shortest_link_path,
+)
+from repro.network.topology import grid_network, line_network
+
+
+def diamond():
+    #    1
+    #  /   \
+    # 0     3     plus the slow path 0 -> 2 -> 4 -> 3
+    #  \   /
+    #    2 -> 4
+    return Network(5, [(0, 1), (1, 3), (0, 2), (2, 4), (4, 3)])
+
+
+def test_shortest_path_picks_fewest_hops():
+    net = diamond()
+    path = shortest_link_path(net, 0, 3)
+    assert path == (0, 1)
+
+
+def test_shortest_path_none_when_unreachable():
+    net = Network(3, [(0, 1)])
+    assert shortest_link_path(net, 0, 2) is None
+    assert shortest_link_path(net, 1, 0) is None
+
+
+def test_shortest_path_same_node_empty():
+    assert shortest_link_path(diamond(), 2, 2) == ()
+
+
+def test_shortest_path_chains_correctly():
+    net = line_network(5)
+    path = shortest_link_path(net, 0, 4)
+    assert path == (0, 1, 2, 3)
+    for prev, nxt in zip(path, path[1:]):
+        assert net.link(prev).receiver == net.link(nxt).sender
+
+
+def test_routing_table_contains_reachable_pairs():
+    net = line_network(4)
+    table = build_routing_table(net)
+    assert table.has_path(0, 3)
+    assert not table.has_path(3, 0)  # forward-only chain
+    assert len(table) == 6  # 3 + 2 + 1 ordered pairs
+
+
+def test_routing_table_path_lookup_and_error():
+    net = line_network(4)
+    table = build_routing_table(net)
+    assert table.path(1, 3) == (1, 2)
+    with pytest.raises(TopologyError):
+        table.path(3, 0)
+
+
+def test_routing_table_respects_depth_bound():
+    net = line_network(6, max_path_length=2)
+    table = build_routing_table(net)
+    assert table.has_path(0, 2)
+    assert not table.has_path(0, 5)  # needs 5 hops > D=2
+    assert table.max_hops() == 2
+
+
+def test_routing_table_restricted_sources():
+    net = grid_network(2, 3)
+    table = build_routing_table(net, sources=[0])
+    assert all(source == 0 for source, _ in table.pairs())
+
+
+def test_pairs_with_length():
+    net = line_network(5)
+    table = build_routing_table(net)
+    assert table.pairs_with_length(4) == [(0, 4)]
+    assert table.pairs_with_length(1) == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+
+def test_grid_routing_is_shortest():
+    net = grid_network(3, 3)
+    table = build_routing_table(net)
+    # Manhattan distance from corner to corner is 4.
+    assert len(table.path(0, 8)) == 4
+
+
+def test_empty_table_max_hops():
+    net = Network(2, [(0, 1)])
+    table = build_routing_table(net, sources=[1])
+    assert table.max_hops() == 0
+    assert table.pairs() == []

@@ -1,0 +1,95 @@
+"""Topology generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.topology import (
+    figure1_instance,
+    grid_network,
+    line_network,
+    mac_network,
+    random_sinr_network,
+    star_network,
+)
+
+
+def test_random_sinr_network_is_geometric_and_connected_enough():
+    net = random_sinr_network(30, rng=0)
+    assert net.is_geometric
+    assert net.num_nodes == 30
+    assert net.num_links > 0
+    # Links are bidirected pairs.
+    for link in net.links:
+        assert net.link_between(link.receiver, link.sender) is not None
+
+
+def test_random_sinr_network_deterministic():
+    a = random_sinr_network(20, rng=5)
+    b = random_sinr_network(20, rng=5)
+    assert [(l.sender, l.receiver) for l in a.links] == [
+        (l.sender, l.receiver) for l in b.links
+    ]
+
+
+def test_random_sinr_network_respects_radius():
+    net = random_sinr_network(40, max_link_length=0.2, rng=1)
+    assert float(net.link_lengths().max()) <= 0.2 + 1e-9
+
+
+def test_random_sinr_network_needs_two_nodes():
+    with pytest.raises(ConfigurationError):
+        random_sinr_network(1)
+
+
+def test_grid_network_link_count():
+    net = grid_network(3, 4)
+    # Horizontal: 3 rows * 3 gaps, vertical: 2 gaps * 4 cols, both directions.
+    assert net.num_links == 2 * (3 * 3 + 2 * 4)
+    assert net.is_geometric
+
+
+def test_line_network_forward_only_and_bidirectional():
+    forward = line_network(5)
+    assert forward.num_links == 4
+    both = line_network(5, bidirectional=True)
+    assert both.num_links == 8
+
+
+def test_line_network_lengths_equal_spacing():
+    net = line_network(4, spacing=2.5)
+    assert np.allclose(net.link_lengths(), 2.5)
+
+
+def test_star_network_structure():
+    net = star_network(6)
+    assert net.num_nodes == 7
+    assert net.num_links == 12
+    centre_in = net.links_into(0)
+    assert len(centre_in) == 6
+
+
+def test_mac_network_single_hop():
+    net = mac_network(4)
+    assert net.num_links == 4
+    assert net.max_path_length == 1
+    assert not net.is_geometric
+    # Link id i belongs to station i.
+    for i in range(4):
+        assert net.link(i).sender == i
+
+
+def test_figure1_instance_layout():
+    m = 6
+    net = figure1_instance(m)
+    assert net.num_links == m
+    assert net.num_nodes == 2 * m
+    assert net.max_path_length == 1
+    lengths = net.link_lengths()
+    # The long link dwarfs the shorts.
+    assert lengths[m - 1] > 100 * lengths[: m - 1].max()
+
+
+def test_figure1_instance_needs_two_links():
+    with pytest.raises(ConfigurationError):
+        figure1_instance(1)

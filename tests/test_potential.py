@@ -1,0 +1,65 @@
+"""Potential-function bookkeeping (Theorem-3 analysis)."""
+
+import pytest
+
+from repro.core.potential import PotentialTracker
+from repro.errors import SchedulingError
+from repro.injection.packet import Packet
+
+
+def failed_packet(hops=3):
+    packet = Packet(id=0, path=tuple(range(hops)), injected_at=0)
+    packet.failed = True
+    packet.failed_at_frame = 0
+    return packet
+
+
+def test_failure_adds_remaining_hops():
+    tracker = PotentialTracker()
+    tracker.on_failure(failed_packet(3))
+    assert tracker.value == 3
+    assert tracker.total_failures == 1
+
+
+def test_cleanup_hop_decrements():
+    tracker = PotentialTracker()
+    tracker.on_failure(failed_packet(2))
+    tracker.on_cleanup_hop(failed_packet(2))
+    assert tracker.value == 1
+    assert tracker.total_cleanup_hops == 1
+
+
+def test_underflow_rejected():
+    tracker = PotentialTracker()
+    with pytest.raises(SchedulingError):
+        tracker.on_cleanup_hop(failed_packet())
+
+
+def test_failure_with_no_hops_rejected():
+    tracker = PotentialTracker()
+    packet = failed_packet(1)
+    packet.advance(5)
+    with pytest.raises(SchedulingError):
+        tracker.on_failure(packet)
+
+
+def test_sampling_and_drift():
+    tracker = PotentialTracker()
+    for value in range(10):
+        tracker.value = value
+        tracker.sample()
+    assert tracker.series == list(range(10))
+    assert tracker.drift_estimate() == pytest.approx(1.0)
+
+
+def test_drift_of_flat_series_is_zero():
+    tracker = PotentialTracker()
+    for _ in range(20):
+        tracker.sample()
+    assert tracker.drift_estimate() == 0.0
+
+
+def test_drift_short_series():
+    tracker = PotentialTracker()
+    tracker.sample()
+    assert tracker.drift_estimate() == 0.0

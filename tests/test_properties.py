@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These target the *data-structure* level guarantees the proofs rest on:
+affectance normalisation, measure algebra, success-predicate sanity,
+scheduler request conservation. Strategies are kept small so the suite
+stays fast; hypothesis shrinks violations to minimal counterexamples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.interference.base import request_vector
+from repro.interference.conflict import ConflictGraphModel
+from repro.interference.mac import MultipleAccessChannel
+from repro.interference.matrix_model import AffectanceThresholdModel
+from repro.network.network import Network
+from repro.network.topology import mac_network
+from repro.sinr.affectance import affectance_matrix
+from repro.sinr.model import SinrModel
+from repro.sinr.power import LinearPower, UniformPower
+from repro.staticsched.decay import DecayScheduler
+from repro.staticsched.single_hop import SingleHopScheduler
+from repro.interference.packet_routing import PacketRoutingModel
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def geometric_networks(draw):
+    """Small geometric networks with well-separated random nodes."""
+    n = draw(st.integers(min_value=4, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    # Rejection-sample until all pairwise distances exceed a floor, so
+    # path loss stays finite and links are individually feasible.
+    for _ in range(50):
+        coords = rng.random((n, 2)) * 10.0
+        diffs = coords[:, None, :] - coords[None, :, :]
+        dist = np.sqrt((diffs**2).sum(axis=2))
+        np.fill_diagonal(dist, np.inf)
+        if dist.min() > 0.5:
+            break
+    points = [Point(float(x), float(y)) for x, y in coords]
+    links = []
+    for i in range(n):
+        j = int(dist[i].argmin())
+        links.append((i, j))
+        links.append((j, i))
+    links = sorted(set(links))
+    return Network(n, links, positions=points)
+
+
+@st.composite
+def weight_matrices(draw, size):
+    """Valid W matrices: entries in [0,1], unit diagonal."""
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0),
+            min_size=size * size,
+            max_size=size * size,
+        )
+    )
+    matrix = np.asarray(values).reshape(size, size)
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
+# ----------------------------------------------------------------------
+# Affectance invariants
+# ----------------------------------------------------------------------
+
+
+@given(geometric_networks(), st.floats(min_value=2.1, max_value=5.0))
+@settings(max_examples=25, deadline=None)
+def test_affectance_always_in_unit_interval(net, alpha):
+    powers = LinearPower().powers(net, alpha)
+    affect = affectance_matrix(net, powers, alpha, beta=1.0, noise=0.0)
+    assert affect.min() >= 0.0
+    assert affect.max() <= 1.0
+    assert np.allclose(np.diag(affect), 1.0)
+
+
+@given(geometric_networks())
+@settings(max_examples=15, deadline=None)
+def test_sinr_default_weights_are_valid(net):
+    model = SinrModel(net, alpha=3.0, beta=1.0, noise=0.0,
+                      power=LinearPower())
+    weights = model.weight_matrix()  # runs the base-class validation
+    assert weights.shape == (net.num_links, net.num_links)
+
+
+@given(geometric_networks(), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=20, deadline=None)
+def test_sinr_successes_subset_and_singletons(net, seed):
+    model = SinrModel(net, alpha=3.0, beta=0.8, noise=0.0,
+                      power=LinearPower())
+    rng = np.random.default_rng(seed)
+    size = int(rng.integers(1, net.num_links + 1))
+    subset = sorted(rng.choice(net.num_links, size=size, replace=False))
+    winners = model.successes(subset)
+    assert winners <= set(subset)
+    assert model.successes([subset[0]]) == {subset[0]}
+
+
+# ----------------------------------------------------------------------
+# Measure algebra
+# ----------------------------------------------------------------------
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_measure_is_subadditive_and_monotone(data):
+    size = data.draw(st.integers(min_value=2, max_value=6))
+    net = mac_network(size)
+    weights = data.draw(weight_matrices(size))
+    model = AffectanceThresholdModel(net, weights)
+    a = data.draw(
+        st.lists(st.integers(0, size - 1), min_size=0, max_size=8)
+    )
+    b = data.draw(
+        st.lists(st.integers(0, size - 1), min_size=0, max_size=8)
+    )
+    measure_a = model.interference_measure(a)
+    measure_b = model.interference_measure(b)
+    measure_ab = model.interference_measure(a + b)
+    assert measure_ab <= measure_a + measure_b + 1e-9
+    assert measure_ab >= max(measure_a, measure_b) - 1e-9
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_measure_scales_linearly(data):
+    size = data.draw(st.integers(min_value=2, max_value=6))
+    net = mac_network(size)
+    weights = data.draw(weight_matrices(size))
+    model = AffectanceThresholdModel(net, weights)
+    requests = data.draw(
+        st.lists(st.integers(0, size - 1), min_size=1, max_size=5)
+    )
+    k = data.draw(st.integers(min_value=2, max_value=4))
+    single = model.interference_measure(requests)
+    repeated = model.interference_measure(requests * k)
+    assert repeated == pytest.approx(k * single)
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_request_vector_matches_manual_count(data):
+    size = data.draw(st.integers(min_value=1, max_value=8))
+    ids = data.draw(st.lists(st.integers(0, size - 1), max_size=20))
+    vector = request_vector(size, ids)
+    assert vector.sum() == len(ids)
+    for link in range(size):
+        assert vector[link] == ids.count(link)
+
+
+# ----------------------------------------------------------------------
+# Scheduler conservation
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(0, 4), min_size=0, max_size=15),
+    st.integers(min_value=0, max_value=200),
+    st.integers(min_value=0, max_value=99),
+)
+@settings(max_examples=30, deadline=None)
+def test_decay_conserves_requests_on_mac(requests, budget, seed):
+    model = MultipleAccessChannel(mac_network(5))
+    result = DecayScheduler().run(model, requests, budget, rng=seed)
+    assert sorted(result.delivered + result.remaining) == sorted(
+        range(len(requests))
+    )
+    assert result.slots_used <= budget
+
+
+@given(
+    st.lists(st.integers(0, 3), min_size=0, max_size=12),
+    st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=30, deadline=None)
+def test_single_hop_conserves_and_bounds(requests, budget):
+    net = mac_network(4)
+    model = PacketRoutingModel(net)
+    result = SingleHopScheduler().run(model, requests, budget)
+    assert sorted(result.delivered + result.remaining) == sorted(
+        range(len(requests))
+    )
+    if requests:
+        congestion = max(requests.count(e) for e in set(requests))
+        if budget >= congestion:
+            assert result.all_delivered
+            assert result.slots_used == congestion
+
+
+# ----------------------------------------------------------------------
+# Conflict graphs
+# ----------------------------------------------------------------------
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_conflict_success_iff_independent(data):
+    size = data.draw(st.integers(min_value=2, max_value=6))
+    net = mac_network(size)
+    pairs = data.draw(
+        st.lists(
+            st.tuples(st.integers(0, size - 1), st.integers(0, size - 1)),
+            max_size=8,
+        )
+    )
+    conflicts = {e: set() for e in range(size)}
+    for a, b in pairs:
+        if a != b:
+            conflicts[a].add(b)
+    model = ConflictGraphModel(net, conflicts)
+    subset = data.draw(
+        st.lists(st.integers(0, size - 1), max_size=size, unique=True)
+    )
+    winners = model.successes(subset)
+    for link in subset:
+        neighbours = model.conflicts[link]
+        expected = not (neighbours & set(subset))
+        assert (link in winners) == expected

@@ -1,0 +1,81 @@
+"""Metrics recording and latency summaries."""
+
+import pytest
+
+from repro.injection.packet import Packet
+from repro.sim.metrics import LatencySummary, MetricsRecorder
+
+
+def delivered_packet(pid, injected, delivered, hops=1):
+    packet = Packet(id=pid, path=tuple(range(hops)), injected_at=injected)
+    for k in range(hops):
+        packet.advance(delivered if k == hops - 1 else injected + k)
+    return packet
+
+
+def test_latency_summary_empty():
+    summary = LatencySummary.from_packets([])
+    assert summary.count == 0
+    assert summary.mean == 0.0
+
+
+def test_latency_summary_values():
+    packets = [
+        delivered_packet(0, 0, 10),
+        delivered_packet(1, 5, 25),
+        delivered_packet(2, 0, 30),
+    ]
+    summary = LatencySummary.from_packets(packets)
+    assert summary.count == 3
+    assert summary.mean == pytest.approx((10 + 20 + 30) / 3)
+    assert summary.median == 20
+    assert summary.maximum == 30
+
+
+def test_recorder_series_and_totals():
+    recorder = MetricsRecorder()
+    for frame in range(5):
+        recorder.record_frame(
+            injected=2,
+            in_system=frame,
+            active=frame,
+            failed=0,
+            potential=0,
+            delivered_total=frame * 2,
+        )
+    assert recorder.frames == 5
+    assert recorder.injected_total == 10
+    assert recorder.queue_series == [0, 1, 2, 3, 4]
+    assert recorder.final_queue == 4
+    assert recorder.max_queue == 4
+    assert recorder.delivered_count() == 8
+    assert recorder.throughput() == pytest.approx(8 / 5)
+
+
+def test_mean_queue_tail():
+    recorder = MetricsRecorder()
+    for value in [100, 100, 0, 0]:
+        recorder.record_frame(0, value, value, 0, 0, 0)
+    assert recorder.mean_queue(tail_fraction=0.5) == 0.0
+    assert recorder.mean_queue(tail_fraction=1.0) == 50.0
+
+
+def test_empty_recorder_defaults():
+    recorder = MetricsRecorder()
+    assert recorder.final_queue == 0
+    assert recorder.max_queue == 0
+    assert recorder.mean_queue() == 0.0
+    assert recorder.throughput() == 0.0
+
+
+def test_latency_by_path_length():
+    recorder = MetricsRecorder()
+    packets = [
+        delivered_packet(0, 0, 10, hops=1),
+        delivered_packet(1, 0, 30, hops=2),
+        delivered_packet(2, 0, 20, hops=1),
+    ]
+    groups = recorder.latency_by_path_length(packets)
+    assert set(groups) == {1, 2}
+    assert groups[1].count == 2
+    assert groups[2].mean == 30

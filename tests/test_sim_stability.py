@@ -1,0 +1,63 @@
+"""Stability detector calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StabilityError
+from repro.sim.stability import assess_stability
+
+
+def test_flat_series_is_stable():
+    series = [50] * 100
+    verdict = assess_stability(series, load_per_frame=10)
+    assert verdict.stable
+    assert verdict.slope_per_frame == pytest.approx(0.0)
+
+
+def test_noisy_plateau_is_stable(rng):
+    series = 40 + rng.integers(-5, 6, size=200)
+    verdict = assess_stability(series.tolist(), load_per_frame=10)
+    assert verdict.stable
+
+
+def test_linear_growth_is_unstable():
+    series = [5 * frame for frame in range(100)]
+    verdict = assess_stability(series, load_per_frame=10)
+    assert not verdict.stable
+    assert verdict.normalised_slope > 0.02
+
+
+def test_slow_steady_growth_detected():
+    # Growth of 10% of the load per frame: unstable.
+    load = 20
+    series = [int(2.0 * frame) for frame in range(300)]
+    verdict = assess_stability(series, load_per_frame=load)
+    assert not verdict.stable
+
+
+def test_initial_transient_tolerated():
+    # Big warm-up spike that drains: stable.
+    series = [200 - frame for frame in range(100)] + [100] * 100
+    verdict = assess_stability(series, load_per_frame=50)
+    assert verdict.stable
+
+
+def test_blowup_without_slope_detected():
+    # A queue that stepped up far beyond its early level and kept rising
+    # slowly: the blow-up ratio triggers even at a modest tail slope.
+    series = [1] * 50 + [
+        400 + int(0.4 * 10 * frame) for frame in range(150)
+    ]
+    verdict = assess_stability(series, load_per_frame=10)
+    assert not verdict.stable
+    assert verdict.blowup_ratio > 3.0
+
+
+def test_too_short_series_raises():
+    with pytest.raises(StabilityError):
+        assess_stability([1, 2, 3], load_per_frame=1)
+
+
+def test_verdict_is_truthy():
+    verdict = assess_stability([10] * 50, load_per_frame=5)
+    assert bool(verdict) is True

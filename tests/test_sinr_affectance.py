@@ -1,0 +1,123 @@
+"""Affectance: definition, caps, and the SINR bridge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, InfeasibleLinkError
+from repro.geometry.point import Point
+from repro.network.network import Network
+from repro.network.topology import line_network, random_sinr_network
+from repro.sinr.affectance import (
+    affectance_matrix,
+    average_affectance,
+    sender_receiver_gains,
+)
+from repro.sinr.power import LinearPower, UniformPower
+
+
+def two_parallel_links(gap=5.0):
+    """Two unit links side by side, ``gap`` apart."""
+    points = [
+        Point(0, 0),
+        Point(1, 0),
+        Point(0, gap),
+        Point(1, gap),
+    ]
+    return Network(4, [(0, 1), (2, 3)], positions=points)
+
+
+def test_gains_diagonal_is_own_link():
+    net = two_parallel_links()
+    gains = sender_receiver_gains(net, alpha=2.0)
+    assert gains[0, 0] == pytest.approx(1.0)  # length-1 link
+    # Cross gain: sender (0,0) to receiver (1,5): distance sqrt(26).
+    assert gains[0, 1] == pytest.approx(26.0 ** (-1.0))
+
+
+def test_gains_reject_bad_alpha():
+    net = two_parallel_links()
+    with pytest.raises(ConfigurationError):
+        sender_receiver_gains(net, alpha=0.0)
+
+
+def test_affectance_in_unit_interval():
+    net = random_sinr_network(20, rng=3)
+    powers = LinearPower().powers(net, 3.0)
+    affect = affectance_matrix(net, powers, alpha=3.0, beta=1.0, noise=0.01)
+    assert affect.min() >= 0.0
+    assert affect.max() <= 1.0
+    assert np.allclose(np.diag(affect), 1.0)
+
+
+def test_affectance_decays_with_distance():
+    near = two_parallel_links(gap=2.0)
+    far = two_parallel_links(gap=50.0)
+    powers = np.ones(2)
+    a_near = affectance_matrix(near, powers, 3.0, 0.5, 0.0, cap=False)
+    a_far = affectance_matrix(far, powers, 3.0, 0.5, 0.0, cap=False)
+    assert a_far[0, 1] < a_near[0, 1]
+
+
+def test_affectance_uncapped_criterion_matches_sinr():
+    """The additive affectance criterion == the exact SINR inequality."""
+    from repro.sinr.model import SinrModel
+
+    net = random_sinr_network(15, rng=11)
+    alpha, beta, noise = 3.0, 1.0, 0.02
+    model = SinrModel(net, alpha=alpha, beta=beta, noise=noise,
+                      power=LinearPower())
+    powers = model.powers
+    affect = affectance_matrix(net, np.asarray(powers), alpha, beta, noise,
+                               cap=False)
+    rng = np.random.default_rng(5)
+    for _ in range(30):
+        size = int(rng.integers(1, min(8, net.num_links)))
+        subset = list(rng.choice(net.num_links, size=size, replace=False))
+        sinr_ok = model.successes(subset)
+        for link in subset:
+            others = [e for e in subset if e != link]
+            total = float(affect[others, link].sum()) if others else 0.0
+            assert (link in sinr_ok) == (total <= 1.0 + 1e-9), (
+                f"affectance criterion disagrees with SINR for {link} in {subset}"
+            )
+
+
+def test_infeasible_link_detected():
+    net = two_parallel_links()
+    powers = np.ones(2) * 0.5
+    # noise so high that signal (0.5 at distance 1, alpha 2) < beta*noise
+    with pytest.raises(InfeasibleLinkError):
+        affectance_matrix(net, powers, alpha=2.0, beta=1.0, noise=1.0)
+
+
+def test_affectance_shape_validation():
+    net = two_parallel_links()
+    with pytest.raises(ConfigurationError):
+        affectance_matrix(net, np.ones(3), 3.0, 1.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        affectance_matrix(net, np.ones(2), 3.0, -1.0, 0.0)
+    with pytest.raises(ConfigurationError):
+        affectance_matrix(net, np.ones(2), 3.0, 1.0, -0.5)
+
+
+def test_average_affectance():
+    affect = np.array([[1.0, 0.5], [0.25, 1.0]])
+    members = np.array([0, 1])
+    # Column sums: [1.25, 1.5]; average 1.375.
+    assert average_affectance(affect, members) == pytest.approx(1.375)
+    assert average_affectance(affect, np.array([], dtype=int)) == 0.0
+
+
+def test_colocated_cross_distance_gives_capped_affectance():
+    """Bidirected pair: reverse link's sender sits on the forward receiver."""
+    net = Network(
+        2,
+        [(0, 1), (1, 0)],
+        positions=[Point(0, 0), Point(1, 0)],
+    )
+    powers = np.ones(2)
+    affect = affectance_matrix(net, powers, 3.0, 1.0, 0.0)
+    # Link 1's sender is node 1 = link 0's... receiver is node 1 for link 0.
+    # Cross distance d(sender(0), receiver(1)) = d(0, 0) = 0 -> capped at 1.
+    assert affect[0, 1] == 1.0
+    assert affect[1, 0] == 1.0

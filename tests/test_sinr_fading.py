@@ -1,0 +1,184 @@
+"""Tests for the Rayleigh block-fading SINR extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.topology import random_sinr_network
+from repro.sinr.fading import (
+    RayleighFadingSinrModel,
+    fading_budget_factor,
+    worst_singleton_success,
+)
+from repro.sinr.model import SinrModel
+
+
+@pytest.fixture(scope="module")
+def net():
+    return random_sinr_network(10, rng=21)
+
+
+@pytest.fixture(scope="module")
+def faded(net):
+    return RayleighFadingSinrModel(net, alpha=3.0, beta=1.0, noise=0.05, rng=4)
+
+
+@pytest.fixture(scope="module")
+def crisp(net):
+    return SinrModel(net, alpha=3.0, beta=1.0, noise=0.05)
+
+
+class TestStructure:
+    def test_weight_matrix_is_mean_gain_matrix(self, faded, crisp):
+        np.testing.assert_allclose(
+            faded.weight_matrix(), crisp.weight_matrix()
+        )
+
+    def test_measure_is_deterministic(self, faded, crisp):
+        requests = [0, 0, 1, 2]
+        assert faded.interference_measure(requests) == pytest.approx(
+            crisp.interference_measure(requests)
+        )
+
+    def test_sinr_probe_is_mean_not_faded(self, faded, crisp):
+        value_faded = faded.sinr(0, [0, 1])
+        value_crisp = crisp.sinr(0, [0, 1])
+        assert value_faded == pytest.approx(value_crisp)
+
+
+class TestSuccessPredicate:
+    def test_empty_set(self, faded):
+        assert faded.successes([]) == set()
+
+    def test_successes_are_subset_of_attempted(self, faded):
+        for _ in range(20):
+            winners = faded.successes([0, 1, 2])
+            assert winners <= {0, 1, 2}
+
+    def test_deterministic_under_seed(self, net):
+        runs = []
+        for _ in range(2):
+            model = RayleighFadingSinrModel(
+                net, alpha=3.0, beta=1.0, noise=0.05, rng=9
+            )
+            runs.append([sorted(model.successes([0, 1, 2])) for _ in range(30)])
+        assert runs[0] == runs[1]
+
+    def test_zero_noise_singleton_always_succeeds(self, net):
+        model = RayleighFadingSinrModel(net, alpha=3.0, beta=1.0, noise=0.0, rng=0)
+        assert all(model.successes([0]) == {0} for _ in range(50))
+
+    def test_noise_makes_singletons_fade_out_sometimes(self, net):
+        # Large noise: mean SINR barely clears beta, so a bad fade kills it.
+        crisp = SinrModel(net, alpha=3.0, beta=1.0, noise=0.05)
+        margin = crisp.sinr(0, [0])  # signal / noise with mean gains
+        heavy_noise = 0.05 * margin / 1.2  # mean SINR ~1.2x threshold
+        model = RayleighFadingSinrModel(
+            net, alpha=3.0, beta=1.0, noise=heavy_noise, rng=1
+        )
+        outcomes = [bool(model.successes([0])) for _ in range(300)]
+        assert any(outcomes) and not all(outcomes)
+
+    def test_successes_with_powers_is_faded_too(self, net):
+        crisp = SinrModel(net, alpha=3.0, beta=1.0, noise=0.05)
+        margin = crisp.sinr(0, [0])
+        heavy_noise = 0.05 * margin / 1.2
+        model = RayleighFadingSinrModel(
+            net, alpha=3.0, beta=1.0, noise=heavy_noise, rng=2
+        )
+        power = float(model.powers[0])
+        outcomes = [
+            bool(model.successes_with_powers([0], [power])) for _ in range(300)
+        ]
+        assert any(outcomes) and not all(outcomes)
+
+
+class TestClosedForm:
+    def test_singleton_formula(self, faded, crisp):
+        # P = exp(-beta * noise / mean_signal).
+        signal = float(crisp.signal_strengths()[0])
+        expected = np.exp(-1.0 * 0.05 / signal)
+        assert faded.singleton_success_probability(0) == pytest.approx(expected)
+
+    def test_probability_order_alignment(self, faded):
+        # Output follows sorted link ids regardless of input order.
+        forward = faded.success_probability([0, 2])
+        backward = faded.success_probability([2, 0])
+        assert forward.shape == (2,)
+        np.testing.assert_allclose(forward, backward)
+
+    def test_rejects_bad_link(self, faded):
+        with pytest.raises(ConfigurationError):
+            faded.singleton_success_probability(999)
+
+    def test_empty_probability(self, faded):
+        assert faded.success_probability([]).shape == (0,)
+
+    def test_monte_carlo_agrees_with_closed_form(self, net):
+        model = RayleighFadingSinrModel(
+            net, alpha=3.0, beta=1.0, noise=0.05, rng=7
+        )
+        transmitting = [0, 1, 2, 3]
+        ids = sorted(set(transmitting))
+        analytic = model.success_probability(transmitting)
+        trials = 4000
+        counts = np.zeros(len(ids))
+        for _ in range(trials):
+            winners = model.successes(transmitting)
+            for j, link in enumerate(ids):
+                if link in winners:
+                    counts[j] += 1
+        empirical = counts / trials
+        np.testing.assert_allclose(empirical, analytic, atol=0.035)
+
+    def test_interference_lowers_probability(self, faded):
+        alone = faded.success_probability([0])[0]
+        crowded = faded.success_probability([0, 1, 2, 3])[0]
+        assert crowded < alone
+
+    @given(beta=st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=20, deadline=None)
+    def test_probability_decreases_in_beta(self, net, beta):
+        lo = RayleighFadingSinrModel(net, alpha=3.0, beta=beta, noise=0.05, rng=0)
+        hi = RayleighFadingSinrModel(
+            net, alpha=3.0, beta=beta * 1.5, noise=0.05, rng=0
+        )
+        p_lo = lo.success_probability([0, 1])
+        p_hi = hi.success_probability([0, 1])
+        assert (p_hi <= p_lo + 1e-12).all()
+
+
+class TestBudgetFactor:
+    def test_perfect_channel_is_pure_slack(self):
+        assert fading_budget_factor(1.0, slack=1.5) == pytest.approx(1.5)
+
+    def test_half_probability_doubles(self):
+        assert fading_budget_factor(0.5, slack=1.0) == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_rejects_bad_probability(self, bad):
+        with pytest.raises(ConfigurationError):
+            fading_budget_factor(bad)
+
+    def test_rejects_bad_slack(self):
+        with pytest.raises(ConfigurationError):
+            fading_budget_factor(0.5, slack=0.9)
+
+
+class TestWorstSingleton:
+    def test_is_minimum_over_links(self, faded):
+        worst = worst_singleton_success(faded)
+        per_link = [
+            faded.singleton_success_probability(link)
+            for link in range(faded.num_links)
+        ]
+        assert worst == pytest.approx(min(per_link))
+        assert 0.0 < worst <= 1.0
+
+    def test_zero_noise_gives_one(self, net):
+        model = RayleighFadingSinrModel(net, alpha=3.0, beta=1.0, noise=0.0, rng=0)
+        assert worst_singleton_success(model) == pytest.approx(1.0)

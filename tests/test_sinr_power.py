@@ -1,0 +1,102 @@
+"""Power assignments and the monotone sub-linear condition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.topology import line_network
+from repro.sinr.power import (
+    ExplicitPower,
+    LinearPower,
+    SquareRootPower,
+    UniformPower,
+    is_monotone_sublinear,
+)
+
+
+@pytest.fixture(scope="module")
+def varied_net():
+    """A geometric network with genuinely different link lengths."""
+    from repro.geometry.point import Point
+    from repro.network.network import Network
+
+    points = [Point(0, 0), Point(1, 0), Point(3, 0), Point(7, 0)]
+    return Network(
+        4, [(0, 1), (1, 2), (2, 3)], positions=points
+    )  # lengths 1, 2, 4
+
+
+def test_uniform_power_constant(varied_net):
+    powers = UniformPower(2.0).powers(varied_net, alpha=3.0)
+    assert np.allclose(powers, 2.0)
+
+
+def test_linear_power_is_length_cubed(varied_net):
+    powers = LinearPower().powers(varied_net, alpha=3.0)
+    assert np.allclose(powers, [1.0, 8.0, 64.0])
+
+
+def test_linear_power_received_signal_equal(varied_net):
+    alpha = 3.0
+    powers = LinearPower(5.0).powers(varied_net, alpha)
+    lengths = varied_net.link_lengths()
+    received = powers / lengths**alpha
+    assert np.allclose(received, received[0])
+
+
+def test_square_root_power(varied_net):
+    powers = SquareRootPower().powers(varied_net, alpha=2.0)
+    assert np.allclose(powers, [1.0, 2.0, 4.0])
+
+
+def test_explicit_power_checks_shape_and_sign(varied_net):
+    good = ExplicitPower(np.array([1.0, 2.0, 3.0]))
+    assert np.allclose(good.powers(varied_net, 3.0), [1, 2, 3])
+    with pytest.raises(ConfigurationError):
+        ExplicitPower(np.array([1.0, -2.0]))
+    bad_shape = ExplicitPower(np.array([1.0, 2.0]))
+    with pytest.raises(ConfigurationError):
+        bad_shape.powers(varied_net, 3.0)
+
+
+def test_scale_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        LinearPower(0.0)
+    with pytest.raises(ConfigurationError):
+        UniformPower(-1.0)
+
+
+@pytest.mark.parametrize(
+    "assignment,expected",
+    [
+        (UniformPower(1.0), False),  # monotone but not sub-linear... see below
+        (LinearPower(1.0), True),
+        (SquareRootPower(1.0), True),
+    ],
+)
+def test_monotone_sublinear_classification(varied_net, assignment, expected):
+    # Uniform power *is* monotone (constant) and p/d^alpha decreasing,
+    # so it actually qualifies; fix the expectation accordingly.
+    powers = assignment.powers(varied_net, alpha=3.0)
+    result = is_monotone_sublinear(varied_net, powers, alpha=3.0)
+    if isinstance(assignment, UniformPower):
+        assert result is True
+    else:
+        assert result is expected
+
+
+def test_monotone_sublinear_rejects_decreasing_power(varied_net):
+    powers = np.array([4.0, 2.0, 1.0])  # longer links get LESS power
+    assert not is_monotone_sublinear(varied_net, powers, alpha=3.0)
+
+
+def test_monotone_sublinear_rejects_superlinear(varied_net):
+    lengths = varied_net.link_lengths()
+    powers = lengths**5.0  # grows faster than d^alpha for alpha=3
+    assert not is_monotone_sublinear(varied_net, powers, alpha=3.0)
+
+
+def test_describe_strings(varied_net):
+    assert "uniform" in UniformPower(1.0).describe()
+    assert "linear" in LinearPower(1.0).describe()
+    assert "sqrt" in SquareRootPower(1.0).describe()

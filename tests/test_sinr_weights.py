@@ -1,0 +1,141 @@
+"""Section-6 weight matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.network.network import Network
+from repro.network.topology import random_sinr_network
+from repro.sinr.power import LinearPower, SquareRootPower, UniformPower
+from repro.sinr.weights import (
+    linear_power_model,
+    linear_power_weights,
+    monotone_power_model,
+    monotone_power_weights,
+    power_control_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return random_sinr_network(18, rng=13)
+
+
+def _check_valid_weight_matrix(weights, n):
+    assert weights.shape == (n, n)
+    assert weights.min() >= 0.0
+    assert weights.max() <= 1.0
+    assert np.allclose(np.diag(weights), 1.0)
+
+
+def test_linear_power_weights_valid(net):
+    weights = linear_power_weights(net, 3.0, 1.0, 0.05)
+    _check_valid_weight_matrix(weights, net.num_links)
+
+
+def test_linear_power_weights_transpose_convention(net):
+    from repro.sinr.affectance import affectance_matrix
+
+    powers = LinearPower().powers(net, 3.0)
+    affect = affectance_matrix(net, powers, 3.0, 1.0, 0.05)
+    weights = linear_power_weights(net, 3.0, 1.0, 0.05)
+    assert np.allclose(weights, affect.T)
+
+
+def test_monotone_weights_charge_shorter_links_only(net):
+    weights = monotone_power_weights(
+        net, SquareRootPower(), 3.0, 1.0, 0.01
+    )
+    _check_valid_weight_matrix(weights, net.num_links)
+    lengths = net.link_lengths()
+    n = net.num_links
+    for e in range(n):
+        for e2 in range(n):
+            if e == e2:
+                continue
+            if weights[e, e2] > 0:
+                # e is charged against e2 => e is not longer than e2.
+                assert lengths[e] <= lengths[e2] + 1e-12
+
+
+def test_monotone_weights_reject_nonmonotone_assignment(net):
+    class Backwards(UniformPower):
+        def powers(self, network, alpha):
+            lengths = network.link_lengths()
+            return 1.0 / (lengths**alpha)
+
+    with pytest.raises(ConfigurationError, match="monotone"):
+        monotone_power_weights(net, Backwards(), 3.0, 1.0, 0.01)
+
+
+def test_monotone_weights_exactly_one_direction_charged(net):
+    weights = monotone_power_weights(net, LinearPower(), 3.0, 1.0, 0.01)
+    n = net.num_links
+    for e in range(n):
+        for e2 in range(e + 1, n):
+            # At most one of the pair carries positive weight.
+            assert not (weights[e, e2] > 0 and weights[e2, e] > 0)
+
+
+def test_power_control_weights_formula():
+    # Hand-checkable 2-link instance: l0 length 1, l1 length 2.
+    points = [Point(0, 0), Point(1, 0), Point(10, 0), Point(12, 0)]
+    net = Network(4, [(0, 1), (2, 3)], positions=points)
+    alpha = 2.0
+    weights = power_control_weights(net, alpha)
+    # l0 shorter: charged against l1.
+    # d(s0, r1) = d(0, 12) = 12; d(s1, r0) = d(10, 1) = 9.
+    expected = min(1.0, 1.0 / 12.0**2 + 1.0 / 9.0**2)
+    assert weights[0, 1] == pytest.approx(expected)
+    assert weights[1, 0] == 0.0
+
+
+def test_power_control_weights_valid(net):
+    weights = power_control_weights(net, 3.0)
+    _check_valid_weight_matrix(weights, net.num_links)
+
+
+def test_power_control_weights_need_geometry():
+    bare = Network(3, [(0, 1), (1, 2)])
+    with pytest.raises(ConfigurationError):
+        power_control_weights(bare, 3.0)
+    net2 = random_sinr_network(5, rng=0)
+    with pytest.raises(ConfigurationError):
+        power_control_weights(net2, 0.0)
+
+
+def test_linear_power_model_bundles_weights(net):
+    model = linear_power_model(net, alpha=3.0, beta=1.0, noise=0.05)
+    expected = linear_power_weights(net, 3.0, 1.0, 0.05)
+    assert np.allclose(model.weight_matrix(), expected)
+    assert model.power_assignment.describe().startswith("linear")
+
+
+def test_monotone_power_model_bundles_weights(net):
+    model = monotone_power_model(net, SquareRootPower(), alpha=3.0,
+                                 beta=1.0, noise=0.01)
+    expected = monotone_power_weights(net, SquareRootPower(), 3.0, 1.0, 0.01)
+    assert np.allclose(model.weight_matrix(), expected)
+
+
+def test_feasible_sets_have_bounded_measure_linear_power(net):
+    """Paper Section 6.1: single-slot feasible sets have I = O(1).
+
+    Empirical check: greedily grown feasible sets under the exact SINR
+    predicate have small measure under the matched weights.
+    """
+    model = linear_power_model(net, alpha=3.5, beta=1.0, noise=0.01)
+    rng = np.random.default_rng(2)
+    worst = 0.0
+    for _ in range(20):
+        order = rng.permutation(net.num_links)
+        chosen = []
+        for link in order:
+            cand = chosen + [int(link)]
+            if model.feasible_set(cand):
+                chosen = cand
+        if chosen:
+            worst = max(worst, model.interference_measure(chosen))
+    # "O(1)": generous numeric cap, far below the m ~ num_links scale.
+    assert worst <= 8.0

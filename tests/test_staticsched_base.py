@@ -1,0 +1,70 @@
+"""RunResult, LengthBound, LinkQueues."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.staticsched.base import LengthBound, LinkQueues, RunResult
+
+
+def test_run_result_all_delivered():
+    assert RunResult(delivered=[0, 1], remaining=[]).all_delivered
+    assert not RunResult(delivered=[0], remaining=[1]).all_delivered
+
+
+def test_run_result_merge_after():
+    first = RunResult(delivered=[0], remaining=[1, 2], slots_used=5)
+    second = RunResult(delivered=[2], remaining=[1], slots_used=3)
+    merged = first.merge_after(second)
+    assert merged.delivered == [0, 2]
+    assert merged.remaining == [1]
+    assert merged.slots_used == 8
+
+
+def test_length_bound_slots():
+    bound = LengthBound(
+        multiplicative=lambda m: 2.0,
+        additive=lambda m, n: 10.0,
+    )
+    assert bound.f(5) == 2.0
+    assert bound.g(5, 100) == 10.0
+    assert bound.slots(5, measure=3.0, n=100) == 16
+    assert bound.slots(5, measure=0.0, n=1) == 10
+
+
+def test_length_bound_minimum_one_slot():
+    bound = LengthBound(lambda m: 0.0, lambda m, n: 0.0)
+    assert bound.slots(1, 0.0, 1) == 1
+
+
+def test_link_queues_fifo():
+    queues = LinkQueues([2, 0, 2, 1], num_links=3)
+    assert queues.pending == 4
+    assert queues.busy_links() == [0, 1, 2]
+    assert queues.queue_length(2) == 2
+    assert queues.head(2) == 0  # request index 0 was first on link 2
+    assert queues.pop(2) == 0
+    assert queues.head(2) == 2
+    assert queues.pending == 3
+
+
+def test_link_queues_remaining_indices():
+    queues = LinkQueues([1, 1, 0], num_links=2)
+    queues.pop(1)
+    assert queues.remaining_indices() == [2, 1]
+
+
+def test_link_queues_errors():
+    queues = LinkQueues([0], num_links=2)
+    with pytest.raises(SchedulingError):
+        queues.head(1)
+    with pytest.raises(SchedulingError):
+        queues.pop(1)
+    with pytest.raises(SchedulingError):
+        LinkQueues([5], num_links=2)
+
+
+def test_link_queues_empty():
+    queues = LinkQueues([], num_links=3)
+    assert queues.pending == 0
+    assert queues.busy_links() == []
+    assert queues.remaining_indices() == []

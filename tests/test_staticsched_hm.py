@@ -1,0 +1,138 @@
+"""Tests for the HM-style contention-adaptive scheduler (Section 6.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import SchedulingError
+from repro.interference.mac import MultipleAccessChannel
+from repro.interference.packet_routing import PacketRoutingModel
+from repro.network.topology import line_network, mac_network
+from repro.staticsched.hm import HmScheduler
+
+
+class TestInterface:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(Exception):
+            HmScheduler(chi=0.0)
+        with pytest.raises(Exception):
+            HmScheduler(budget_scale=-1.0)
+
+    def test_rejects_negative_budget(self, sinr_model):
+        with pytest.raises(SchedulingError):
+            HmScheduler().run(sinr_model, [0], budget=-1)
+
+    def test_network_bound_has_constant_f(self):
+        scheduler = HmScheduler()
+        bound = scheduler.network_bound(16)
+        # The point of the HM improvement: f is flat in m.
+        assert bound.f(16) == bound.f(1024)
+        # ... while the additive term grows polylog.
+        assert bound.g(1024, 100) > bound.g(16, 100)
+
+    def test_budget_grows_linearly_in_measure(self):
+        scheduler = HmScheduler(chi=0.25, budget_scale=3.0)
+        small = scheduler.budget_for(10.0, 100)
+        large = scheduler.budget_for(20.0, 100)
+        # Differencing cancels the additive polylog: the measure part
+        # is (budget_scale / chi) * I = 12 * I.
+        assert large - small == pytest.approx(12.0 * 10.0, abs=2)
+
+    def test_empty_requests(self, sinr_model):
+        result = HmScheduler().run(sinr_model, [], budget=10)
+        assert result.all_delivered
+        assert result.slots_used == 0
+
+
+class TestCorrectness:
+    def test_delivers_everything_on_packet_routing(self):
+        model = PacketRoutingModel(line_network(5))
+        requests = [0, 1, 2, 3] * 5
+        scheduler = HmScheduler()
+        budget = scheduler.budget_for(
+            model.interference_measure(requests), len(requests)
+        )
+        result = scheduler.run(model, requests, budget, rng=0)
+        assert result.all_delivered
+
+    def test_delivers_on_mac(self):
+        model = MultipleAccessChannel(mac_network(5))
+        requests = [0, 1, 2, 3]
+        scheduler = HmScheduler()
+        budget = scheduler.budget_for(
+            model.interference_measure(requests), len(requests)
+        )
+        result = scheduler.run(model, requests, budget, rng=1)
+        assert result.all_delivered
+
+    def test_schedule_is_feasible_per_model(self, sinr_model):
+        requests = [i % sinr_model.num_links for i in range(20)]
+        result = HmScheduler().run(
+            sinr_model, requests, budget=500, rng=2, record_history=True
+        )
+        for record in result.history:
+            assert set(record.succeeded) <= set(record.attempted)
+            winners = sinr_model.successes(list(record.attempted))
+            assert set(record.succeeded) == winners
+
+    def test_conserves_requests(self, sinr_model):
+        requests = [i % sinr_model.num_links for i in range(25)]
+        result = HmScheduler().run(sinr_model, requests, budget=100, rng=3)
+        assert sorted(result.delivered + result.remaining) == list(
+            range(len(requests))
+        )
+
+    def test_deterministic_under_seed(self, sinr_model):
+        requests = [i % sinr_model.num_links for i in range(15)]
+        runs = [
+            HmScheduler().run(
+                sinr_model, requests, budget=300,
+                rng=np.random.default_rng(5),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].delivered == runs[1].delivered
+        assert runs[0].slots_used == runs[1].slots_used
+
+
+class TestAdaptiveAdvantage:
+    def test_slots_per_measure_flat_as_instance_densifies(self):
+        """The HM claim: slots/I does not grow with n (unlike O(I log n))."""
+        model = PacketRoutingModel(line_network(4))
+        ratios = []
+        for n in (30, 120, 480):
+            requests = [i % 3 for i in range(n)]
+            measure = model.interference_measure(requests)
+            scheduler = HmScheduler()
+            result = scheduler.run(
+                model, requests, budget=100 * n, rng=7
+            )
+            assert result.all_delivered
+            ratios.append(result.slots_used / measure)
+        # Flat within noise: the largest instance is no worse than the
+        # smallest by more than 50%.
+        assert ratios[-1] <= ratios[0] * 1.5
+
+    def test_adapts_faster_than_fixed_decay_on_drained_instance(self):
+        """As the backlog drains, HM speeds up; decay keeps its fixed p."""
+        model = PacketRoutingModel(line_network(4))
+        requests = [0] * 60  # single busy link: contention falls as it drains
+        hm = HmScheduler().run(model, requests, budget=10_000, rng=11)
+        decay = repro.DecayScheduler().run(
+            model, requests, budget=10_000, rng=11
+        )
+        assert hm.all_delivered
+        assert hm.slots_used < decay.slots_used
+
+    def test_certified_rate_beats_transformed_kv(self):
+        """Framework payoff: f(m)=O(1) certifies an Omega(1) rate."""
+        m = 256
+        hm_rate = repro.certified_rate(HmScheduler(), m)
+        kv_rate = repro.certified_rate(
+            repro.TransformedAlgorithm(repro.KvScheduler(), m=m,
+                                       chi_scale=0.05),
+            m,
+        )
+        assert hm_rate > kv_rate

@@ -1,0 +1,102 @@
+"""Unreliable networks (the Section-9 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.interference.packet_routing import PacketRoutingModel
+from repro.interference.unreliable import (
+    UnreliableModel,
+    reliability_budget_factor,
+)
+from repro.network.topology import line_network
+from repro.staticsched.single_hop import SingleHopScheduler
+
+
+@pytest.fixture()
+def base_model():
+    return PacketRoutingModel(line_network(5))
+
+
+def test_loss_probability_validation(base_model):
+    with pytest.raises(ConfigurationError):
+        UnreliableModel(base_model, 1.0)
+    with pytest.raises(ConfigurationError):
+        UnreliableModel(base_model, -0.1)
+
+
+def test_zero_loss_is_transparent(base_model):
+    model = UnreliableModel(base_model, 0.0, rng=0)
+    links = list(range(base_model.num_links))
+    assert model.successes(links) == base_model.successes(links)
+
+
+def test_weight_matrix_unchanged(base_model):
+    model = UnreliableModel(base_model, 0.3, rng=0)
+    assert np.allclose(model.weight_matrix(), base_model.weight_matrix())
+    assert model.interference_measure([0, 0]) == (
+        base_model.interference_measure([0, 0])
+    )
+
+
+def test_losses_are_subset_of_base_successes(base_model):
+    model = UnreliableModel(base_model, 0.5, rng=1)
+    links = list(range(base_model.num_links))
+    for _ in range(20):
+        winners = model.successes(links)
+        assert winners <= base_model.successes(links)
+
+
+def test_empirical_loss_rate(base_model):
+    loss = 0.3
+    model = UnreliableModel(base_model, loss, rng=2)
+    trials, survived = 4000, 0
+    for _ in range(trials):
+        survived += len(model.successes([0]))
+    rate = survived / trials
+    assert abs(rate - (1.0 - loss)) < 0.05
+
+
+def test_interference_losses_still_apply():
+    from repro.interference.mac import MultipleAccessChannel
+    from repro.network.topology import mac_network
+
+    base = MultipleAccessChannel(mac_network(3))
+    model = UnreliableModel(base, 0.2, rng=3)
+    # Collisions lose regardless of the reliability coin.
+    assert model.successes([0, 1]) == set()
+
+
+def test_budget_factor_values():
+    assert reliability_budget_factor(0.0, slack=1.0) == 1.0
+    assert reliability_budget_factor(0.5, slack=1.0) == pytest.approx(2.0)
+    assert reliability_budget_factor(0.5) == pytest.approx(3.0)
+    with pytest.raises(ConfigurationError):
+        reliability_budget_factor(1.0)
+    with pytest.raises(ConfigurationError):
+        reliability_budget_factor(0.5, slack=0.5)
+
+
+def test_scheduler_on_unreliable_model_needs_larger_budget(base_model):
+    """The paper's point: only the static schedule length is affected."""
+    loss = 0.4
+    model = UnreliableModel(base_model, loss, rng=4)
+    algorithm = SingleHopScheduler()
+    requests = [0] * 12  # congestion 12 on one link
+    base_budget = algorithm.budget_for(12.0, 12)
+
+    tight = algorithm.run(model, list(requests), base_budget, rng=5)
+    assert not tight.all_delivered  # losses eat into the exact budget
+
+    factor = reliability_budget_factor(loss, slack=2.0)
+    padded_budget = int(base_budget * factor)
+    padded = algorithm.run(model, list(requests), padded_budget, rng=5)
+    assert padded.all_delivered
+
+
+def test_deterministic_under_seed(base_model):
+    def outcomes(seed):
+        model = UnreliableModel(base_model, 0.5, rng=seed)
+        return [tuple(sorted(model.successes([0, 1]))) for _ in range(10)]
+
+    assert outcomes(7) == outcomes(7)

@@ -1,0 +1,83 @@
+"""Seeded-randomness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    RngFactory,
+    ensure_rng,
+    geometric_delay,
+    random_subset,
+    spawn_rngs,
+)
+
+
+def test_ensure_rng_passthrough():
+    gen = np.random.default_rng(0)
+    assert ensure_rng(gen) is gen
+
+
+def test_ensure_rng_from_int_is_deterministic():
+    a = ensure_rng(5).random(4)
+    b = ensure_rng(5).random(4)
+    assert np.allclose(a, b)
+
+
+def test_ensure_rng_none_gives_generator():
+    assert isinstance(ensure_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_deterministic():
+    first = [g.random() for g in spawn_rngs(9, 3)]
+    second = [g.random() for g in spawn_rngs(9, 3)]
+    assert first == second
+
+
+def test_spawn_rngs_independent_streams():
+    a, b = spawn_rngs(1, 2)
+    assert a.random() != b.random()
+
+
+def test_spawn_rngs_negative_count_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_rng_factory_sequence_is_stable():
+    values_one = [RngFactory(3).next().random() for _ in range(1)]
+    factory = RngFactory(3)
+    values_two = [factory.next().random()]
+    assert values_one == values_two
+    assert factory.spawned == 1
+
+
+def test_rng_factory_streams_differ():
+    factory = RngFactory(11)
+    assert factory.next().random() != factory.next().random()
+
+
+def test_random_subset_probability_extremes(rng):
+    items = list(range(50))
+    assert random_subset(rng, items, 0.0) == []
+    assert random_subset(rng, items, 1.0) == items
+    assert random_subset(rng, [], 0.5) == []
+
+
+def test_random_subset_is_subset(rng):
+    items = list(range(30))
+    subset = random_subset(rng, items, 0.4)
+    assert set(subset) <= set(items)
+
+
+def test_geometric_delay_bounds(rng):
+    draws = [geometric_delay(rng, 0.5) for _ in range(200)]
+    assert all(d >= 0 for d in draws)
+    # Mean of failures-before-success at p=0.5 is 1.
+    assert 0.5 < np.mean(draws) < 2.0
+
+
+def test_geometric_delay_rejects_bad_probability(rng):
+    with pytest.raises(ValueError):
+        geometric_delay(rng, 0.0)
+    with pytest.raises(ValueError):
+        geometric_delay(rng, 1.5)

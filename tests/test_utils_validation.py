@@ -1,0 +1,84 @@
+"""Argument-validation helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_finite,
+    check_in_range,
+    check_integer,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+
+def test_check_positive_accepts_and_returns():
+    assert check_positive("x", 2.5) == 2.5
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.001])
+def test_check_positive_rejects(value):
+    with pytest.raises(ConfigurationError, match="x"):
+        check_positive("x", value)
+
+
+def test_check_nonnegative_accepts_zero():
+    assert check_nonnegative("x", 0) == 0
+
+
+def test_check_nonnegative_rejects_negative():
+    with pytest.raises(ConfigurationError):
+        check_nonnegative("x", -1e-9)
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+def test_check_probability_accepts(value):
+    assert check_probability("p", value) == value
+
+
+@pytest.mark.parametrize("value", [-0.1, 1.1])
+def test_check_probability_rejects(value):
+    with pytest.raises(ConfigurationError):
+        check_probability("p", value)
+
+
+def test_check_in_range_inclusive_bounds():
+    assert check_in_range("v", 1.0, low=1.0, high=2.0) == 1.0
+    assert check_in_range("v", 2.0, low=1.0, high=2.0) == 2.0
+
+
+def test_check_in_range_exclusive_bounds():
+    with pytest.raises(ConfigurationError):
+        check_in_range("v", 1.0, low=1.0, low_inclusive=False)
+    with pytest.raises(ConfigurationError):
+        check_in_range("v", 2.0, high=2.0, high_inclusive=False)
+
+
+def test_check_in_range_out_of_bounds():
+    with pytest.raises(ConfigurationError):
+        check_in_range("v", 0.5, low=1.0)
+    with pytest.raises(ConfigurationError):
+        check_in_range("v", 3.0, high=2.0)
+
+
+def test_check_integer_accepts_int_and_integral_float():
+    assert check_integer("n", 4) == 4
+    assert check_integer("n", 4.0) == 4
+
+
+def test_check_integer_rejects_fraction_and_bool():
+    with pytest.raises(ConfigurationError):
+        check_integer("n", 4.5)
+    with pytest.raises(ConfigurationError):
+        check_integer("n", True)
+
+
+def test_check_finite():
+    assert check_finite("x", 1.0) == 1.0
+    with pytest.raises(ConfigurationError):
+        check_finite("x", math.inf)
+    with pytest.raises(ConfigurationError):
+        check_finite("x", math.nan)
