@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Run the perf-tagged benchmarks and write machine-readable BENCH_*.json.
+
+Usage (from the repo root or the benchmarks/ directory):
+
+    python benchmarks/run_perf.py [--quick] [--out-dir DIR]
+
+Each perf bench runs with fixed seeds and writes one ``BENCH_<id>.json``
+containing throughput (slots/sec), before/after wall-clock, speedup,
+and peak RSS, so successive PRs accumulate a comparable perf
+trajectory. ``--quick`` shrinks the workloads for a fast smoke signal
+(numbers are then not comparable across machines or PRs — the JSON is
+tagged accordingly).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_ROOT = _HERE.parent
+
+# Make `repro` and the sibling bench modules importable when invoked as
+# a plain script (no PYTHONPATH needed).
+for path in (str(_ROOT / "src"), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+def _run_p1(quick: bool, out_dir: Path) -> dict:
+    import bench_p1_slot_kernel
+
+    frames = 3 if quick else bench_p1_slot_kernel.FRAMES
+    return bench_p1_slot_kernel.run_experiment(
+        frames=frames,
+        out_path=out_dir / "BENCH_p1.json",
+        tags={"quick_mode": bool(quick)},
+    )
+
+
+#: Registry of perf benches: id -> (runner(quick, out_dir) -> payload,
+#: headline-speedup floor or None). The floor is per-bench: P1's
+#: acceptance criterion is >= 3x; future benches declare their own.
+PERF_BENCHES = {
+    "p1": (_run_p1, 3.0),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrunken workloads: fast smoke signal, not comparable numbers",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=None,
+        help=(
+            "directory for BENCH_*.json (default: repo root; a quick "
+            "run defaults to a temp dir so it cannot overwrite the "
+            "committed full-run baseline)"
+        ),
+    )
+    parser.add_argument(
+        "--only",
+        choices=sorted(PERF_BENCHES),
+        action="append",
+        help="run a subset of the perf benches (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if args.out_dir is None:
+        if args.quick:
+            args.out_dir = Path(tempfile.mkdtemp(prefix="bench-quick-"))
+        else:
+            args.out_dir = _ROOT
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+
+    selected = args.only or sorted(PERF_BENCHES)
+    failures = []
+    for bench_id in selected:
+        runner, floor = PERF_BENCHES[bench_id]
+        print(f"== perf bench {bench_id} ==")
+        start = time.perf_counter()
+        # The bench itself writes its tagged BENCH_*.json (single write).
+        payload = runner(args.quick, args.out_dir)
+        elapsed = time.perf_counter() - start
+        headline = payload.get("headline_speedup")
+        print(
+            f"   wrote {args.out_dir / f'BENCH_{bench_id}.json'} in "
+            f"{elapsed:.1f}s"
+            + (f" (headline speedup {headline:.1f}x)" if headline else "")
+        )
+        if (
+            floor is not None
+            and headline is not None
+            and headline < floor
+            and not args.quick
+        ):
+            failures.append(bench_id)
+    if failures:
+        print(f"FAIL: speedup floor missed by: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

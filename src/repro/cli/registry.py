@@ -124,6 +124,12 @@ EXPERIMENTS: List[ExperimentEntry] = [
         "iid-equivalent rate",
         "bench_x6_markov.py",
     ),
+    ExperimentEntry(
+        "P1", "Performance",
+        "vectorized slot kernel: >= 3x slots/sec over the scalar slot "
+        "loop on 500 links",
+        "bench_p1_slot_kernel.py",
+    ),
 ]
 
 

@@ -32,8 +32,9 @@ from __future__ import annotations
 
 import bisect
 import math
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.frames import FrameParameters, compute_frame_parameters
 from repro.core.potential import PotentialTracker
@@ -126,7 +127,7 @@ class DynamicProtocol:
 
         self._frame_index = 0
         self._active: List[Packet] = []
-        self._failed_buffers: Dict[int, List[Packet]] = {}
+        self._failed_buffers: Dict[int, Deque[Packet]] = {}
         self._delivered: List[Packet] = []
         self.potential = PotentialTracker()
 
@@ -203,7 +204,7 @@ class DynamicProtocol:
         self._frame_index += 1
         return FrameReport(
             frame=frame,
-            injected=len(list(injected)),
+            injected=len(injected),
             phase1_requests=phase1_hops + newly_failed,
             phase1_hops=phase1_hops,
             newly_failed=newly_failed,
@@ -227,8 +228,8 @@ class DynamicProtocol:
         )
         served = set(result.delivered)
         still_active: List[Packet] = []
+        newly_failed: List[Packet] = []
         hops = 0
-        failed = 0
         for index, packet in enumerate(self._active):
             if index in served:
                 hops += 1
@@ -246,17 +247,22 @@ class DynamicProtocol:
                 else:
                     still_active.append(packet)
             else:
-                failed += 1
                 packet.failed = True
                 packet.failed_at_frame = frame
                 self.potential.on_failure(packet)
-                self._push_failed(packet)
+                newly_failed.append(packet)
                 if self._tracer is not None:
                     self._tracer.record(
                         frame, EventKind.FAILED, packet.id, packet.current_link
                     )
+        # Push in id order: every same-frame key (frame, id) then lands
+        # behind the buffer tail, so filing is pure O(1) appends — and
+        # the resulting buffer order equals the sorted-insert order.
+        newly_failed.sort(key=lambda p: p.id)
+        for packet in newly_failed:
+            self._push_failed(packet)
         self._active = still_active
-        return hops, failed
+        return hops, len(newly_failed)
 
     def _cleanup(self, frame: int, frame_end_slot: int):
         offered_packets: List[Packet] = []
@@ -309,9 +315,34 @@ class DynamicProtocol:
     # Failed-buffer bookkeeping (ordered by failure age, then id)
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _failure_key(packet: Packet) -> Tuple[int, int]:
+        return (packet.failed_at_frame, packet.id)
+
     def _push_failed(self, packet: Packet) -> None:
-        buffer = self._failed_buffers.setdefault(packet.current_link, [])
-        bisect.insort(buffer, packet, key=lambda p: (p.failed_at_frame, p.id))
+        """File a packet in its link's failed buffer, oldest failure first.
+
+        Phase-1 failures arrive in (frame, id) order — frames ascend
+        across calls and ``_active`` is id-ordered within a frame — so
+        the overwhelmingly common case is a plain O(1) append (the old
+        ``bisect.insort`` into a list was an O(n) append in disguise).
+        The one exception is a clean-up hop re-filing a packet under its
+        *original* failure frame into a buffer that already holds
+        younger failures; that rare case restores sorted order
+        explicitly so the head stays the longest-failed packet.
+        """
+        buffer = self._failed_buffers.setdefault(packet.current_link, deque())
+        key = self._failure_key(packet)
+        if not buffer or key > self._failure_key(buffer[-1]):
+            buffer.append(packet)
+        elif key < self._failure_key(buffer[0]):
+            # A clean-up survivor older than everything queued here.
+            buffer.appendleft(packet)
+        else:
+            # Rare interleaved age (a clean-up survivor among mixed
+            # failure frames): one ordered insert. Keys are unique (ids
+            # are), so ordering is total.
+            bisect.insort(buffer, packet, key=self._failure_key)
 
     def _pop_failed(self, packet: Packet) -> None:
         buffer = self._failed_buffers.get(packet.current_link)
@@ -319,7 +350,7 @@ class DynamicProtocol:
             raise SchedulingError(
                 f"packet {packet.id} is not at the head of its failed buffer"
             )
-        buffer.pop(0)
+        buffer.popleft()
 
     def _validate_packet(self, packet: Packet) -> None:
         for link_id in packet.path:

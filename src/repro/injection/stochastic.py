@@ -140,9 +140,13 @@ class StochasticInjection(InjectionProcess):
             idle = max(0.0, 1.0 - sum(probabilities))
             counts = rng.multinomial(length, probabilities + [idle])
             for (path, _), count in zip(generator.distribution, counts):
-                for _ in range(int(count)):
-                    slot = start_slot + int(rng.integers(length))
-                    packets.append(self._new_packet(path, slot))
+                if not count:
+                    continue
+                # One batched draw per path reads the generator stream
+                # exactly like `count` scalar draws did.
+                slots = rng.integers(length, size=int(count))
+                for slot in slots.tolist():
+                    packets.append(self._new_packet(path, start_slot + slot))
         packets.sort(key=lambda p: (p.injected_at, p.id))
         return packets
 

@@ -18,6 +18,22 @@ Conventions (fixed across the library):
   for never scheduling two packets on one link in the same slot (the
   paper's "via each communication link at most one packet may be
   transmitted per time step").
+
+Batch evaluation
+----------------
+The scalar :meth:`InterferenceModel.successes` is the *reference*
+semantics; the slot kernel (:mod:`repro.staticsched.kernel`) drives the
+hot loop through two batch entry points instead:
+
+* :meth:`InterferenceModel.successes_mask` — boolean mask in, boolean
+  mask out; one call per slot, no Python-level set churn. The base
+  implementation delegates to ``successes`` so every model supports it;
+  vectorised models override it.
+* :meth:`InterferenceModel.batch_evaluator` — returns a
+  :class:`BatchSuccessEvaluator` bound to a run's (shrinking) busy set.
+  Evaluators may cache active-set submatrices across slots and update
+  them incrementally as links drain, which is where the large constant
+  factors go away.
 """
 
 from __future__ import annotations
@@ -31,6 +47,89 @@ from repro.errors import ConfigurationError, SchedulingError
 from repro.network.network import Network
 
 RequestsLike = Union[np.ndarray, Sequence[int]]
+
+
+class BatchSuccessEvaluator:
+    """Per-run batch success evaluation bound to a fixed busy-link set.
+
+    ``busy`` is a sorted array of link ids with pending work; all masks
+    exchanged with the evaluator are *local* (aligned with ``busy``).
+    As links drain, the kernel calls :meth:`drop` with a local keep
+    mask; evaluators shrink their cached state in place instead of
+    re-deriving it from the full ``W`` every slot.
+    """
+
+    def __init__(self, busy: np.ndarray):
+        self._busy = np.asarray(busy, dtype=np.int64)
+
+    @property
+    def busy(self) -> np.ndarray:
+        """The current busy-link ids (sorted ascending)."""
+        return self._busy
+
+    def successes_local(self, transmit_local: np.ndarray) -> np.ndarray:
+        """Local success mask for a local transmit mask (one slot)."""
+        raise NotImplementedError
+
+    def drop(self, keep_local: np.ndarray) -> None:
+        """Shrink to the kept busy links (links whose queues drained)."""
+        self._busy = self._busy[keep_local]
+
+
+class CachedBatchEvaluator(BatchSuccessEvaluator):
+    """Base for evaluators that slice model state to the busy set once.
+
+    Subclasses gather their caches (submatrices, gain tables) over the
+    *initial* busy set and never copy them again; :attr:`_cols` maps
+    current local indices into those frozen caches, so draining links
+    costs O(survivors) instead of an O(busy^2) re-slice.
+    """
+
+    def __init__(self, busy: np.ndarray):
+        super().__init__(busy)
+        self._cols = np.arange(len(busy))
+
+    def drop(self, keep_local: np.ndarray) -> None:
+        self._cols = self._cols[keep_local]
+        super().drop(keep_local)
+
+
+class ScalarBatchEvaluator(BatchSuccessEvaluator):
+    """Reference evaluator: one scalar ``successes()`` call per slot.
+
+    This is the ground-truth path the vectorised evaluators are verified
+    against (see ``repro.staticsched.kernel.scalar_reference``).
+    """
+
+    def __init__(self, model: "InterferenceModel", busy: np.ndarray):
+        super().__init__(busy)
+        self._model = model
+
+    def successes_local(self, transmit_local: np.ndarray) -> np.ndarray:
+        ids = self._busy[transmit_local]
+        winners = self._model.successes([int(e) for e in ids])
+        mask = np.zeros(self._busy.size, dtype=bool)
+        if winners:
+            winner_ids = np.fromiter(sorted(winners), dtype=np.int64)
+            mask[np.searchsorted(self._busy, winner_ids)] = True
+        return mask
+
+
+class MaskBatchEvaluator(BatchSuccessEvaluator):
+    """Default evaluator: routes each slot through ``successes_mask``.
+
+    Used by models that vectorise the per-slot predicate but keep no
+    cross-slot cache.
+    """
+
+    def __init__(self, model: "InterferenceModel", busy: np.ndarray):
+        super().__init__(busy)
+        self._model = model
+
+    def successes_local(self, transmit_local: np.ndarray) -> np.ndarray:
+        active = np.zeros(self._model.num_links, dtype=bool)
+        active[self._busy[transmit_local]] = True
+        return self._model.successes_mask(active)[self._busy]
 
 
 def request_vector(num_links: int, link_ids: Iterable[int]) -> np.ndarray:
@@ -142,6 +241,34 @@ class InterferenceModel(ABC):
         per link per slot).
         """
 
+    def successes_mask(self, active: np.ndarray) -> np.ndarray:
+        """Batch form of :meth:`successes`: bool mask in, bool mask out.
+
+        ``active[e]`` says whether link ``e`` transmits this slot; the
+        result marks the links whose transmissions are received (always
+        a subset of ``active``). The boolean encoding makes duplicate
+        transmissions unrepresentable, so no duplicate check is needed.
+
+        The base implementation delegates to the scalar reference;
+        vectorised models override it with pure array arithmetic.
+        """
+        active = self._as_active_mask(active)
+        winners = self.successes([int(e) for e in np.flatnonzero(active)])
+        mask = np.zeros(self.num_links, dtype=bool)
+        if winners:
+            mask[np.fromiter(winners, dtype=np.int64)] = True
+        return mask
+
+    def batch_evaluator(self, busy: np.ndarray) -> BatchSuccessEvaluator:
+        """A per-run evaluator bound to the sorted busy-link ids ``busy``.
+
+        Models with cacheable structure (submatrices of ``W``, gain
+        tables...) override this to return evaluators that slice their
+        cache once per run and update it incrementally via
+        :meth:`BatchSuccessEvaluator.drop` as links drain.
+        """
+        return MaskBatchEvaluator(self, busy)
+
     def singleton_succeeds(self, link_id: int) -> bool:
         """Whether a lone transmission on ``link_id`` is received."""
         return link_id in self.successes([link_id])
@@ -164,6 +291,15 @@ class InterferenceModel(ABC):
         attempted = set(transmitting)
         return self.successes(transmitting) == attempted
 
+    def _as_active_mask(self, active: np.ndarray) -> np.ndarray:
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (self.num_links,):
+            raise SchedulingError(
+                f"active mask has shape {active.shape}, expected "
+                f"({self.num_links},)"
+            )
+        return active
+
     def _check_no_duplicates(self, transmitting: Sequence[int]) -> Set[int]:
         attempted = set(transmitting)
         if len(attempted) != len(list(transmitting)):
@@ -174,4 +310,12 @@ class InterferenceModel(ABC):
         return attempted
 
 
-__all__ = ["InterferenceModel", "request_vector", "RequestsLike"]
+__all__ = [
+    "InterferenceModel",
+    "request_vector",
+    "RequestsLike",
+    "BatchSuccessEvaluator",
+    "CachedBatchEvaluator",
+    "ScalarBatchEvaluator",
+    "MaskBatchEvaluator",
+]

@@ -25,10 +25,34 @@ from typing import Dict, Iterable, Mapping, Optional, Sequence, Set
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.interference.base import InterferenceModel
+from repro.interference.base import CachedBatchEvaluator, InterferenceModel
 from repro.network.network import Network
 
 ConflictMap = Mapping[int, Set[int]]
+
+
+class _ConflictBatchEvaluator(CachedBatchEvaluator):
+    """Conflict check on a cached boolean adjacency submatrix.
+
+    Success is pure boolean algebra (a transmitter wins iff no
+    conflicting transmitter), so the batch path is exactly equivalent
+    to the scalar set intersection — no floating point involved. The
+    adjacency cache is sliced once per run; the base class's
+    local->cache index map absorbs drained links without copying it.
+    """
+
+    def __init__(self, model: "ConflictGraphModel", busy: np.ndarray):
+        super().__init__(busy)
+        self._adj = model.adjacency_matrix()[np.ix_(busy, busy)]
+
+    def successes_local(self, transmit_local: np.ndarray) -> np.ndarray:
+        cache_idx = self._cols[transmit_local]
+        transmit_cache = np.zeros(self._adj.shape[0], dtype=bool)
+        transmit_cache[cache_idx] = True
+        collision = (self._adj[cache_idx] & transmit_cache).any(axis=1)
+        mask = np.zeros(transmit_local.size, dtype=bool)
+        mask[transmit_local] = ~collision
+        return mask
 
 
 def _symmetrised(conflicts: ConflictMap, num_links: int) -> Dict[int, Set[int]]:
@@ -81,6 +105,7 @@ class ConflictGraphModel(InterferenceModel):
                 "ordering must be a permutation of all link ids"
             )
         self._rank = {link: rank for rank, link in enumerate(ordering)}
+        self._adjacency_cache: Optional[np.ndarray] = None
 
     @property
     def conflicts(self) -> Dict[int, Set[int]]:
@@ -105,11 +130,36 @@ class ConflictGraphModel(InterferenceModel):
                     matrix[e, e_prime] = 1.0
         return matrix
 
+    def adjacency_matrix(self) -> np.ndarray:
+        """The symmetric boolean conflict adjacency (cached, read-only)."""
+        if self._adjacency_cache is None:
+            n = self.num_links
+            adjacency = np.zeros((n, n), dtype=bool)
+            for e, neighbours in self._conflicts.items():
+                for e_prime in neighbours:
+                    adjacency[e, e_prime] = True
+            adjacency.setflags(write=False)
+            self._adjacency_cache = adjacency
+        return self._adjacency_cache
+
     def successes(self, transmitting: Sequence[int]) -> Set[int]:
         attempted = self._check_no_duplicates(transmitting)
         return {
             e for e in attempted if not (self._conflicts[e] & attempted)
         }
+
+    def successes_mask(self, active: np.ndarray) -> np.ndarray:
+        active = self._as_active_mask(active)
+        mask = np.zeros(self.num_links, dtype=bool)
+        if not active.any():
+            return mask
+        idx = np.flatnonzero(active)
+        collision = (self.adjacency_matrix()[idx] & active).any(axis=1)
+        mask[idx] = ~collision
+        return mask
+
+    def batch_evaluator(self, busy: np.ndarray) -> _ConflictBatchEvaluator:
+        return _ConflictBatchEvaluator(self, busy)
 
     def is_independent(self, links: Iterable[int]) -> bool:
         """Whether the given links form an independent (conflict-free) set."""

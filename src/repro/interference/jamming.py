@@ -48,8 +48,45 @@ from typing import Optional, Sequence, Set
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.interference.base import InterferenceModel
+from repro.interference.base import BatchSuccessEvaluator, InterferenceModel
 from repro.utils.rng import RngLike, ensure_rng
+
+
+class _JammedBatchEvaluator(BatchSuccessEvaluator):
+    """Wraps the base evaluator; advances the jammer clock once per slot.
+
+    The target set is pre-resolved to a local mask over the busy links,
+    so jammed slots cost one boolean AND instead of a set difference.
+    """
+
+    def __init__(self, model: "JammedModel", busy: np.ndarray):
+        super().__init__(busy)
+        self._model = model
+        self._inner = model.base.batch_evaluator(busy)
+        if model._targets is None:
+            self._reachable_local: Optional[np.ndarray] = None
+        else:
+            self._reachable_local = np.fromiter(
+                (int(e) in model._targets for e in busy),
+                dtype=bool,
+                count=len(busy),
+            )
+
+    def successes_local(self, transmit_local: np.ndarray) -> np.ndarray:
+        slot = self._model._slot
+        self._model._slot += 1
+        winners = self._inner.successes_local(transmit_local)
+        if not winners.any() or not self._model.pattern.is_jammed(slot):
+            return winners
+        if self._reachable_local is None:
+            return np.zeros(winners.size, dtype=bool)
+        return winners & ~self._reachable_local
+
+    def drop(self, keep_local: np.ndarray) -> None:
+        self._inner.drop(keep_local)
+        if self._reachable_local is not None:
+            self._reachable_local = self._reachable_local[keep_local]
+        super().drop(keep_local)
 
 
 class JammingPattern(ABC):
@@ -222,6 +259,21 @@ class JammedModel(InterferenceModel):
         if self._targets is None:
             return set()
         return {link for link in winners if link not in self._targets}
+
+    def successes_mask(self, active: np.ndarray) -> np.ndarray:
+        slot = self._slot
+        self._slot += 1
+        winners = self._base.successes_mask(active)
+        if not winners.any() or not self._pattern.is_jammed(slot):
+            return winners
+        if self._targets is None:
+            return np.zeros(self.num_links, dtype=bool)
+        reachable = np.zeros(self.num_links, dtype=bool)
+        reachable[np.fromiter(self._targets, dtype=np.int64)] = True
+        return winners & ~reachable
+
+    def batch_evaluator(self, busy: np.ndarray) -> _JammedBatchEvaluator:
+        return _JammedBatchEvaluator(self, busy)
 
 
 def jamming_budget_factor(sigma: float, slack: float = 1.5) -> float:

@@ -18,8 +18,15 @@ from typing import Sequence, Set
 
 import numpy as np
 
-from repro.interference.base import InterferenceModel
+from repro.interference.base import BatchSuccessEvaluator, InterferenceModel
 from repro.network.network import Network
+
+
+class _PassThroughBatchEvaluator(BatchSuccessEvaluator):
+    """Every attempted transmission succeeds (independent links)."""
+
+    def successes_local(self, transmit_local: np.ndarray) -> np.ndarray:
+        return transmit_local.copy()
 
 
 class PacketRoutingModel(InterferenceModel):
@@ -33,6 +40,12 @@ class PacketRoutingModel(InterferenceModel):
 
     def successes(self, transmitting: Sequence[int]) -> Set[int]:
         return self._check_no_duplicates(transmitting)
+
+    def successes_mask(self, active: np.ndarray) -> np.ndarray:
+        return self._as_active_mask(active).copy()
+
+    def batch_evaluator(self, busy: np.ndarray) -> _PassThroughBatchEvaluator:
+        return _PassThroughBatchEvaluator(busy)
 
 
 __all__ = ["PacketRoutingModel"]

@@ -22,8 +22,38 @@ from typing import Optional, Sequence, Set
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.interference.base import InterferenceModel
+from repro.interference.base import BatchSuccessEvaluator, InterferenceModel
 from repro.utils.rng import RngLike, ensure_rng
+
+
+class _UnreliableBatchEvaluator(BatchSuccessEvaluator):
+    """Wraps the base model's evaluator and thins winners with one draw.
+
+    The loss coins are drawn as a single batch over the interference
+    winners in ascending link order — the same stream the scalar path
+    consumes one call at a time, so both paths replay identically under
+    one seed.
+    """
+
+    def __init__(self, model: "UnreliableModel", busy: np.ndarray):
+        super().__init__(busy)
+        self._inner = model.base.batch_evaluator(busy)
+        self._rng = model._rng
+        self._loss = model.loss_probability
+
+    def successes_local(self, transmit_local: np.ndarray) -> np.ndarray:
+        winners = self._inner.successes_local(transmit_local)
+        if self._loss == 0.0 or not winners.any():
+            return winners
+        idx = np.flatnonzero(winners)
+        lost = self._rng.random(idx.size) < self._loss
+        out = winners.copy()
+        out[idx[lost]] = False
+        return out
+
+    def drop(self, keep_local: np.ndarray) -> None:
+        self._inner.drop(keep_local)
+        super().drop(keep_local)
 
 
 class UnreliableModel(InterferenceModel):
@@ -73,12 +103,28 @@ class UnreliableModel(InterferenceModel):
         interference_winners = self._base.successes(transmitting)
         if not interference_winners or self._loss == 0.0:
             return interference_winners
+        # Coins are spent in ascending link order so the batched path
+        # (one vectorised draw over the sorted winners) consumes the
+        # exact same stream.
         survivors = {
             link
-            for link in interference_winners
+            for link in sorted(interference_winners)
             if self._rng.random() >= self._loss
         }
         return survivors
+
+    def successes_mask(self, active: np.ndarray) -> np.ndarray:
+        winners = self._base.successes_mask(active)
+        if self._loss == 0.0 or not winners.any():
+            return winners
+        idx = np.flatnonzero(winners)
+        lost = self._rng.random(idx.size) < self._loss
+        winners = winners.copy()
+        winners[idx[lost]] = False
+        return winners
+
+    def batch_evaluator(self, busy: np.ndarray) -> _UnreliableBatchEvaluator:
+        return _UnreliableBatchEvaluator(self, busy)
 
 
 def reliability_budget_factor(loss_probability: float, slack: float = 1.5) -> float:

@@ -63,23 +63,30 @@ class FrameSimulation:
         if frames < 0:
             raise ConfigurationError(f"frames must be >= 0, got {frames}")
         frame_length = int(self._protocol.frame_length)
+        no_packets: tuple = ()
         for _ in range(frames):
             start = self._frame * frame_length
             packets = self._injection.packets_for_range(
                 start, start + frame_length
             )
+            injected = len(packets)
             if self._audit is not None:
                 # The audit is sliding-window over slots; feeding whole
                 # frames is conservative only if the window is a
                 # multiple of the frame; per-slot feeding stays exact.
+                # Empty frames skip the bucketing entirely — the audit
+                # still sees every slot so its window keeps sliding.
                 by_slot: dict = {}
-                for packet in packets:
-                    by_slot.setdefault(packet.injected_at, []).append(packet)
+                if injected:
+                    for packet in packets:
+                        by_slot.setdefault(packet.injected_at, []).append(
+                            packet
+                        )
                 for slot in range(start, start + frame_length):
-                    self._audit.observe(slot, by_slot.get(slot, []))
+                    self._audit.observe(slot, by_slot.get(slot, no_packets))
             report = self._protocol.run_frame(packets)
             self._metrics.record_frame(
-                injected=len(packets),
+                injected=injected,
                 in_system=self._protocol.packets_in_system,
                 active=report.active_in_system,
                 failed=report.failed_in_system,

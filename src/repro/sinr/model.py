@@ -19,10 +19,37 @@ from typing import Optional, Sequence, Set
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.interference.base import InterferenceModel
+from repro.interference.base import CachedBatchEvaluator, InterferenceModel
 from repro.network.network import Network
 from repro.sinr.affectance import affectance_matrix, sender_receiver_gains
 from repro.sinr.power import PowerAssignment, UniformPower
+
+
+class _SinrBatchEvaluator(CachedBatchEvaluator):
+    """SINR feasibility on a cached busy-set gain submatrix.
+
+    Slicing the cached submatrix reproduces the scalar ``_evaluate``
+    gather exactly (same entries, same reduction order), so the batch
+    path is bit-identical to the reference even at SINR boundaries.
+    """
+
+    def __init__(self, model: "SinrModel", busy: np.ndarray):
+        super().__init__(busy)
+        self._gains = model._gains[np.ix_(busy, busy)]
+        self._powers = model._powers[busy]
+        self._beta = model.beta
+        self._noise = model.noise
+
+    def successes_local(self, transmit_local: np.ndarray) -> np.ndarray:
+        cache_idx = self._cols[transmit_local]
+        gains = self._gains[cache_idx[:, None], cache_idx]
+        received = self._powers[cache_idx, None] * gains
+        signal = received.diagonal()
+        interference = received.sum(axis=0) - signal
+        ok = signal >= self._beta * (interference + self._noise) - 1e-12
+        mask = np.zeros(transmit_local.size, dtype=bool)
+        mask[transmit_local] = ok
+        return mask
 
 
 class SinrModel(InterferenceModel):
@@ -144,6 +171,20 @@ class SinrModel(InterferenceModel):
             return set()
         ids = np.fromiter(sorted(attempted), dtype=int)
         return self._evaluate(ids, self._powers[ids])
+
+    def successes_mask(self, active: np.ndarray) -> np.ndarray:
+        active = self._as_active_mask(active)
+        mask = np.zeros(self.num_links, dtype=bool)
+        if not active.any():
+            return mask
+        ids = np.flatnonzero(active)
+        winners = self._evaluate(ids, self._powers[ids])
+        if winners:
+            mask[np.fromiter(winners, dtype=np.int64)] = True
+        return mask
+
+    def batch_evaluator(self, busy: np.ndarray) -> _SinrBatchEvaluator:
+        return _SinrBatchEvaluator(self, busy)
 
     def successes_with_powers(
         self, transmitting: Sequence[int], powers: Sequence[float]

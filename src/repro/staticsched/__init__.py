@@ -11,6 +11,13 @@ interface — ``run(model, requests, budget, rng)`` — and carry a
 need in the ``f(m) * I + g(m, n)`` form the Section-4 protocol sizes its
 frames with.
 
+The per-slot execution of the randomized schedulers runs through the
+vectorized slot kernel (:mod:`repro.staticsched.kernel`): numpy array
+state per busy link, batched Bernoulli draws, and batch success
+evaluation against cached model state. ``kernel.scalar_reference()``
+pins runs to the scalar ``successes()`` reference path for
+verification.
+
 Included algorithms (paper references in each module):
 
 ========================  =====================================  =======================
@@ -33,6 +40,7 @@ from repro.staticsched.base import (
     RunResult,
     StaticAlgorithm,
 )
+from repro.staticsched.kernel import SlotKernel, scalar_reference
 from repro.staticsched.decay import DecayScheduler
 from repro.staticsched.fkv import FkvScheduler
 from repro.staticsched.hm import HmScheduler
@@ -49,6 +57,8 @@ __all__ = [
     "RunResult",
     "LengthBound",
     "LinkQueues",
+    "SlotKernel",
+    "scalar_reference",
     "DecayScheduler",
     "FkvScheduler",
     "HmScheduler",

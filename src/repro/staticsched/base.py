@@ -35,6 +35,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.errors import SchedulingError
 from repro.interference.base import InterferenceModel
 from repro.utils.rng import RngLike, ensure_rng
@@ -102,23 +104,43 @@ class LengthBound:
 
 
 class LinkQueues:
-    """FIFO queues of request indices, one per link.
+    """FIFO queues of request indices, one per link — array-first.
 
     The universal bookkeeping for slotted schedulers: requests are
     enqueued on their link; when a link transmits, the head request is
     in flight; on success it is popped.
+
+    Alongside the per-link FIFO deques (which carry request *identity*)
+    a numpy depth vector is maintained so the slot kernel can read the
+    busy set and queue depths as arrays without touching Python dicts
+    in the hot loop.
     """
 
     def __init__(self, requests: Sequence[int], num_links: int):
+        raw = np.asarray(requests)
+        if raw.ndim != 1:
+            raise SchedulingError(
+                f"requests must be a flat sequence of link ids, got shape "
+                f"{raw.shape}"
+            )
+        # Range-check the values as given (before any integer cast, so
+        # e.g. -0.9 is rejected rather than truncated to 0). Negated
+        # in-range form so NaN — which fails both comparisons — is
+        # rejected too.
+        out_of_range = ~((raw >= 0) & (raw < num_links))
+        if out_of_range.any():
+            index = int(np.flatnonzero(out_of_range)[0])
+            raise SchedulingError(
+                f"request {index} references link {raw[index]}, outside "
+                f"0..{num_links - 1}"
+            )
+        req = raw.astype(np.int64, copy=False)
+        self._num_links = int(num_links)
+        self._depths = np.bincount(req, minlength=num_links).astype(np.int64)
         self._queues: Dict[int, deque] = {}
-        for index, link_id in enumerate(requests):
-            if not 0 <= link_id < num_links:
-                raise SchedulingError(
-                    f"request {index} references link {link_id}, outside "
-                    f"0..{num_links - 1}"
-                )
-            self._queues.setdefault(int(link_id), deque()).append(index)
-        self._pending = len(list(requests))
+        for index, link_id in enumerate(req.tolist()):
+            self._queues.setdefault(link_id, deque()).append(index)
+        self._pending = int(req.size)
 
     @property
     def pending(self) -> int:
@@ -127,7 +149,19 @@ class LinkQueues:
 
     def busy_links(self) -> List[int]:
         """Links with at least one pending request, sorted."""
-        return sorted(link for link, q in self._queues.items() if q)
+        return np.flatnonzero(self._depths).tolist()
+
+    def busy_array(self) -> np.ndarray:
+        """Busy link ids as a sorted int64 array (fresh copy)."""
+        return np.flatnonzero(self._depths)
+
+    def depth_array(self) -> np.ndarray:
+        """Per-link queue depths indexed by link id (fresh copy)."""
+        return self._depths.copy()
+
+    def depths_for(self, links: np.ndarray) -> np.ndarray:
+        """Queue depths for the given link ids (fresh gathered copy)."""
+        return self._depths[links]
 
     def queue_length(self, link_id: int) -> int:
         """Pending requests on one link."""
@@ -146,12 +180,13 @@ class LinkQueues:
         if not queue:
             raise SchedulingError(f"link {link_id} has no pending requests")
         self._pending -= 1
+        self._depths[link_id] -= 1
         return queue.popleft()
 
     def remaining_indices(self) -> List[int]:
         """All still-pending request indices, in link order then FIFO order."""
         out: List[int] = []
-        for link_id in sorted(self._queues):
+        for link_id in np.flatnonzero(self._depths).tolist():
             out.extend(self._queues[link_id])
         return out
 

@@ -22,18 +22,12 @@ work-horse base algorithm in most experiments.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
-
-import numpy as np
+from typing import Sequence
 
 from repro.errors import SchedulingError
 from repro.interference.base import InterferenceModel
-from repro.staticsched.base import (
-    LinkQueues,
-    RunResult,
-    SlotRecord,
-    StaticAlgorithm,
-)
+from repro.staticsched.base import RunResult, StaticAlgorithm
+from repro.staticsched.kernel import make_run_state
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive
 
@@ -92,9 +86,9 @@ class DecayScheduler(StaticAlgorithm):
         if budget < 0:
             raise SchedulingError(f"budget must be >= 0, got {budget}")
         gen = ensure_rng(rng)
-        queues = LinkQueues(requests, model.num_links)
-        delivered: List[int] = []
-        history: Optional[List[SlotRecord]] = [] if record_history else None
+        kernel, queues, delivered, history = make_run_state(
+            model, requests, record_history
+        )
 
         measure = max(
             model.interference_measure(list(requests)), self._measure_floor
@@ -102,29 +96,15 @@ class DecayScheduler(StaticAlgorithm):
         probability = min(1.0, 1.0 / (self._probability_scale * measure))
 
         # Each pending packet tosses its own coin; the link transmits if
-        # at least one of them wants to — vectorised over busy links so
-        # over-budget (clean-up-bound) instances stay affordable.
-        busy = np.asarray(queues.busy_links(), dtype=int)
-        counts = np.asarray(
-            [queues.queue_length(int(e)) for e in busy], dtype=float
-        )
-        position = {int(e): k for k, e in enumerate(busy)}
+        # at least one of them wants to. The kernel keeps the busy set
+        # and queue depths as aligned arrays, so a slot is one batched
+        # draw plus one batched success evaluation.
+        complement = 1.0 - probability
         slots = 0
-        while slots < budget and queues.pending:
-            link_probability = 1.0 - (1.0 - probability) ** counts
-            wants = gen.random(busy.shape[0]) < link_probability
-            transmitting = [int(e) for e in busy[wants]]
-            successes = self._transmit(
-                model, queues, transmitting, delivered, history
-            )
-            if successes:
-                for link_id in successes:
-                    counts[position[link_id]] -= 1.0
-                if (counts == 0).any():
-                    keep = counts > 0
-                    busy = busy[keep]
-                    counts = counts[keep]
-                    position = {int(e): k for k, e in enumerate(busy)}
+        while slots < budget and kernel.pending:
+            link_probability = 1.0 - complement ** kernel.depths
+            wants = gen.random(kernel.size) < link_probability
+            kernel.transmit(wants)
             slots += 1
         return self._finalise(queues, delivered, slots, history)
 

@@ -21,18 +21,12 @@ benchmark shows the two scaling regimes side by side.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
-
-import numpy as np
+from typing import Sequence
 
 from repro.errors import SchedulingError
 from repro.interference.base import InterferenceModel
-from repro.staticsched.base import (
-    LinkQueues,
-    RunResult,
-    SlotRecord,
-    StaticAlgorithm,
-)
+from repro.staticsched.base import RunResult, StaticAlgorithm
+from repro.staticsched.kernel import make_run_state
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive
 
@@ -81,9 +75,9 @@ class FkvScheduler(StaticAlgorithm):
         if budget < 0:
             raise SchedulingError(f"budget must be >= 0, got {budget}")
         gen = ensure_rng(rng)
-        queues = LinkQueues(requests, model.num_links)
-        delivered: List[int] = []
-        history: Optional[List[SlotRecord]] = [] if record_history else None
+        kernel, queues, delivered, history = make_run_state(
+            model, requests, record_history
+        )
 
         n = max(1, len(list(requests)))
         log_n = math.log(n + 2)
@@ -91,7 +85,7 @@ class FkvScheduler(StaticAlgorithm):
 
         slots = 0
         phase = 0
-        while slots < budget and queues.pending:
+        while slots < budget and kernel.pending:
             phase_measure = max(measure_estimate / 2.0**phase, 1.0)
             probability = min(0.25, 1.0 / (self._probability_scale * phase_measure))
             phase_length = max(
@@ -102,28 +96,13 @@ class FkvScheduler(StaticAlgorithm):
                     * max(phase_measure, log_n)
                 ),
             )
-            busy = np.asarray(queues.busy_links(), dtype=int)
-            counts = np.asarray(
-                [queues.queue_length(int(e)) for e in busy], dtype=float
-            )
-            position = {int(e): k for k, e in enumerate(busy)}
+            complement = 1.0 - probability
             for _ in range(phase_length):
-                if slots >= budget or not queues.pending:
+                if slots >= budget or not kernel.pending:
                     break
-                link_probability = 1.0 - (1.0 - probability) ** counts
-                wants = gen.random(busy.shape[0]) < link_probability
-                transmitting = [int(e) for e in busy[wants]]
-                successes = self._transmit(
-                    model, queues, transmitting, delivered, history
-                )
-                if successes:
-                    for link_id in successes:
-                        counts[position[link_id]] -= 1.0
-                    if (counts == 0).any():
-                        keep = counts > 0
-                        busy = busy[keep]
-                        counts = counts[keep]
-                        position = {int(e): k for k, e in enumerate(busy)}
+                link_probability = 1.0 - complement ** kernel.depths
+                wants = gen.random(kernel.size) < link_probability
+                kernel.transmit(wants)
                 slots += 1
             phase += 1
         return self._finalise(queues, delivered, slots, history)

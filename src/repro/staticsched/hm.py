@@ -36,19 +36,14 @@ empirically before the dynamic protocol relies on it.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.errors import SchedulingError
 from repro.interference.base import InterferenceModel
-from repro.staticsched.base import (
-    LengthBound,
-    LinkQueues,
-    RunResult,
-    SlotRecord,
-    StaticAlgorithm,
-)
+from repro.staticsched.base import LengthBound, RunResult, StaticAlgorithm
+from repro.staticsched.kernel import make_run_state
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive
 
@@ -134,25 +129,29 @@ class HmScheduler(StaticAlgorithm):
         if budget < 0:
             raise SchedulingError(f"budget must be >= 0, got {budget}")
         gen = ensure_rng(rng)
-        queues = LinkQueues(requests, model.num_links)
-        delivered: List[int] = []
-        history: Optional[List[SlotRecord]] = [] if record_history else None
-        weights = model.weight_matrix()
+        kernel, queues, delivered, history = make_run_state(
+            model, requests, record_history
+        )
+
+        # I_busy(e) = (W . B)(e) restricted to busy links is the row sum
+        # of the busy-set submatrix. Cache it once and update it
+        # incrementally as links drain — O(busy) per slot instead of a
+        # fresh O(busy * m) matvec.
+        sub = model.weight_matrix()[np.ix_(kernel.busy, kernel.busy)]
+        contention = sub.sum(axis=1)
 
         slots = 0
-        residual = np.zeros(model.num_links, dtype=float)
-        while slots < budget and queues.pending:
-            busy = queues.busy_links()
-            residual[:] = 0.0
-            residual[busy] = 1.0
-            # I_busy(e) for busy links only: one matvec per slot.
-            contention = weights[busy] @ residual
-            transmitting = []
-            for position, link_id in enumerate(busy):
-                p = min(1.0, self._chi / max(contention[position], 1.0))
-                if gen.random() < p:
-                    transmitting.append(link_id)
-            self._transmit(model, queues, transmitting, delivered, history)
+        while slots < budget and kernel.pending:
+            p = np.minimum(1.0, self._chi / np.maximum(contention, 1.0))
+            attempt = gen.random(kernel.size) < p
+            kernel.transmit(attempt)
+            if kernel.last_keep is not None:
+                keep = kernel.last_keep
+                gone = ~keep
+                contention = (
+                    contention[keep] - sub[np.ix_(keep, gone)].sum(axis=1)
+                )
+                sub = sub[np.ix_(keep, keep)]
             slots += 1
         return self._finalise(queues, delivered, slots, history)
 

@@ -1,0 +1,184 @@
+"""The vectorized slot kernel shared by the static schedulers.
+
+Every static scheduler in :mod:`repro.staticsched` runs the same hot
+loop: decide which busy links transmit this slot, evaluate the
+interference model, serve the FIFO heads of the successful links,
+repeat. Historically each scheduler walked Python dicts per slot and
+the model re-sliced ``W`` per call; :class:`SlotKernel` replaces that
+with array state:
+
+* ``busy`` — sorted int64 array of links with pending requests;
+* ``depths`` — queue depths aligned with ``busy``;
+* a :class:`~repro.interference.base.BatchSuccessEvaluator` obtained
+  from the model once per run, which caches active-set submatrices and
+  updates them incrementally as links drain.
+
+Schedulers keep their per-link adaptive state (transmission
+probabilities, idle streaks...) as arrays aligned with ``busy`` and
+draw their Bernoulli coins in one batched ``Generator.random(size=k)``
+call per slot. Because numpy generators fill batched draws from the
+same stream as repeated scalar calls, a batched scheduler replays
+bit-for-bit against its scalar-loop ancestor.
+
+Reference mode
+--------------
+``successes()`` on the models remains the ground-truth semantics. The
+:func:`scalar_reference` context manager forces every kernel built
+inside it to evaluate slots through the scalar path (one
+``successes()`` call per slot); the parity tests run each scheduler
+twice from one seed — vectorized and reference — and require identical
+:class:`~repro.staticsched.base.RunResult`\\ s.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.interference.base import InterferenceModel, ScalarBatchEvaluator
+from repro.staticsched.base import LinkQueues, SlotRecord
+
+_force_scalar = False
+
+
+@contextmanager
+def scalar_reference():
+    """Force kernels created in this context onto the scalar success path.
+
+    Used by verification: the vectorized evaluators must reproduce the
+    reference run exactly (same RNG stream, same ``RunResult``).
+    """
+    global _force_scalar
+    previous = _force_scalar
+    _force_scalar = True
+    try:
+        yield
+    finally:
+        _force_scalar = previous
+
+
+def scalar_forced() -> bool:
+    """Whether kernels are currently pinned to the scalar reference."""
+    return _force_scalar
+
+
+class SlotKernel:
+    """Array-first slot-loop state for one static-algorithm run.
+
+    The kernel owns the coupling between the request FIFO queues, the
+    interference model's batch evaluator, delivery bookkeeping, and
+    optional history recording. Schedulers drive it with one
+    :meth:`transmit` call per slot, passing a boolean mask over
+    :attr:`busy`.
+
+    Compaction contract: when a transmit empties some link's queue, the
+    kernel shrinks ``busy``/``depths`` (and the evaluator's caches) and
+    exposes the local keep mask as :attr:`last_keep` for exactly one
+    call; schedulers apply their per-link state updates using the
+    *pre-compaction* indexing of the returned success mask, then slice
+    their arrays by ``last_keep``.
+    """
+
+    def __init__(
+        self,
+        model: InterferenceModel,
+        queues: LinkQueues,
+        delivered: List[int],
+        history: Optional[List[SlotRecord]],
+    ):
+        self._model = model
+        self._queues = queues
+        self._delivered = delivered
+        self._history = history
+        self.busy: np.ndarray = queues.busy_array()
+        self.depths: np.ndarray = queues.depths_for(self.busy)
+        if _force_scalar:
+            self._evaluator = ScalarBatchEvaluator(model, self.busy)
+        else:
+            self._evaluator = model.batch_evaluator(self.busy)
+        self.last_keep: Optional[np.ndarray] = None
+        # Reused all-False mask returned for idle slots, so the common
+        # nobody-transmits case costs no allocation. Treated as
+        # read-only by contract (boolean-mask consumers never write
+        # through it).
+        self._no_success = np.zeros(self.busy.size, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests not yet served."""
+        return self._queues.pending
+
+    @property
+    def size(self) -> int:
+        """Number of busy links."""
+        return int(self.busy.size)
+
+    # ------------------------------------------------------------------
+    # The slot step
+    # ------------------------------------------------------------------
+
+    def transmit(self, transmit_local: np.ndarray) -> np.ndarray:
+        """Run one slot with the given local transmit mask.
+
+        Returns the local success mask in *pre-compaction* indexing and
+        sets :attr:`last_keep` when links drained (``None`` otherwise).
+        """
+        self.last_keep = None
+        if not transmit_local.any():
+            # Idle slot: the model is not consulted (matching the
+            # scalar loop, which skipped ``successes([])``).
+            if self._history is not None:
+                self._history.append(SlotRecord((), ()))
+            return self._no_success
+        success = self._evaluator.successes_local(transmit_local)
+        if self._history is not None:
+            self._history.append(
+                SlotRecord(
+                    tuple(int(e) for e in self.busy[transmit_local]),
+                    tuple(int(e) for e in self.busy[success]),
+                )
+            )
+        if success.any():
+            # busy is sorted, so heads pop in ascending link order —
+            # the same delivery order as the scalar loop.
+            pop = self._queues.pop
+            append = self._delivered.append
+            for link in self.busy[success].tolist():
+                append(pop(link))
+            served_depths = self.depths[success] - 1
+            self.depths[success] = served_depths
+            if not served_depths.all():
+                keep = self.depths > 0
+                self.busy = self.busy[keep]
+                self.depths = self.depths[keep]
+                self._evaluator.drop(keep)
+                self.last_keep = keep
+                self._no_success = np.zeros(self.busy.size, dtype=bool)
+        return success
+
+
+def make_run_state(
+    model: InterferenceModel,
+    requests,
+    record_history: bool,
+) -> Tuple[SlotKernel, LinkQueues, List[int], Optional[List[SlotRecord]]]:
+    """Build the (kernel, queues, delivered, history) tuple for a run."""
+    queues = LinkQueues(requests, model.num_links)
+    delivered: List[int] = []
+    history: Optional[List[SlotRecord]] = [] if record_history else None
+    kernel = SlotKernel(model, queues, delivered, history)
+    return kernel, queues, delivered, history
+
+
+__all__ = [
+    "SlotKernel",
+    "make_run_state",
+    "scalar_reference",
+    "scalar_forced",
+]

@@ -23,16 +23,14 @@ algorithms (Section 8).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
+
+import numpy as np
 
 from repro.errors import SchedulingError
 from repro.interference.base import InterferenceModel
-from repro.staticsched.base import (
-    LinkQueues,
-    RunResult,
-    SlotRecord,
-    StaticAlgorithm,
-)
+from repro.staticsched.base import RunResult, StaticAlgorithm
+from repro.staticsched.kernel import make_run_state
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive
 
@@ -95,42 +93,38 @@ class KvScheduler(StaticAlgorithm):
         if budget < 0:
             raise SchedulingError(f"budget must be >= 0, got {budget}")
         gen = ensure_rng(rng)
-        queues = LinkQueues(requests, model.num_links)
-        delivered: List[int] = []
-        history: Optional[List[SlotRecord]] = [] if record_history else None
+        kernel, queues, delivered, history = make_run_state(
+            model, requests, record_history
+        )
 
         # Per-link adaptive state (the head request's state; FIFO order
         # means each request inherits the link's learned probability,
-        # which only helps convergence).
-        probability: Dict[int, float] = {
-            link: self._p0 for link in queues.busy_links()
-        }
-        idle_streak: Dict[int, int] = {link: 0 for link in probability}
+        # which only helps convergence). Arrays aligned with kernel.busy.
+        probability = np.full(kernel.size, self._p0)
+        idle_streak = np.zeros(kernel.size, dtype=np.int64)
 
         slots = 0
-        while slots < budget and queues.pending:
-            transmitting = []
-            for link_id in queues.busy_links():
-                if gen.random() < probability[link_id]:
-                    transmitting.append(link_id)
-                    idle_streak[link_id] = 0
-                else:
-                    idle_streak[link_id] += 1
-            successes = self._transmit(
-                model, queues, transmitting, delivered, history
+        while slots < budget and kernel.pending:
+            # One batched draw covers every busy link in id order — the
+            # same stream as one scalar draw per link.
+            attempt = gen.random(kernel.size) < probability
+            idle_streak += 1
+            idle_streak[attempt] = 0
+            success = kernel.transmit(attempt)
+            probability[success] = self._p0
+            # successes are a subset of attempts, so XOR == attempt & ~success
+            rebuffed = attempt ^ success
+            probability[rebuffed] = np.maximum(
+                self._p_min, probability[rebuffed] * self._backoff
             )
-            for link_id in transmitting:
-                if link_id in successes:
-                    # Fresh head request: reset to the optimistic start.
-                    probability[link_id] = self._p0
-                else:
-                    probability[link_id] = max(
-                        self._p_min, probability[link_id] * self._backoff
-                    )
-            for link_id, streak in idle_streak.items():
-                if streak >= self._recovery_slots and queues.queue_length(link_id):
-                    probability[link_id] = min(self._p0, probability[link_id] * 2.0)
-                    idle_streak[link_id] = 0
+            recovered = idle_streak >= self._recovery_slots
+            probability[recovered] = np.minimum(
+                self._p0, probability[recovered] * 2.0
+            )
+            idle_streak[recovered] = 0
+            if kernel.last_keep is not None:
+                probability = probability[kernel.last_keep]
+                idle_streak = idle_streak[kernel.last_keep]
             slots += 1
         return self._finalise(queues, delivered, slots, history)
 

@@ -35,6 +35,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.errors import SchedulingError
 from repro.interference.base import InterferenceModel
 from repro.interference.mac import MultipleAccessChannel
@@ -164,35 +166,45 @@ class MacBackoffScheduler(StaticAlgorithm):
         history: Optional[List[SlotRecord]] = [] if record_history else None
         slots = 0
 
-        # Stage 1: geometric sifting rounds. Bucketing packets by their
-        # drawn delay makes a whole round O(#pending + round_length)
-        # instead of O(#pending * round_length) — essential for the
-        # dynamic protocol, which feeds frames of 10^4+ packets.
+        # Stage 1: geometric sifting rounds. Only the per-delay packet
+        # *counts* decide who is served (singleton buckets win), so the
+        # whole round collapses to one batched delay draw plus a
+        # bincount — no Python-level bucket dict on the hot path. The
+        # bucket walk is kept only when per-slot history is recorded.
         factor = self._survival_factor()
         for i in range(1, self._stage1_rounds(n) + 1):
             if slots >= budget or not pending:
                 break
             round_length = max(1, math.floor(factor**i * n))
             delays = gen.integers(round_length, size=len(pending))
+            effective = min(round_length, budget - slots)
+            if history is None:
+                pending_arr = np.asarray(pending, dtype=np.int64)
+                counts = np.bincount(delays, minlength=round_length)
+                served = (counts[delays] == 1) & (delays < effective)
+                # Stable sort by delay reproduces the slot-order walk:
+                # delivered in slot order, survivors by (delay, index).
+                order = np.argsort(delays, kind="stable")
+                served_ordered = served[order]
+                ordered = pending_arr[order]
+                delivered.extend(int(p) for p in ordered[served_ordered])
+                pending = [int(p) for p in ordered[~served_ordered]]
+                slots += effective
+                continue
             buckets: dict = {}
             for packet, delay in zip(pending, delays):
                 buckets.setdefault(int(delay), []).append(packet)
-            effective = min(round_length, budget - slots)
             survivors: List[int] = []
             for delay in range(effective):
                 bucket = buckets.get(delay, ())
                 if len(bucket) == 1:
                     delivered.append(bucket[0])
-                    if history is not None:
-                        link = requests[bucket[0]]
-                        history.append(SlotRecord((link,), (link,)))
+                    link = requests[bucket[0]]
+                    history.append(SlotRecord((link,), (link,)))
                 else:
                     survivors.extend(bucket)
-                    if history is not None:
-                        links = tuple(
-                            sorted(requests[p] for p in bucket)
-                        )
-                        history.append(SlotRecord(links, ()))
+                    links = tuple(sorted(requests[p] for p in bucket))
+                    history.append(SlotRecord(links, ()))
             slots += effective
             # Budget cut the round short: unplayed buckets survive as-is.
             for delay in range(effective, round_length):

@@ -72,10 +72,18 @@ class RoundRobinScheduler(StaticAlgorithm):
         slots = 0
 
         for station in range(model.num_links):
-            # Drain this station's backlog, one packet per slot.
-            while queues.queue_length(station) and slots < budget:
-                self._transmit(model, queues, [station], delivered, history)
-                slots += 1
+            # Drain this station's backlog in bulk: on the bare channel
+            # every singleton slot is received, so the whole run of
+            # ``queue_length`` slots resolves without consulting the
+            # model per slot.
+            serve = min(queues.queue_length(station), budget - slots)
+            for _ in range(serve):
+                delivered.append(queues.pop(station))
+            if history is not None:
+                history.extend(
+                    SlotRecord((station,), (station,)) for _ in range(serve)
+                )
+            slots += serve
             if slots >= budget:
                 break
             # The handover slot: silence tells the next station to start.

@@ -16,17 +16,14 @@ results in the degenerate model.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import Sequence
+
+import numpy as np
 
 from repro.errors import SchedulingError
 from repro.interference.base import InterferenceModel
-from repro.staticsched.base import (
-    LengthBound,
-    LinkQueues,
-    RunResult,
-    SlotRecord,
-    StaticAlgorithm,
-)
+from repro.staticsched.base import LengthBound, RunResult, StaticAlgorithm
+from repro.staticsched.kernel import make_run_state
 from repro.utils.rng import RngLike
 
 
@@ -57,13 +54,14 @@ class SingleHopScheduler(StaticAlgorithm):
     ) -> RunResult:
         if budget < 0:
             raise SchedulingError(f"budget must be >= 0, got {budget}")
-        queues = LinkQueues(requests, model.num_links)
-        delivered: List[int] = []
-        history: Optional[List[SlotRecord]] = [] if record_history else None
+        kernel, queues, delivered, history = make_run_state(
+            model, requests, record_history
+        )
         slots = 0
-        while slots < budget and queues.pending:
-            transmitting = queues.busy_links()
-            self._transmit(model, queues, transmitting, delivered, history)
+        while slots < budget and kernel.pending:
+            # Every busy link forwards: the all-transmit mask hits the
+            # evaluators' incremental row-sum fast path.
+            kernel.transmit(np.ones(kernel.size, dtype=bool))
             slots += 1
         return self._finalise(queues, delivered, slots, history)
 
