@@ -1,0 +1,228 @@
+"""P2 — the struct-of-arrays packet layer vs the object-per-packet path.
+
+The perf tentpole of the packet-store PR: with the slot kernel already
+vectorized (P1), per-``Packet`` Python bookkeeping in the Section-4
+frame protocol dominates large dynamic runs. The store path replaces
+it with index arrays — the phase-1 request vector is one CSR gather,
+hop advancement / delivery detection / potential updates are array
+ops, injection emits whole frames with one flat allocation, and failed
+buffers hold int indices.
+
+Workload: a protocol-dominated stability run on a 20x20 grid (1520
+links, multi-hop routed paths) under a gently-decaying affectance
+matrix with the single-hop static algorithm — few, cheap slots per
+frame, tens of thousands of packets in flight, clean-up lottery
+engaged. The frame budget (`FrameParameters`) is identical in both
+modes, so the two runs execute the exact same schedule; the benchmark
+asserts outcome equality before reporting (and
+``tests/test_store_parity.py`` pins the full ``FrameReport`` stream
+bit-identical from one seed).
+
+The baseline (``legacy``) materialises real ``Packet`` dataclass
+objects from the same injection stream and drives the protocol's
+object mode — a faithful copy of the pre-store data path, packet
+construction included. The speedup is reported in frames/sec; the
+acceptance floor is 2x.
+
+Results go to ``BENCH_p2.json`` (see ``benchmarks/run_perf.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _harness import once, print_experiment
+
+import repro
+from repro.core.frames import FrameParameters
+from repro.injection.packet import Packet
+from repro.interference.matrix_model import AffectanceThresholdModel
+from repro.network.topology import grid_network
+
+ROWS, COLS = 20, 20
+FRAMES = 14
+NUM_PAIRS = 800
+NUM_GENERATORS = 96
+TARGET_RATE = 1.2
+FRAME = dict(
+    frame_length=100,
+    phase1_budget=44,
+    cleanup_budget=12,
+    measure_budget=30.0,
+    epsilon=0.5,
+    rate=TARGET_RATE,
+    f_m=1.0,
+)
+
+
+def banded_affectance_matrix(m: int, reach: int, base: float, exponent: float):
+    """Synthetic SINR-like impact matrix: geometric decay with link
+    distance, unit diagonal (same construction as P1)."""
+    idx = np.arange(m)
+    distance = np.abs(idx[:, None] - idx[None, :]).astype(float)
+    matrix = base / (1.0 + distance) ** exponent
+    matrix[distance > reach] = 0.0
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
+class LegacyPacketizer:
+    """The pre-store object stream: real ``Packet`` dataclass objects.
+
+    Wraps the (shared) store-backed injection process and materialises
+    each frame's batch as detached ``Packet`` objects — including the
+    per-packet construction cost the object path always paid — so the
+    baseline is a faithful copy of the pre-PR data path while sampling
+    the identical stream.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def packets_for_range(self, start_slot, end_slot):
+        indices = self._inner.indices_for_range(start_slot, end_slot)
+        store = self._inner.store
+        offsets = store.offsets
+        path_links = store.path_links
+        injected_at = store.injected_at
+        return [
+            Packet(
+                id=int(i),
+                path=tuple(path_links[offsets[i] : offsets[i + 1]].tolist()),
+                injected_at=int(injected_at[i]),
+            )
+            for i in indices.tolist()
+        ]
+
+
+class _Instance:
+    """The network/model/routing triple, built once (BFS routing over
+    400 nodes is expensive and identical across modes and repeats)."""
+
+    def __init__(self):
+        self.network = grid_network(ROWS, COLS)
+        m = self.network.num_links
+        self.model = AffectanceThresholdModel(
+            self.network, banded_affectance_matrix(m, 40, 0.04, 0.6)
+        )
+        self.model.weight_matrix()  # build + validate W outside timing
+        routing = repro.build_routing_table(self.network)
+        pool_rng = np.random.default_rng(7)
+        all_pairs = routing.pairs()
+        pick = pool_rng.choice(len(all_pairs), size=NUM_PAIRS, replace=False)
+        self.pairs = [all_pairs[int(k)] for k in pick]
+        self.routing = routing
+        self.params = FrameParameters(m=self.network.size_m, **FRAME)
+
+
+def run_mode(instance: _Instance, mode: str, frames: int):
+    """One seeded run; only the injection + frame loop is timed."""
+    injection = repro.uniform_pair_injection(
+        instance.routing,
+        instance.model,
+        TARGET_RATE,
+        num_generators=NUM_GENERATORS,
+        pairs=instance.pairs,
+        rng=1017,
+    )
+    protocol = repro.DynamicProtocol(
+        instance.model,
+        repro.SingleHopScheduler(),
+        TARGET_RATE,
+        params=instance.params,
+        rng=17,
+        store=injection.store if mode == "store" else None,
+    )
+    if mode == "legacy":
+        injection = LegacyPacketizer(injection)
+    simulation = repro.FrameSimulation(protocol, injection)
+    start = time.perf_counter()
+    simulation.run(frames)
+    seconds = time.perf_counter() - start
+    outcome = {
+        "injected": simulation.metrics.injected_total,
+        "delivered": len(protocol.delivered),
+        "in_system": protocol.packets_in_system,
+        "failures": protocol.potential.total_failures,
+        "queue_series_tail": simulation.metrics.queue_series[-5:],
+    }
+    return outcome, seconds
+
+
+TIMING_REPEATS = 3
+
+
+def run_experiment(frames: int = FRAMES, out_path=None, tags=None):
+    instance = _Instance()
+    store_value = legacy_value = None
+    store_seconds = legacy_seconds = float("inf")
+    # Interleaved min-of-3 per mode (same noise-robust estimator as
+    # P1); outcomes must be identical across modes and repetitions.
+    for _ in range(TIMING_REPEATS):
+        value, seconds = run_mode(instance, "store", frames)
+        assert store_value in (None, value), "store outcome diverged"
+        store_value, store_seconds = value, min(store_seconds, seconds)
+        value, seconds = run_mode(instance, "legacy", frames)
+        assert legacy_value in (None, value), "legacy outcome diverged"
+        legacy_value, legacy_seconds = value, min(legacy_seconds, seconds)
+    assert store_value == legacy_value, (
+        f"paths diverged — store {store_value}, legacy {legacy_value}"
+    )
+    speedup = legacy_seconds / store_seconds
+    workload = {
+        "name": "stability-grid20x20-singlehop",
+        "links": instance.network.num_links,
+        "frames": frames,
+        "injected": store_value["injected"],
+        "delivered": store_value["delivered"],
+        "in_system": store_value["in_system"],
+        "failures": store_value["failures"],
+        "seconds_store": store_seconds,
+        "seconds_legacy": legacy_seconds,
+        "frames_per_sec_store": frames / store_seconds,
+        "frames_per_sec_legacy": frames / legacy_seconds,
+        "speedup": speedup,
+    }
+    payload = {
+        "benchmark": "p2_packet_store",
+        "created_unix": time.time(),
+        "links": instance.network.num_links,
+        "frames": frames,
+        "workloads": [workload],
+        "headline_speedup": speedup,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    if tags:
+        payload.update(tags)
+    if out_path is None:
+        out_path = Path(__file__).resolve().parents[1] / "BENCH_p2.json"
+    Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_experiment(
+        "P2",
+        "Struct-of-arrays packet layer: index-array protocol bookkeeping "
+        "vs object-per-packet on a 20x20 grid stability run",
+        ["workload", "frames", "legacy frames/s", "store frames/s",
+         "speedup"],
+        [[
+            workload["name"],
+            workload["frames"],
+            f"{workload['frames_per_sec_legacy']:.1f}",
+            f"{workload['frames_per_sec_store']:.1f}",
+            f"{workload['speedup']:.1f}x",
+        ]],
+    )
+    return payload
+
+
+def test_p2_packet_store(benchmark):
+    payload = once(benchmark, run_experiment)
+    assert payload["headline_speedup"] >= 2.0, (
+        "packet-store speedup below the 2x acceptance floor: "
+        f"{payload['headline_speedup']:.2f}x"
+    )

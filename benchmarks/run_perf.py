@@ -42,11 +42,24 @@ def _run_p1(quick: bool, out_dir: Path) -> dict:
     )
 
 
+def _run_p2(quick: bool, out_dir: Path) -> dict:
+    import bench_p2_packet_store
+
+    frames = 4 if quick else bench_p2_packet_store.FRAMES
+    return bench_p2_packet_store.run_experiment(
+        frames=frames,
+        out_path=out_dir / "BENCH_p2.json",
+        tags={"quick_mode": bool(quick)},
+    )
+
+
 #: Registry of perf benches: id -> (runner(quick, out_dir) -> payload,
 #: headline-speedup floor or None). The floor is per-bench: P1's
-#: acceptance criterion is >= 3x; future benches declare their own.
+#: acceptance criterion is >= 3x, P2's is >= 2x; future benches
+#: declare their own.
 PERF_BENCHES = {
     "p1": (_run_p1, 3.0),
+    "p2": (_run_p2, 2.0),
 }
 
 

@@ -102,6 +102,9 @@ from repro.injection import (
     InjectionProcess,
     MarkovModulatedInjection,
     Packet,
+    PacketSequence,
+    PacketStore,
+    PacketView,
     PathGenerator,
     PoissonBatchInjection,
     SawtoothAdversary,
@@ -230,6 +233,9 @@ __all__ = [
     "worst_singleton_success",
     # injection
     "Packet",
+    "PacketStore",
+    "PacketView",
+    "PacketSequence",
     "InjectionProcess",
     "StochasticInjection",
     "PathGenerator",

@@ -167,6 +167,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     scenario = build_scenario(args.model, args.nodes, args.seed)
     rate = args.rate_fraction * scenario.certified
     tracer = repro.Tracer() if args.trace else None
+    injection = repro.uniform_pair_injection(
+        scenario.routing,
+        scenario.model,
+        rate,
+        num_generators=args.generators,
+        rng=args.seed + 1000,
+    )
+    # Store mode: the protocol shares the injection's PacketStore, so
+    # the engine feeds index arrays (bit-identical to the object path).
     protocol = repro.DynamicProtocol(
         scenario.model,
         scenario.algorithm,
@@ -174,13 +183,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         t_scale=args.t_scale,
         rng=args.seed,
         tracer=tracer,
-    )
-    injection = repro.uniform_pair_injection(
-        scenario.routing,
-        scenario.model,
-        rate,
-        num_generators=args.generators,
-        rng=args.seed + 1000,
+        store=injection.store,
     )
     simulation = repro.FrameSimulation(protocol, injection)
     simulation.run(args.frames)
@@ -195,7 +198,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         metrics.queue_series,
         load_per_frame=max(1.0, metrics.injected_total / max(1, args.frames)),
     )
-    summary = metrics.latency_summary(list(protocol.delivered))
+    summary = metrics.latency_summary(protocol.delivered)
     rows = [
         ["frames", args.frames],
         ["injected", metrics.injected_total],
@@ -323,11 +326,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
     for label, algorithm in contenders:
         certified = repro.certified_rate(algorithm, m)
         rate = args.rate_fraction * certified
-        protocol = repro.DynamicProtocol(
-            model, algorithm, rate, t_scale=0.001, rng=args.seed
-        )
         injection = repro.uniform_pair_injection(
             routing, model, rate, num_generators=8, rng=args.seed + 1000
+        )
+        protocol = repro.DynamicProtocol(
+            model, algorithm, rate, t_scale=0.001, rng=args.seed,
+            store=injection.store,
         )
         simulation = repro.FrameSimulation(protocol, injection)
         simulation.run(args.frames)

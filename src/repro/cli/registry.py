@@ -130,6 +130,12 @@ EXPERIMENTS: List[ExperimentEntry] = [
         "loop on 500 links",
         "bench_p1_slot_kernel.py",
     ),
+    ExperimentEntry(
+        "P2", "Performance",
+        "struct-of-arrays packet layer: >= 2x frames/sec over the "
+        "object-per-packet protocol path on a 1520-link grid",
+        "bench_p2_packet_store.py",
+    ),
 ]
 
 

@@ -26,10 +26,13 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.frames import FrameParameters, compute_frame_parameters, epsilon_for_rate
 from repro.core.protocol import DynamicProtocol, FrameReport
 from repro.errors import ConfigurationError
 from repro.injection.packet import Packet
+from repro.injection.store import PacketStore
 from repro.interference.base import InterferenceModel
 from repro.sim.trace import EventKind, Tracer
 from repro.staticsched.base import StaticAlgorithm
@@ -63,6 +66,10 @@ class ShiftedDynamicProtocol:
         Optional :class:`~repro.sim.trace.Tracer`, shared with the
         inner protocol; the wrapper adds HELD/RELEASED events around
         the inner protocol's packet lifecycle.
+    store:
+        Optional :class:`~repro.injection.store.PacketStore`; forwarded
+        to the inner protocol. In store mode ``run_frame`` takes store
+        indices and the held buffers hold int indices.
     """
 
     def __init__(
@@ -77,6 +84,7 @@ class ShiftedDynamicProtocol:
         shift_enabled: bool = True,
         rng: RngLike = None,
         tracer: Optional[Tracer] = None,
+        store: Optional[PacketStore] = None,
     ):
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
@@ -101,7 +109,9 @@ class ShiftedDynamicProtocol:
             t_scale=t_scale,
             rng=self._rng,
             tracer=tracer,
+            store=store,
         )
+        self._store = store
         self._tracer = tracer
         depth = model.network.max_path_length
         window_frames = max(1, math.ceil(window / self._inner.frame_length))
@@ -120,6 +130,11 @@ class ShiftedDynamicProtocol:
     def inner(self) -> DynamicProtocol:
         """The wrapped stochastic-model protocol."""
         return self._inner
+
+    @property
+    def store(self) -> Optional[PacketStore]:
+        """The packet store (``None`` in object mode)."""
+        return self._store
 
     @property
     def delta_max(self) -> int:
@@ -141,25 +156,42 @@ class ShiftedDynamicProtocol:
         return self.held_count + self._inner.packets_in_system
 
     @property
-    def delivered(self) -> List[Packet]:
+    def delivered(self) -> Sequence[Packet]:
         return self._inner.delivered
 
     def run_frame(self, injected: Sequence[Packet]) -> FrameReport:
-        """Delay-shift the new packets, release the due ones, run a frame."""
+        """Delay-shift the new packets, release the due ones, run a frame.
+
+        One body serves both modes — object mode holds Packet-like
+        objects, store mode holds int indices — so the shift semantics
+        (and the per-packet scalar ``integers`` draws the parity
+        contract depends on) cannot drift apart.
+        """
+        store_mode = self._store is not None
         frame = self._inner.frame_index
-        for packet in injected:
+        if store_mode:
+            items = self._inner._coerce_indices(injected).tolist()
+        else:
+            items = injected
+        for item in items:
             if self._shift_enabled:
                 delay = int(self._rng.integers(self._delta_max))
             else:
                 delay = 0
             release = frame + delay
-            self._held.setdefault(release, []).append(packet)
+            self._held.setdefault(release, []).append(item)
             if self._tracer is not None and delay > 0:
-                self._tracer.record(frame, EventKind.HELD, packet.id)
+                self._tracer.record(
+                    frame, EventKind.HELD, item if store_mode else item.id
+                )
         due = self._held.pop(frame, [])
         if self._tracer is not None:
-            for packet in due:
-                self._tracer.record(frame, EventKind.RELEASED, packet.id)
+            for item in due:
+                self._tracer.record(
+                    frame, EventKind.RELEASED, item if store_mode else item.id
+                )
+        if store_mode:
+            return self._inner.run_frame(np.asarray(due, dtype=np.int64))
         return self._inner.run_frame(due)
 
 

@@ -12,7 +12,7 @@ drift is negative below capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.errors import SchedulingError
 from repro.injection.packet import Packet
@@ -36,8 +36,20 @@ class PotentialTracker:
         self.value += packet.remaining_hops
         self.total_failures += 1
 
-    def on_cleanup_hop(self, packet: Packet) -> None:
-        """A clean-up transmission succeeded: one hop leaves the potential."""
+    def on_failures(self, total_remaining: int, count: int) -> None:
+        """Bulk :meth:`on_failure` for the store-mode protocol.
+
+        The caller has already verified every failed packet has
+        remaining hops; ``total_remaining`` is their sum.
+        """
+        self.value += int(total_remaining)
+        self.total_failures += int(count)
+
+    def on_cleanup_hop(self, packet: Optional[Packet] = None) -> None:
+        """A clean-up transmission succeeded: one hop leaves the potential.
+
+        ``packet`` is accepted for API compatibility but unused.
+        """
         if self.value <= 0:
             raise SchedulingError("potential under-flow: cleanup hop at Phi=0")
         self.value -= 1

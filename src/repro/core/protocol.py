@@ -26,6 +26,19 @@ properties of this loop; the benchmarks validate both empirically. The
 ``cleanup_enabled=False`` switch implements the A1 ablation (failed
 packets simply retry in later phase-1 executions), demonstrating why
 the two-phase design exists.
+
+Two bookkeeping modes share the frame logic:
+
+* **Object mode** (default) — ``run_frame`` takes
+  :class:`~repro.injection.packet.Packet`-like objects and walks them
+  one by one, exactly the seed implementation.
+* **Store mode** (pass a
+  :class:`~repro.injection.store.PacketStore`) — ``run_frame`` takes
+  store *indices*; the phase-1 request vector is one CSR gather, hop
+  advancement / delivery detection / potential updates are array ops,
+  and failed buffers hold int indices. Both modes consume the RNG
+  stream identically and emit bit-identical :class:`FrameReport`
+  streams from one seed (``tests/test_store_parity.py`` pins this).
 """
 
 from __future__ import annotations
@@ -34,12 +47,15 @@ import bisect
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.frames import FrameParameters, compute_frame_parameters
 from repro.core.potential import PotentialTracker
 from repro.errors import ConfigurationError, SchedulingError
 from repro.injection.packet import Packet
+from repro.injection.store import PacketSequence, PacketStore, PacketView
 from repro.interference.base import InterferenceModel
 from repro.sim.trace import EventKind, Tracer
 from repro.staticsched.base import StaticAlgorithm
@@ -92,6 +108,13 @@ class DynamicProtocol:
         Optional :class:`~repro.sim.trace.Tracer`; when given the
         protocol emits per-packet events (activation, hops, failures,
         clean-up, delivery). ``None`` (default) skips all tracing work.
+    store:
+        Optional :class:`~repro.injection.store.PacketStore`. When
+        given the protocol runs in store mode: ``run_frame`` accepts
+        index arrays (typically straight from an injection process
+        sharing the store) and all per-packet bookkeeping is
+        vectorized. ``delivered`` then returns a lazy
+        :class:`~repro.injection.store.PacketSequence`.
     """
 
     def __init__(
@@ -105,6 +128,7 @@ class DynamicProtocol:
         cleanup_probability: Optional[float] = None,
         rng: RngLike = None,
         tracer: Optional[Tracer] = None,
+        store: Optional[PacketStore] = None,
     ):
         self._model = model
         self._algorithm = algorithm
@@ -124,11 +148,17 @@ class DynamicProtocol:
         self._cleanup_enabled = bool(cleanup_enabled)
         self._rng = ensure_rng(rng)
         self._tracer = tracer
+        self._store = store
 
         self._frame_index = 0
+        # Object mode: Packet-like objects. Store mode: the active set
+        # is an id-ordered int64 index array, failed buffers hold int
+        # indices, and delivery is a growing index list.
         self._active: List[Packet] = []
-        self._failed_buffers: Dict[int, Deque[Packet]] = {}
+        self._active_idx = np.empty(0, dtype=np.int64)
+        self._failed_buffers: Dict[int, Deque] = {}
         self._delivered: List[Packet] = []
+        self._delivered_ids: List[int] = []
         self.potential = PotentialTracker()
 
     # ------------------------------------------------------------------
@@ -149,8 +179,15 @@ class DynamicProtocol:
         return self._params.frame_length
 
     @property
+    def store(self) -> Optional[PacketStore]:
+        """The packet store (``None`` in object mode)."""
+        return self._store
+
+    @property
     def active_count(self) -> int:
         """Never-failed packets currently in flight."""
+        if self._store is not None:
+            return int(self._active_idx.size)
         return len(self._active)
 
     @property
@@ -164,8 +201,14 @@ class DynamicProtocol:
         return self.active_count + self.failed_count
 
     @property
-    def delivered(self) -> List[Packet]:
-        """Delivered packets (shared list; treat as read-only)."""
+    def delivered(self) -> Sequence[Packet]:
+        """Delivered packets (shared container; treat as read-only).
+
+        A plain list in object mode; a lazy
+        :class:`~repro.injection.store.PacketSequence` in store mode.
+        """
+        if self._store is not None:
+            return PacketSequence(self._store, self._delivered_ids)
         return self._delivered
 
     def failed_buffer_sizes(self) -> Dict[int, int]:
@@ -180,8 +223,16 @@ class DynamicProtocol:
     # The frame loop
     # ------------------------------------------------------------------
 
-    def run_frame(self, injected: Sequence[Packet]) -> FrameReport:
-        """Execute one frame; ``injected`` arrived during this frame."""
+    def run_frame(
+        self, injected: Union[Sequence[Packet], np.ndarray]
+    ) -> FrameReport:
+        """Execute one frame; ``injected`` arrived during this frame.
+
+        Object mode takes Packet-like objects; store mode takes store
+        indices (an int array, or views over the protocol's store).
+        """
+        if self._store is not None:
+            return self._run_frame_store(injected)
         frame = self._frame_index
         frame_end_slot = (frame + 1) * self._params.frame_length
 
@@ -215,6 +266,229 @@ class DynamicProtocol:
             failed_in_system=self.failed_count,
             potential=self.potential.value,
         )
+
+    # ------------------------------------------------------------------
+    # Store mode: index-array bookkeeping
+    # ------------------------------------------------------------------
+
+    def _coerce_indices(self, injected) -> np.ndarray:
+        if isinstance(injected, np.ndarray):
+            indices = injected.astype(np.int64, copy=False)
+        elif len(injected) == 0:
+            return np.empty(0, dtype=np.int64)
+        elif isinstance(injected[0], PacketView):
+            for packet in injected:
+                if packet.store is not self._store:
+                    raise SchedulingError(
+                        f"packet {packet.id} belongs to a different "
+                        "PacketStore than the protocol's"
+                    )
+            indices = np.asarray([p.index for p in injected], dtype=np.int64)
+        else:
+            indices = np.asarray(injected, dtype=np.int64)
+        if indices.size and (
+            int(indices.min()) < 0 or int(indices.max()) >= len(self._store)
+        ):
+            raise SchedulingError(
+                "injected indices fall outside the protocol's PacketStore "
+                f"(size {len(self._store)})"
+            )
+        return indices
+
+    def _run_frame_store(self, injected) -> FrameReport:
+        frame = self._frame_index
+        frame_end_slot = (frame + 1) * self._params.frame_length
+
+        phase1_hops, newly_failed = self._phase1_store(frame, frame_end_slot)
+        if self._cleanup_enabled:
+            offered, cleanup_hops = self._cleanup_store(frame, frame_end_slot)
+        else:
+            offered, cleanup_hops = 0, 0
+
+        indices = self._coerce_indices(injected)
+        if indices.size:
+            self._validate_store_links()
+            if self._active_idx.size:
+                self._active_idx = np.concatenate([self._active_idx, indices])
+            else:
+                self._active_idx = indices
+            if self._tracer is not None:
+                store = self._store
+                for index in indices.tolist():
+                    self._tracer.record(
+                        frame,
+                        EventKind.ACTIVATED,
+                        index,
+                        store.current_link_of(index),
+                    )
+
+        self.potential.sample()
+        self._frame_index += 1
+        return FrameReport(
+            frame=frame,
+            injected=int(indices.size),
+            phase1_requests=phase1_hops + newly_failed,
+            phase1_hops=phase1_hops,
+            newly_failed=newly_failed,
+            cleanup_offered=offered,
+            cleanup_hops=cleanup_hops,
+            delivered_packets=len(self._delivered_ids),
+            active_in_system=self.active_count,
+            failed_in_system=self.failed_count,
+            potential=self.potential.value,
+        )
+
+    def _phase1_store(self, frame: int, frame_end_slot: int):
+        active = self._active_idx
+        if active.size == 0:
+            return 0, 0
+        store = self._store
+        # Phase-1 request vector: one CSR gather over the active set.
+        requests = store.current_links(active)
+        result = self._algorithm.run(
+            self._model,
+            requests,
+            self._params.phase1_budget,
+            rng=self._rng,
+        )
+        served_mask = np.zeros(active.size, dtype=bool)
+        if result.delivered:
+            served_mask[np.asarray(result.delivered, dtype=np.int64)] = True
+        served = active[served_mask]
+        failed = active[~served_mask]
+        hops = int(served.size)
+
+        done = store.advance_hops(served, frame_end_slot)
+        delivered_now = served[done]
+
+        if failed.size:
+            remaining = store.remaining_hops(failed)
+            if (remaining <= 0).any():
+                bad = int(failed[remaining <= 0][0])
+                raise SchedulingError(
+                    f"packet {bad} failed with no remaining hops"
+                )
+            store.mark_failed(failed, frame)
+            self.potential.on_failures(int(remaining.sum()), int(failed.size))
+            # Failed packets park on the link they were about to cross
+            # (their hop did not advance, so it is their request link).
+            # File in id order: every same-frame key (frame, id) then
+            # lands behind the buffer tail (frames ascend across
+            # calls), so filing is pure O(1) appends — the same order
+            # the object path's sorted insert produces. The active set
+            # itself is NOT id-ordered (frame batches sort by
+            # (injected_at, id)), hence the explicit argsort.
+            failed_links = requests[~served_mask]
+            order = np.argsort(failed)
+            buffers = self._failed_buffers
+            for index, link in zip(
+                failed[order].tolist(), failed_links[order].tolist()
+            ):
+                buffer = buffers.get(link)
+                if buffer is None:
+                    buffer = buffers[link] = deque()
+                buffer.append(index)
+
+        if self._tracer is not None:
+            self._emit_phase1_events(
+                frame, active, requests, served_mask, served, done
+            )
+
+        if delivered_now.size:
+            self._delivered_ids.extend(delivered_now.tolist())
+        self._active_idx = served[~done]
+        return hops, int(failed.size)
+
+    def _emit_phase1_events(
+        self, frame, active, requests, served_mask, served, done
+    ):
+        """Per-packet trace events in the object path's order."""
+        delivered_full = np.zeros(active.size, dtype=bool)
+        delivered_full[np.flatnonzero(served_mask)[done]] = True
+        record = self._tracer.record
+        for position in range(active.size):
+            index = int(active[position])
+            link = int(requests[position])
+            if served_mask[position]:
+                record(frame, EventKind.PHASE1_HOP, index, link)
+                if delivered_full[position]:
+                    record(frame, EventKind.DELIVERED, index, link)
+            else:
+                record(frame, EventKind.FAILED, index, link)
+
+    def _cleanup_store(self, frame: int, frame_end_slot: int):
+        store = self._store
+        offered: List[int] = []
+        for link_id in sorted(self._failed_buffers):
+            buffer = self._failed_buffers[link_id]
+            if buffer and self._rng.random() < self._cleanup_probability:
+                offered.append(buffer[0])
+                if self._tracer is not None:
+                    self._tracer.record(
+                        frame, EventKind.CLEANUP_OFFERED, buffer[0], link_id
+                    )
+        if not offered:
+            return 0, 0
+        requests = store.current_links(np.asarray(offered, dtype=np.int64))
+        result = self._algorithm.run(
+            self._model,
+            requests,
+            self._params.cleanup_budget,
+            rng=self._rng,
+        )
+        served = [(offered[k], int(requests[k])) for k in result.delivered]
+        # Pop every served packet before any advances (see _cleanup).
+        for index, link in served:
+            buffer = self._failed_buffers.get(link)
+            if not buffer or buffer[0] != index:
+                raise SchedulingError(
+                    f"packet {index} is not at the head of its failed buffer"
+                )
+            buffer.popleft()
+        hops = 0
+        for index, link in served:
+            self.potential.on_cleanup_hop()
+            hops += 1
+            if self._tracer is not None:
+                self._tracer.record(frame, EventKind.CLEANUP_HOP, index, link)
+            if store.advance_one(index, frame_end_slot):
+                self._delivered_ids.append(index)
+                if self._tracer is not None:
+                    self._tracer.record(
+                        frame, EventKind.DELIVERED, index, link
+                    )
+            else:
+                self._push_failed_index(index)
+        return len(offered), hops
+
+    def _push_failed_index(self, index: int) -> None:
+        """Store-mode :meth:`_push_failed`: file an int index by
+        (failure frame, id), oldest first."""
+        store = self._store
+        link = store.current_link_of(index)
+        buffer = self._failed_buffers.setdefault(link, deque())
+        failed_at = store.failed_at_frame
+
+        def key(i: int) -> Tuple[int, int]:
+            return (int(failed_at[i]), i)
+
+        if not buffer or key(index) > key(buffer[-1]):
+            buffer.append(index)
+        elif key(index) < key(buffer[0]):
+            buffer.appendleft(index)
+        else:
+            bisect.insort(buffer, index, key=key)
+
+    def _validate_store_links(self) -> None:
+        bounds = self._store.link_id_bounds()
+        if bounds is None:
+            return
+        low, high = bounds
+        if low < 0 or high >= self._model.num_links:
+            raise SchedulingError(
+                f"packet store references link {low if low < 0 else high}, "
+                f"outside 0..{self._model.num_links - 1}"
+            )
 
     def _phase1(self, frame: int, frame_end_slot: int):
         if not self._active:

@@ -21,6 +21,7 @@ arrivals) that each relax exactly one property of the stochastic model
 """
 
 from repro.injection.packet import Packet
+from repro.injection.store import PacketSequence, PacketStore, PacketView
 from repro.injection.base import InjectionProcess
 from repro.injection.stochastic import (
     PathGenerator,
@@ -44,6 +45,9 @@ from repro.injection.rates import injection_rate_of_distribution, scale_to_rate
 
 __all__ = [
     "Packet",
+    "PacketStore",
+    "PacketView",
+    "PacketSequence",
     "InjectionProcess",
     "StochasticInjection",
     "PathGenerator",

@@ -35,6 +35,7 @@ import numpy as np
 from repro.errors import ConfigurationError, InjectionError
 from repro.injection.base import InjectionProcess
 from repro.injection.packet import Packet
+from repro.injection.store import PacketStore
 from repro.interference.base import InterferenceModel
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -57,8 +58,9 @@ class WindowAdversary(InjectionProcess):
         window: int,
         rate: float,
         rng: RngLike = None,
+        store: Optional[PacketStore] = None,
     ):
-        super().__init__()
+        super().__init__(store=store)
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
         if rate < 0:
@@ -85,7 +87,7 @@ class WindowAdversary(InjectionProcess):
         """The per-window measure budget ``w * lambda``."""
         return self._window * self._rate
 
-    def packets_for_slot(self, slot: int) -> List[Packet]:
+    def indices_for_slot(self, slot: int) -> List[int]:
         index, offset = divmod(slot, self._window)
         if index not in self._plans:
             plan = self._plan_window(index)
@@ -96,7 +98,7 @@ class WindowAdversary(InjectionProcess):
             for k in stale:
                 del self._plans[k]
         return [
-            self._new_packet(path, slot)
+            self._allocate(path, slot)
             for path in self._plans[index].get(offset, [])
         ]
 
@@ -222,8 +224,9 @@ class TargetedAdversary(WindowAdversary):
         rate: float,
         rng: RngLike = None,
         victim: Optional[int] = None,
+        store: Optional[PacketStore] = None,
     ):
-        super().__init__(model, paths, window, rate, rng)
+        super().__init__(model, paths, window, rate, rng, store=store)
         if victim is None:
             usage = np.zeros(model.num_links)
             for path in self._paths:

@@ -34,8 +34,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError, InjectionError
 from repro.injection.base import InjectionProcess
-from repro.injection.packet import Packet
 from repro.injection.stochastic import PathDist, PathGenerator
+from repro.injection.store import PacketStore
 from repro.interference.base import InterferenceModel
 from repro.utils.rng import RngLike, spawn_rngs
 
@@ -72,8 +72,9 @@ class MarkovModulatedInjection(InjectionProcess):
         p_on_off: float,
         p_off_on: float,
         rng: RngLike = None,
+        store: Optional[PacketStore] = None,
     ):
-        super().__init__()
+        super().__init__(store=store)
         if not generators:
             raise InjectionError("at least one generator is required")
         if not 0.0 < p_on_off <= 1.0:
@@ -121,14 +122,14 @@ class MarkovModulatedInjection(InjectionProcess):
         """Long-run ``lambda = ||W . F||_inf`` under ``model``."""
         return model.injection_norm(self.mean_usage(model.num_links))
 
-    def packets_for_slot(self, slot: int) -> List[Packet]:
+    def indices_for_slot(self, slot: int) -> List[int]:
         if slot != self._next_slot:
             raise InjectionError(
                 f"Markov-modulated injection must be queried in slot order; "
                 f"expected slot {self._next_slot}, got {slot}"
             )
         self._next_slot += 1
-        packets: List[Packet] = []
+        indices: List[int] = []
         for index, (generator, rng) in enumerate(
             zip(self._generators, self._rngs)
         ):
@@ -138,14 +139,14 @@ class MarkovModulatedInjection(InjectionProcess):
                 for path, probability in generator.distribution:
                     cumulative += probability
                     if draw < cumulative:
-                        packets.append(self._new_packet(path, slot))
+                        indices.append(self._allocate(path, slot))
                         break
                 if rng.random() < self._p_on_off:
                     self._states[index] = False
             else:
                 if rng.random() < self._p_off_on:
                     self._states[index] = True
-        return packets
+        return indices
 
 
 class PoissonBatchInjection(InjectionProcess):
@@ -167,8 +168,9 @@ class PoissonBatchInjection(InjectionProcess):
         path_distribution: PathDist,
         batch_mean: float,
         rng: RngLike = None,
+        store: Optional[PacketStore] = None,
     ):
-        super().__init__()
+        super().__init__(store=store)
         if batch_mean < 0:
             raise ConfigurationError(
                 f"batch_mean must be non-negative, got {batch_mean}"
@@ -209,17 +211,17 @@ class PoissonBatchInjection(InjectionProcess):
         """Exact ``lambda = ||W . F||_inf`` under ``model``."""
         return model.injection_norm(self.mean_usage(model.num_links))
 
-    def packets_for_slot(self, slot: int) -> List[Packet]:
+    def indices_for_slot(self, slot: int) -> List[int]:
         if not self._paths or self._batch_mean == 0.0:
             return []
         count = int(self._rng.poisson(self._batch_mean))
-        packets: List[Packet] = []
+        indices: List[int] = []
         for _ in range(count):
             draw = self._rng.random()
             index = int(np.searchsorted(self._cumulative, draw, side="right"))
             index = min(index, len(self._paths) - 1)
-            packets.append(self._new_packet(self._paths[index][0], slot))
-        return packets
+            indices.append(self._allocate(self._paths[index][0], slot))
+        return indices
 
 
 def empirical_usage(

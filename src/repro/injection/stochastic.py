@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, InjectionError
 from repro.injection.base import InjectionProcess
-from repro.injection.packet import Packet
+from repro.injection.store import PacketStore
 from repro.interference.base import InterferenceModel
 from repro.network.routing import RoutingTable
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -53,12 +53,25 @@ class PathGenerator:
                 raise InjectionError("generator contains an empty path")
             total += probability
             cleaned.append((tuple(int(e) for e in path), float(probability)))
+        self._check_total(total)
+        self.distribution = cleaned
+
+    @staticmethod
+    def _check_total(total: float) -> None:
         if total > 1.0 + 1e-9:
             raise InjectionError(
                 f"generator path probabilities sum to {total} > 1; a generator "
                 "injects at most one packet per slot"
             )
-        self.distribution = cleaned
+
+    @classmethod
+    def _from_cleaned(cls, distribution) -> "PathGenerator":
+        """Construct from an already-cleaned distribution, skipping the
+        per-path re-validation of ``__post_init__`` (which dominated
+        injection setup on all-pairs pools)."""
+        generator = object.__new__(cls)
+        generator.distribution = distribution
+        return generator
 
     @property
     def total_probability(self) -> float:
@@ -69,8 +82,12 @@ class PathGenerator:
         """A copy with all probabilities multiplied by ``factor``."""
         if factor < 0:
             raise InjectionError(f"scale factor must be non-negative, got {factor}")
-        return PathGenerator(
-            [(path, probability * factor) for path, probability in self.distribution]
+        self._check_total(self.total_probability * factor)
+        return PathGenerator._from_cleaned(
+            [
+                (path, probability * factor)
+                for path, probability in self.distribution
+            ]
         )
 
     def mean_usage(self, num_links: int) -> np.ndarray:
@@ -85,12 +102,49 @@ class PathGenerator:
 class StochasticInjection(InjectionProcess):
     """Aggregate of independent :class:`PathGenerator` s."""
 
-    def __init__(self, generators: Sequence[PathGenerator], rng: RngLike = None):
-        super().__init__()
+    def __init__(
+        self,
+        generators: Sequence[PathGenerator],
+        rng: RngLike = None,
+        store: Optional[PacketStore] = None,
+    ):
+        super().__init__(store=store)
         if not generators:
             raise InjectionError("at least one generator is required")
         self._generators = list(generators)
         self._rngs = spawn_rngs(rng, len(self._generators))
+        # Per-generator batch-sampling state, built once (rebuilding it
+        # per frame costs O(paths) and dominated all-pairs pools):
+        # multinomial pvals (path probabilities + idle remainder) and a
+        # CSR view of the path pool, so a frame's packets flatten into
+        # one PacketStore.allocate_flat call.
+        self._pvals = []
+        self._pool_links = []
+        self._pool_offsets = []
+        self._pool_lengths = []
+        for generator in self._generators:
+            probabilities = [p for _, p in generator.distribution]
+            idle = max(0.0, 1.0 - sum(probabilities))
+            self._pvals.append(probabilities + [idle])
+            lengths = np.asarray(
+                [len(path) for path, _ in generator.distribution],
+                dtype=np.int64,
+            )
+            offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+            np.cumsum(lengths, out=offsets[1:])
+            flat = (
+                np.concatenate(
+                    [
+                        np.asarray(path, dtype=np.int64)
+                        for path, _ in generator.distribution
+                    ]
+                )
+                if lengths.size
+                else np.empty(0, dtype=np.int64)
+            )
+            self._pool_links.append(flat)
+            self._pool_offsets.append(offsets)
+            self._pool_lengths.append(lengths)
 
     @property
     def generators(self) -> List[PathGenerator]:
@@ -107,19 +161,19 @@ class StochasticInjection(InjectionProcess):
         """The exact rate ``lambda = ||W . F||_inf`` under ``model``."""
         return model.injection_norm(self.mean_usage(model.num_links))
 
-    def packets_for_slot(self, slot: int) -> List[Packet]:
-        packets: List[Packet] = []
+    def indices_for_slot(self, slot: int) -> List[int]:
+        indices: List[int] = []
         for generator, rng in zip(self._generators, self._rngs):
             draw = rng.random()
             cumulative = 0.0
             for path, probability in generator.distribution:
                 cumulative += probability
                 if draw < cumulative:
-                    packets.append(self._new_packet(path, slot))
+                    indices.append(self._allocate(path, slot))
                     break
-        return packets
+        return indices
 
-    def packets_for_range(self, start_slot: int, end_slot: int) -> List[Packet]:
+    def indices_for_range(self, start_slot: int, end_slot: int) -> np.ndarray:
         """Batch sampling: one multinomial per generator per range.
 
         Over ``L`` slots a generator injects a multinomially distributed
@@ -133,22 +187,59 @@ class StochasticInjection(InjectionProcess):
         """
         length = end_slot - start_slot
         if length <= 0:
-            return []
-        packets: List[Packet] = []
-        for generator, rng in zip(self._generators, self._rngs):
-            probabilities = [p for _, p in generator.distribution]
-            idle = max(0.0, 1.0 - sum(probabilities))
-            counts = rng.multinomial(length, probabilities + [idle])
-            for (path, _), count in zip(generator.distribution, counts):
-                if not count:
-                    continue
-                # One batched draw per path reads the generator stream
-                # exactly like `count` scalar draws did.
-                slots = rng.integers(length, size=int(count))
-                for slot in slots.tolist():
-                    packets.append(self._new_packet(path, start_slot + slot))
-        packets.sort(key=lambda p: (p.injected_at, p.id))
-        return packets
+            return np.empty(0, dtype=np.int64)
+        store = self._store
+        path_id_runs: List[np.ndarray] = []
+        count_runs: List[np.ndarray] = []
+        slot_runs: List[np.ndarray] = []
+        pool_rows: List[int] = []
+        for row, (pvals, rng) in enumerate(zip(self._pvals, self._rngs)):
+            counts = rng.multinomial(length, pvals)
+            # Only the drawn paths are visited (the idle count is the
+            # trailing entry and never allocates); the RNG stream is
+            # untouched by the skip — zero-count paths drew nothing.
+            drawn = np.flatnonzero(counts[:-1])
+            if not drawn.size:
+                continue
+            drawn_counts = counts[drawn]
+            # One batched stamp draw per generator: slots are iid
+            # uniform regardless of path, so drawing the whole batch
+            # at once is the same distribution as per-path draws.
+            slot_runs.append(
+                rng.integers(length, size=int(drawn_counts.sum()))
+            )
+            path_id_runs.append(drawn)
+            count_runs.append(drawn_counts)
+            pool_rows.append(row)
+        if not slot_runs:
+            return np.empty(0, dtype=np.int64)
+        # Flatten the whole frame into one CSR allocation: per-packet
+        # path ids repeat each drawn path `count` times, and the link
+        # gather is one repeat-indexing pass over the pool CSR.
+        flat_runs: List[np.ndarray] = []
+        length_runs: List[np.ndarray] = []
+        for row, drawn, drawn_counts in zip(
+            pool_rows, path_id_runs, count_runs
+        ):
+            path_ids = np.repeat(drawn, drawn_counts)
+            lengths = self._pool_lengths[row][path_ids]
+            starts = self._pool_offsets[row][path_ids]
+            total = int(lengths.sum())
+            ends = np.cumsum(lengths)
+            within = np.arange(total, dtype=np.int64) - np.repeat(
+                ends - lengths, lengths
+            )
+            flat_runs.append(
+                self._pool_links[row][np.repeat(starts, lengths) + within]
+            )
+            length_runs.append(lengths)
+        stamps = start_slot + np.concatenate(slot_runs)
+        indices = store.allocate_flat(
+            np.concatenate(flat_runs), np.concatenate(length_runs), stamps
+        )
+        # Stable (injected_at, id) order, matching the per-slot stream.
+        order = np.lexsort((indices, stamps))
+        return indices[order]
 
 
 def uniform_pair_injection(
@@ -158,6 +249,7 @@ def uniform_pair_injection(
     num_generators: int = 1,
     pairs: Optional[Sequence[Tuple[int, int]]] = None,
     rng: RngLike = None,
+    store: Optional[PacketStore] = None,
 ) -> StochasticInjection:
     """Injection uniform over routed pairs, scaled to an exact target rate.
 
@@ -179,14 +271,23 @@ def uniform_pair_injection(
         pairs = routing.pairs()
     if not pairs:
         raise ConfigurationError("no routed pairs available for injection")
-    paths = [routing.path(s, d) for s, d in pairs]
+    paths = []
+    for source, destination in pairs:
+        path = routing.path(source, destination)
+        if len(path) == 0:
+            raise ConfigurationError(
+                f"routing returned an empty path for pair "
+                f"({source}, {destination}); injection paths need at "
+                "least one link"
+            )
+        paths.append(path)
     base_probability = 1.0 / len(paths)
     base = PathGenerator([(path, base_probability) for path in paths])
+    # All generators are identical, so the aggregate usage is one
+    # scalar multiply (the old form summed num_generators copies of the
+    # same array).
     base_rate = model.injection_norm(
-        sum(
-            (base.mean_usage(model.num_links) for _ in range(num_generators)),
-            np.zeros(model.num_links),
-        )
+        num_generators * base.mean_usage(model.num_links)
     )
     if base_rate <= 0:
         raise ConfigurationError("base injection rate is zero; cannot scale")
@@ -198,7 +299,7 @@ def uniform_pair_injection(
             "increase num_generators"
         )
     generators = [base.scaled(factor) for _ in range(num_generators)]
-    return StochasticInjection(generators, rng=rng)
+    return StochasticInjection(generators, rng=rng, store=store)
 
 
 __all__ = ["PathGenerator", "StochasticInjection", "uniform_pair_injection"]

@@ -16,6 +16,12 @@ The protocol is duck-typed; anything exposing
 
 works — both :class:`~repro.core.protocol.DynamicProtocol` and
 :class:`~repro.core.adversarial.ShiftedDynamicProtocol` qualify.
+
+When the protocol and the injection process share one
+:class:`~repro.injection.store.PacketStore`, the engine feeds the
+protocol raw index arrays (``indices_for_range``) and no packet
+objects are materialised anywhere in the loop; otherwise it falls back
+to object batches, byte-compatible with the seed engine.
 """
 
 from __future__ import annotations
@@ -45,6 +51,24 @@ class FrameSimulation:
         self._audit = audit
         self._metrics = MetricsRecorder()
         self._frame = 0
+        protocol_store = getattr(protocol, "store", None)
+        if (
+            protocol_store is not None
+            and getattr(injection, "store", None) is not protocol_store
+        ):
+            # A store-mode protocol fed by an injection process with a
+            # different (or no) store would crash — or worse,
+            # reinterpret foreign packets — on the first non-empty
+            # frame; fail at construction instead.
+            raise ConfigurationError(
+                "protocol runs in store mode but the injection process "
+                "does not share its PacketStore; pass "
+                "store=injection.store when building the protocol"
+            )
+        self._use_indices = (
+            protocol_store is not None
+            and not getattr(injection, "_is_legacy", lambda: True)()
+        )
 
     @property
     def protocol(self):
@@ -66,10 +90,16 @@ class FrameSimulation:
         no_packets: tuple = ()
         for _ in range(frames):
             start = self._frame * frame_length
-            packets = self._injection.packets_for_range(
-                start, start + frame_length
-            )
-            injected = len(packets)
+            if self._use_indices:
+                packets = self._injection.indices_for_range(
+                    start, start + frame_length
+                )
+                injected = int(packets.size)
+            else:
+                packets = self._injection.packets_for_range(
+                    start, start + frame_length
+                )
+                injected = len(packets)
             if self._audit is not None:
                 # The audit is sliding-window over slots; feeding whole
                 # frames is conservative only if the window is a
@@ -78,10 +108,20 @@ class FrameSimulation:
                 # still sees every slot so its window keeps sliding.
                 by_slot: dict = {}
                 if injected:
-                    for packet in packets:
-                        by_slot.setdefault(packet.injected_at, []).append(
-                            packet
-                        )
+                    if self._use_indices:
+                        store = self._injection.store
+                        stamps = store.injected_at[packets]
+                        for index, slot in zip(
+                            packets.tolist(), stamps.tolist()
+                        ):
+                            by_slot.setdefault(slot, []).append(
+                                store.view(index)
+                            )
+                    else:
+                        for packet in packets:
+                            by_slot.setdefault(packet.injected_at, []).append(
+                                packet
+                            )
                 for slot in range(start, start + frame_length):
                     self._audit.observe(slot, by_slot.get(slot, no_packets))
             report = self._protocol.run_frame(packets)

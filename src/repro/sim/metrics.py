@@ -14,12 +14,20 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.injection.packet import Packet
+from repro.injection.store import PacketSequence
 
 
 @dataclass
 class LatencySummary:
-    """Latency statistics (in slots) for a set of delivered packets."""
+    """Latency statistics (in slots) for a set of delivered packets.
+
+    An empty set has ``count == 0`` and ``NaN`` statistics — "no
+    packets delivered" must not read like "packets delivered with zero
+    latency" (the all-zero summary it used to produce was
+    indistinguishable from genuinely instant delivery).
+    """
 
     count: int
     mean: float
@@ -28,16 +36,38 @@ class LatencySummary:
     maximum: float
 
     @staticmethod
-    def from_packets(packets: Sequence[Packet]) -> "LatencySummary":
-        if not packets:
-            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
-        latencies = np.asarray([p.latency() for p in packets], dtype=float)
+    def empty() -> "LatencySummary":
+        nan = float("nan")
+        return LatencySummary(0, nan, nan, nan, nan)
+
+    @staticmethod
+    def from_latencies(latencies) -> "LatencySummary":
+        """Summary of a raw latency vector (in slots)."""
+        latencies = np.asarray(latencies, dtype=float)
+        if latencies.size == 0:
+            return LatencySummary.empty()
         return LatencySummary(
-            count=len(latencies),
+            count=int(latencies.size),
             mean=float(latencies.mean()),
             median=float(np.median(latencies)),
             p95=float(np.percentile(latencies, 95)),
             maximum=float(latencies.max()),
+        )
+
+    @staticmethod
+    def from_packets(packets: Sequence[Packet]) -> "LatencySummary":
+        if isinstance(packets, PacketSequence):
+            # Store-backed delivery sets: one vectorized gather instead
+            # of a Python loop over views.
+            if len(packets) == 0:
+                return LatencySummary.empty()
+            return LatencySummary.from_latencies(
+                packets.store.latencies(packets.indices)
+            )
+        if not packets:
+            return LatencySummary.empty()
+        return LatencySummary.from_latencies(
+            np.asarray([p.latency() for p in packets], dtype=float)
         )
 
 
@@ -85,7 +115,17 @@ class MetricsRecorder:
         return max(self.queue_series) if self.queue_series else 0
 
     def mean_queue(self, tail_fraction: float = 0.5) -> float:
-        """Mean in-system count over the trailing fraction of the run."""
+        """Mean in-system count over the trailing fraction of the run.
+
+        ``tail_fraction`` must lie in ``(0, 1]`` — values above 1 used
+        to produce a negative slice start that silently averaged a
+        window *from the tail end*, reporting a wrong (and smaller)
+        window as if it were the requested one.
+        """
+        if not 0.0 < tail_fraction <= 1.0:
+            raise ConfigurationError(
+                f"tail_fraction must be in (0, 1], got {tail_fraction}"
+            )
         if not self.queue_series:
             return 0.0
         start = int(len(self.queue_series) * (1.0 - tail_fraction))
@@ -107,6 +147,16 @@ class MetricsRecorder:
         self, delivered: Sequence[Packet]
     ) -> Dict[int, LatencySummary]:
         """Latency statistics grouped by path length (for Theorem 8)."""
+        if isinstance(delivered, PacketSequence):
+            if len(delivered) == 0:
+                return {}
+            store, indices = delivered.store, delivered.indices
+            lengths = store.path_lengths(indices)
+            latencies = store.latencies(indices)
+            return {
+                int(d): LatencySummary.from_latencies(latencies[lengths == d])
+                for d in np.unique(lengths)
+            }
         groups: Dict[int, List[Packet]] = {}
         for packet in delivered:
             groups.setdefault(packet.path_length, []).append(packet)

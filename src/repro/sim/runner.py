@@ -7,6 +7,7 @@ by the same code path: build protocol + injection from factories, run
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
@@ -87,9 +88,12 @@ def run_rate_sweep(
             verdicts.append(verdict)
             tails.append(metrics.mean_queue())
             throughputs.append(metrics.throughput())
-            delivered = list(protocol.delivered)
-            summary = metrics.latency_summary(delivered)
+            summary = metrics.latency_summary(protocol.delivered)
             latencies.append(summary.mean)
+        # Seeds that delivered nothing have NaN latency summaries; they
+        # carry no latency information, so average over the seeds that
+        # did deliver (NaN only if none did).
+        observed = [value for value in latencies if not math.isnan(value)]
         records.append(
             RateSweepRecord(
                 rate=rate,
@@ -99,7 +103,9 @@ def run_rate_sweep(
                 ),
                 mean_tail_queue=float(np.mean(tails)),
                 mean_throughput=float(np.mean(throughputs)),
-                mean_latency=float(np.mean(latencies)),
+                mean_latency=(
+                    float(np.mean(observed)) if observed else float("nan")
+                ),
                 verdicts=verdicts,
             )
         )

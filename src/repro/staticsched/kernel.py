@@ -146,11 +146,11 @@ class SlotKernel:
             )
         if success.any():
             # busy is sorted, so heads pop in ascending link order —
-            # the same delivery order as the scalar loop.
-            pop = self._queues.pop
-            append = self._delivered.append
-            for link in self.busy[success].tolist():
-                append(pop(link))
+            # the same delivery order as the scalar loop — and the
+            # whole success set pops in one gather.
+            self._delivered.extend(
+                self._queues.pop_heads(self.busy[success]).tolist()
+            )
             served_depths = self.depths[success] - 1
             self.depths[success] = served_depths
             if not served_depths.all():

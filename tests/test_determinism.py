@@ -18,15 +18,16 @@ from repro.cli.builders import build_scenario, scenario_names
 from repro.core.frames import FrameParameters
 
 
-def run_scenario(name, seed, frames=30):
+def run_scenario(name, seed, frames=30, use_store=False):
     scenario = build_scenario(name, nodes=9, seed=0)
     rate = 0.4 * scenario.certified
-    protocol = repro.DynamicProtocol(
-        scenario.model, scenario.algorithm, rate, t_scale=0.001, rng=seed
-    )
     injection = repro.uniform_pair_injection(
         scenario.routing, scenario.model, rate, num_generators=4,
         rng=seed + 1000,
+    )
+    protocol = repro.DynamicProtocol(
+        scenario.model, scenario.algorithm, rate, t_scale=0.001, rng=seed,
+        store=injection.store if use_store else None,
     )
     simulation = repro.FrameSimulation(protocol, injection)
     simulation.run(frames)
@@ -46,6 +47,40 @@ def test_scenario_replays_bit_identically(name):
     assert (
         [p.delivered_at for p in first_protocol.delivered]
         == [p.delivered_at for p in second_protocol.delivered]
+    )
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_store_scenario_replays_bit_identically(name):
+    """Engine-level runs through the PacketStore path replay exactly."""
+    first_metrics, first_protocol = run_scenario(name, seed=5, use_store=True)
+    second_metrics, second_protocol = run_scenario(
+        name, seed=5, use_store=True
+    )
+    assert first_protocol.store is not None
+    assert first_metrics.queue_series == second_metrics.queue_series
+    assert first_metrics.injected_total == second_metrics.injected_total
+    assert (
+        [p.id for p in first_protocol.delivered]
+        == [p.id for p in second_protocol.delivered]
+    )
+    assert (
+        [p.delivered_at for p in first_protocol.delivered]
+        == [p.delivered_at for p in second_protocol.delivered]
+    )
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_store_and_object_engine_runs_agree(name):
+    """The engine's index fast path equals the object path, per scenario."""
+    object_metrics, object_protocol = run_scenario(name, seed=5)
+    store_metrics, store_protocol = run_scenario(name, seed=5, use_store=True)
+    assert object_metrics.queue_series == store_metrics.queue_series
+    assert object_metrics.delivered_series == store_metrics.delivered_series
+    assert object_metrics.injected_series == store_metrics.injected_series
+    assert (
+        [p.id for p in object_protocol.delivered]
+        == [p.id for p in store_protocol.delivered]
     )
 
 

@@ -72,6 +72,38 @@ def test_uniform_pair_injection_rejects_overload(sinr_model, sinr_routing):
         )
 
 
+def test_uniform_pair_injection_rejects_empty_routed_path(
+    sinr_model, sinr_routing
+):
+    """A degenerate routing table (empty path) must fail loudly."""
+    from repro.network.routing import RoutingTable
+
+    broken = RoutingTable(sinr_routing.network, {(0, 0): ()})
+    with pytest.raises(ConfigurationError, match="empty path"):
+        uniform_pair_injection(
+            broken, sinr_model, target_rate=0.1, pairs=[(0, 0)]
+        )
+
+
+def test_uniform_pair_injection_rate_scales_with_generators(
+    sinr_model, sinr_routing
+):
+    """The aggregate rate is exact for any generator count (the old
+    implementation summed identical usage arrays; the multiply must
+    land on the same rate)."""
+    target = 0.3
+    for num_generators in (1, 3, 7):
+        injection = uniform_pair_injection(
+            sinr_routing,
+            sinr_model,
+            target_rate=target,
+            num_generators=num_generators,
+            rng=3,
+        )
+        assert injection.injection_rate(sinr_model) == pytest.approx(target)
+        assert len(injection.generators) == num_generators
+
+
 def test_batch_range_distribution_matches_slotwise():
     """packets_for_range must match per-slot draws in distribution."""
     gen = PathGenerator([((0,), 0.3), ((1,), 0.2)])

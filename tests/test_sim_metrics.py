@@ -1,8 +1,12 @@
 """Metrics recording and latency summaries."""
 
+import math
+
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.injection.packet import Packet
+from repro.injection.store import PacketStore
 from repro.sim.metrics import LatencySummary, MetricsRecorder
 
 
@@ -13,10 +17,14 @@ def delivered_packet(pid, injected, delivered, hops=1):
     return packet
 
 
-def test_latency_summary_empty():
+def test_latency_summary_empty_is_nan_not_zero():
+    """No delivered packets must not masquerade as zero latency."""
     summary = LatencySummary.from_packets([])
     assert summary.count == 0
-    assert summary.mean == 0.0
+    assert math.isnan(summary.mean)
+    assert math.isnan(summary.median)
+    assert math.isnan(summary.p95)
+    assert math.isnan(summary.maximum)
 
 
 def test_latency_summary_values():
@@ -58,6 +66,30 @@ def test_mean_queue_tail():
         recorder.record_frame(0, value, value, 0, 0, 0)
     assert recorder.mean_queue(tail_fraction=0.5) == 0.0
     assert recorder.mean_queue(tail_fraction=1.0) == 50.0
+
+
+@pytest.mark.parametrize("bad", [0.0, -0.5, 1.5, 2.0])
+def test_mean_queue_rejects_out_of_range_tail_fraction(bad):
+    """tail_fraction > 1 used to slice a wrong window from the tail."""
+    recorder = MetricsRecorder()
+    for value in [100, 100, 0, 0]:
+        recorder.record_frame(0, value, value, 0, 0, 0)
+    with pytest.raises(ConfigurationError):
+        recorder.mean_queue(tail_fraction=bad)
+
+
+def test_latency_summary_from_store_sequence_matches_object_path():
+    store = PacketStore()
+    for pid, (injected, delivered) in enumerate([(0, 10), (5, 25), (0, 30)]):
+        index = store.allocate((0,), injected)
+        assert index == pid
+        store.advance_one(index, delivered)
+    sequence = store.sequence([0, 1, 2])
+    summary = LatencySummary.from_packets(sequence)
+    object_summary = LatencySummary.from_packets(list(sequence))
+    assert summary == object_summary
+    assert summary.count == 3
+    assert summary.mean == pytest.approx((10 + 20 + 30) / 3)
 
 
 def test_empty_recorder_defaults():

@@ -63,6 +63,37 @@ def test_link_queues_errors():
         LinkQueues([5], num_links=2)
 
 
+def test_link_queues_out_of_range_links():
+    """Unknown link ids fail loudly (CSR indexing must not wrap)."""
+    import numpy as np
+
+    queues = LinkQueues([0, 1], num_links=2)
+    for bad in (-1, 2, 7):
+        assert queues.queue_length(bad) == 0
+        with pytest.raises(SchedulingError):
+            queues.head(bad)
+        with pytest.raises(SchedulingError):
+            queues.pop(bad)
+        with pytest.raises(SchedulingError):
+            queues.pop_heads(np.asarray([bad], dtype=np.int64))
+    with pytest.raises(SchedulingError):
+        queues.pop_heads(np.asarray([0, 0], dtype=np.int64))
+    assert queues.pending == 2
+
+
+def test_link_queues_pop_heads_matches_scalar_pops():
+    import numpy as np
+
+    batch = LinkQueues([2, 0, 2, 1, 0], num_links=3)
+    scalar = LinkQueues([2, 0, 2, 1, 0], num_links=3)
+    links = np.asarray([0, 2], dtype=np.int64)
+    got = batch.pop_heads(links).tolist()
+    expected = [scalar.pop(0), scalar.pop(2)]
+    assert got == expected
+    assert batch.pending == scalar.pending
+    assert batch.remaining_indices() == scalar.remaining_indices()
+
+
 def test_link_queues_empty():
     queues = LinkQueues([], num_links=3)
     assert queues.pending == 0

@@ -1,0 +1,398 @@
+"""Store-path vs object-path protocol parity.
+
+One layer above ``test_kernel_parity.py``: the struct-of-arrays packet
+layer (:class:`~repro.injection.store.PacketStore` + the store-mode
+:class:`~repro.core.protocol.DynamicProtocol`) must replay the
+object-per-packet path bit-for-bit. Every run here is executed twice
+from one seed — once with ``run_frame`` fed ``Packet`` views (object
+mode) and once fed store index arrays (store mode) — and the two
+:class:`~repro.core.protocol.FrameReport` streams, delivery records,
+failed-buffer layouts, and potential series must be identical, across
+scheduler × model pairs, both injection models, the shifted wrapper,
+and the tracer event stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.frames import FrameParameters
+from repro.interference.builders import node_constraint_conflicts
+from repro.interference.conflict import ConflictGraphModel
+from repro.interference.matrix_model import AffectanceThresholdModel
+from repro.interference.packet_routing import PacketRoutingModel
+from repro.network.topology import grid_network, random_sinr_network
+from repro.sinr.weights import linear_power_model
+
+
+def _random_weights(m: int, seed: int, scale: float = 0.3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((m, m)) * scale
+    np.fill_diagonal(matrix, 1.0)
+    return matrix
+
+
+def _grid_routing_model():
+    net = grid_network(3, 3)
+    return PacketRoutingModel(net)
+
+
+def _grid_conflict_model():
+    net = grid_network(3, 3)
+    return ConflictGraphModel(net, node_constraint_conflicts(net))
+
+
+def _grid_affectance_model():
+    net = grid_network(3, 3)
+    return AffectanceThresholdModel(
+        net, _random_weights(net.num_links, seed=7)
+    )
+
+
+def _sinr_model():
+    net = random_sinr_network(10, rng=5)
+    return linear_power_model(net, alpha=3.0, beta=1.0, noise=0.02)
+
+
+MODEL_FACTORIES = {
+    "packet-routing": _grid_routing_model,
+    "conflict": _grid_conflict_model,
+    "affectance": _grid_affectance_model,
+    "sinr": _sinr_model,
+}
+
+SCHEDULER_FACTORIES = {
+    "kv": lambda: repro.KvScheduler(),
+    "decay": lambda: repro.DecayScheduler(),
+    "single-hop": lambda: repro.SingleHopScheduler(),
+    "hm": lambda: repro.HmScheduler(),
+}
+
+
+def _params(m: int) -> FrameParameters:
+    # Deliberately tight phase-1 budget: overload failures feed the
+    # clean-up lottery, so both buffer paths (plain appends and the
+    # clean-up refile) execute.
+    return FrameParameters(
+        frame_length=60,
+        phase1_budget=8,
+        cleanup_budget=12,
+        measure_budget=8.0,
+        epsilon=0.5,
+        rate=0.2,
+        f_m=1.0,
+        m=m,
+    )
+
+
+def _run(
+    store_mode: bool,
+    model_factory,
+    scheduler_factory,
+    frames: int = 25,
+    seed: int = 3,
+    tracer=None,
+):
+    model = model_factory()
+    routing = repro.build_routing_table(model.network)
+    injection = repro.uniform_pair_injection(
+        routing, model, 0.25, num_generators=5, rng=seed + 1000
+    )
+    protocol = repro.DynamicProtocol(
+        model,
+        scheduler_factory(),
+        0.2,
+        params=_params(model.network.size_m),
+        cleanup_probability=0.5,
+        rng=seed,
+        tracer=tracer,
+        store=injection.store if store_mode else None,
+    )
+    frame_length = protocol.frame_length
+    reports = []
+    for frame in range(frames):
+        start = frame * frame_length
+        if store_mode:
+            batch = injection.indices_for_range(start, start + frame_length)
+        else:
+            batch = injection.packets_for_range(start, start + frame_length)
+        reports.append(protocol.run_frame(batch))
+    return reports, protocol
+
+
+def _assert_same_outcome(object_run, store_run):
+    object_reports, object_protocol = object_run
+    store_reports, store_protocol = store_run
+    assert object_reports == store_reports
+    assert (
+        [p.id for p in object_protocol.delivered]
+        == [p.id for p in store_protocol.delivered]
+    )
+    assert (
+        [p.delivered_at for p in object_protocol.delivered]
+        == [p.delivered_at for p in store_protocol.delivered]
+    )
+    assert (
+        object_protocol.failed_buffer_sizes()
+        == store_protocol.failed_buffer_sizes()
+    )
+    assert object_protocol.potential.series == store_protocol.potential.series
+    assert (
+        object_protocol.potential.total_failures
+        == store_protocol.potential.total_failures
+    )
+    assert (
+        object_protocol.potential.total_cleanup_hops
+        == store_protocol.potential.total_cleanup_hops
+    )
+
+
+@pytest.mark.parametrize("model_name", sorted(MODEL_FACTORIES))
+@pytest.mark.parametrize("sched_name", sorted(SCHEDULER_FACTORIES))
+def test_frame_report_parity(sched_name, model_name):
+    model_factory = MODEL_FACTORIES[model_name]
+    scheduler_factory = SCHEDULER_FACTORIES[sched_name]
+    object_run = _run(False, model_factory, scheduler_factory)
+    store_run = _run(True, model_factory, scheduler_factory)
+    _assert_same_outcome(object_run, store_run)
+
+
+def test_tracer_stream_parity():
+    """Per-packet event streams must also match, event for event."""
+    object_tracer = repro.Tracer()
+    store_tracer = repro.Tracer()
+    _run(
+        False,
+        _grid_routing_model,
+        SCHEDULER_FACTORIES["single-hop"],
+        tracer=object_tracer,
+    )
+    _run(
+        True,
+        _grid_routing_model,
+        SCHEDULER_FACTORIES["single-hop"],
+        tracer=store_tracer,
+    )
+    assert len(object_tracer) == len(store_tracer)
+    assert object_tracer.to_dicts() == store_tracer.to_dicts()
+
+
+def test_store_mode_accepts_views_and_index_lists():
+    """run_frame coerces views / plain int lists in store mode."""
+    model = _grid_routing_model()
+    routing = repro.build_routing_table(model.network)
+    injection = repro.uniform_pair_injection(
+        routing, model, 0.25, num_generators=5, rng=11
+    )
+    protocols = [
+        repro.DynamicProtocol(
+            model,
+            repro.SingleHopScheduler(),
+            0.2,
+            params=_params(model.network.size_m),
+            rng=4,
+            store=injection.store,
+        )
+        for _ in range(3)
+    ]
+    frame_length = protocols[0].frame_length
+    batch = injection.indices_for_range(0, frame_length)
+    reports = [
+        protocols[0].run_frame(batch),
+        protocols[1].run_frame(batch.tolist()),
+        protocols[2].run_frame(injection.store.views(batch)),
+    ]
+    assert reports[0] == reports[1] == reports[2]
+
+
+def test_shifted_protocol_store_parity():
+    net = grid_network(3, 3)
+
+    def run(store_mode: bool):
+        model = PacketRoutingModel(net)
+        routing = repro.build_routing_table(net)
+        paths = [routing.path(s, d) for s, d in routing.pairs() if s == 0]
+        adversary = repro.BurstyAdversary(
+            model, paths, window=120, rate=0.2, rng=5
+        )
+        protocol = repro.ShiftedDynamicProtocol(
+            model,
+            repro.SingleHopScheduler(),
+            0.2,
+            window=120,
+            params=_params(net.size_m),
+            rng=4,
+            store=adversary.store if store_mode else None,
+        )
+        simulation = repro.FrameSimulation(protocol, adversary)
+        simulation.run(50)
+        return (
+            tuple(simulation.metrics.queue_series),
+            protocol.inner.potential.total_failures,
+            [p.id for p in protocol.delivered],
+            protocol.held_count,
+        )
+
+    assert run(False) == run(True)
+
+
+def test_markov_injection_store_parity():
+    net = grid_network(3, 3)
+
+    def run(store_mode: bool):
+        model = PacketRoutingModel(net)
+        routing = repro.build_routing_table(net)
+        paths = [routing.path(s, d) for s, d in routing.pairs()[:8]]
+        generators = [
+            repro.PathGenerator([(path, 0.25)]) for path in paths[:4]
+        ]
+        injection = repro.MarkovModulatedInjection(
+            generators, 0.3, 0.3, rng=21
+        )
+        protocol = repro.DynamicProtocol(
+            model,
+            repro.SingleHopScheduler(),
+            0.2,
+            params=_params(net.size_m),
+            cleanup_probability=0.5,
+            rng=8,
+            store=injection.store if store_mode else None,
+        )
+        simulation = repro.FrameSimulation(protocol, injection)
+        simulation.run(40)
+        return (
+            tuple(simulation.metrics.queue_series),
+            tuple(simulation.metrics.delivered_series),
+            [p.id for p in protocol.delivered],
+            protocol.potential.series,
+        )
+
+    assert run(False) == run(True)
+
+
+def test_legacy_packets_for_slot_subclass_still_works():
+    """Object-mode subclasses overriding only packets_for_slot keep the
+    old fallback chain (packets_for_range iterates slots) and drive the
+    engine in object mode."""
+    from repro.injection.base import InjectionProcess
+    from repro.injection.packet import Packet
+
+    class Legacy(InjectionProcess):
+        def packets_for_slot(self, slot):
+            if slot % 7:
+                return []
+            return [Packet(id=slot, path=(0, 1), injected_at=slot)]
+
+    legacy = Legacy()
+    batch = legacy.packets_for_range(0, 15)
+    assert [p.id for p in batch] == [0, 7, 14]
+    assert all(isinstance(p, Packet) for p in batch)
+
+    model = _grid_routing_model()
+    protocol = repro.DynamicProtocol(
+        model,
+        repro.SingleHopScheduler(),
+        0.2,
+        params=_params(model.network.size_m),
+        rng=4,
+    )
+    simulation = repro.FrameSimulation(protocol, Legacy())
+    simulation.run(5)
+    assert simulation.metrics.injected_total == len(
+        [s for s in range(5 * protocol.frame_length) if s % 7 == 0]
+    )
+
+
+def test_store_mode_rejects_foreign_packets():
+    """Views from another store, or out-of-store indices, fail loudly
+    instead of being reinterpreted against the protocol's arrays."""
+    from repro.errors import SchedulingError
+
+    model = _grid_routing_model()
+    own_store = repro.PacketStore()
+    protocol = repro.DynamicProtocol(
+        model,
+        repro.SingleHopScheduler(),
+        0.2,
+        params=_params(model.network.size_m),
+        rng=4,
+        store=own_store,
+    )
+    foreign = repro.PacketStore()
+    foreign.allocate((0, 1), 0)
+    with pytest.raises(SchedulingError, match="different"):
+        protocol.run_frame(foreign.views([0]))
+    with pytest.raises(SchedulingError, match="outside"):
+        protocol.run_frame([3])  # own_store is empty
+
+
+def test_injection_subclass_without_emission_hook_fails_at_construction():
+    from repro.injection.base import InjectionProcess
+
+    class Hollow(InjectionProcess):
+        pass
+
+    with pytest.raises(TypeError, match="indices_for_slot"):
+        Hollow()
+
+
+def test_engine_auto_detects_shared_store():
+    """FrameSimulation must feed indices exactly when the stores match."""
+    model = _grid_routing_model()
+    routing = repro.build_routing_table(model.network)
+    injection = repro.uniform_pair_injection(
+        routing, model, 0.25, num_generators=5, rng=11
+    )
+    store_protocol = repro.DynamicProtocol(
+        model,
+        repro.SingleHopScheduler(),
+        0.2,
+        params=_params(model.network.size_m),
+        rng=4,
+        store=injection.store,
+    )
+    object_protocol = repro.DynamicProtocol(
+        model,
+        repro.SingleHopScheduler(),
+        0.2,
+        params=_params(model.network.size_m),
+        rng=4,
+    )
+    assert repro.FrameSimulation(store_protocol, injection)._use_indices
+    assert not repro.FrameSimulation(object_protocol, injection)._use_indices
+
+    # A store-mode protocol with a non-matching injection store is a
+    # configuration error, caught at construction rather than mid-run.
+    from repro.errors import ConfigurationError
+
+    mismatched = repro.DynamicProtocol(
+        model,
+        repro.SingleHopScheduler(),
+        0.2,
+        params=_params(model.network.size_m),
+        rng=4,
+        store=repro.PacketStore(),
+    )
+    with pytest.raises(ConfigurationError, match="share"):
+        repro.FrameSimulation(mismatched, injection)
+
+
+def test_new_packet_helper_returns_packet_view():
+    """The legacy _new_packet helper keeps the Packet surface."""
+    from repro.injection.base import InjectionProcess
+
+    class Legacy(InjectionProcess):
+        def packets_for_slot(self, slot):
+            return [self._new_packet((0, 1), slot)]
+
+    legacy = Legacy()
+    (packet,) = legacy.packets_for_slot(3)
+    assert packet.id == 0
+    assert packet.path == (0, 1)
+    assert packet.injected_at == 3
+    assert packet.current_link == 0
+    assert not packet.advance(10)
+    assert packet.advance(11)
+    assert packet.latency() == 8
