@@ -53,13 +53,34 @@ def _run_p2(quick: bool, out_dir: Path) -> dict:
     )
 
 
+def _run_p3(quick: bool, out_dir: Path) -> dict:
+    import bench_p3_sharded_sweep
+
+    if quick:
+        return bench_p3_sharded_sweep.run_experiment(
+            frames=30,
+            fractions=(0.5, 1.2),
+            seeds=(0,),
+            worker_counts=(2, 4),
+            repeats=1,
+            out_path=out_dir / "BENCH_p3.json",
+            tags={"quick_mode": True},
+        )
+    return bench_p3_sharded_sweep.run_experiment(
+        out_path=out_dir / "BENCH_p3.json",
+        tags={"quick_mode": False},
+    )
+
+
 #: Registry of perf benches: id -> (runner(quick, out_dir) -> payload,
 #: headline-speedup floor or None). The floor is per-bench: P1's
 #: acceptance criterion is >= 3x, P2's is >= 2x; future benches
-#: declare their own.
+#: declare their own. P3's 2x-at-4-workers floor needs real cores, so
+#: it is enforced CPU-conditionally by its pytest wrapper, not here.
 PERF_BENCHES = {
     "p1": (_run_p1, 3.0),
     "p2": (_run_p2, 2.0),
+    "p3": (_run_p3, None),
 }
 
 

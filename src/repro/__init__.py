@@ -144,16 +144,26 @@ from repro.core import (
     simulate_figure1,
 )
 from repro.sim import (
+    CellResult,
+    CellSpec,
     EventKind,
     FrameSimulation,
     MetricsRecorder,
+    ProcessExecutor,
+    RateSweepRecord,
+    SerialExecutor,
     StabilityVerdict,
     TraceEvent,
     Tracer,
+    aggregate_rate_sweep,
     assess_stability,
     format_journey,
+    make_executor,
+    measure_cell,
     packet_journey,
     run_rate_sweep,
+    run_sharded_sweep,
+    sweep_specs,
 )
 from repro.analysis import (
     busy_period_stats,
@@ -280,6 +290,16 @@ __all__ = [
     "StabilityVerdict",
     "assess_stability",
     "run_rate_sweep",
+    "RateSweepRecord",
+    "CellResult",
+    "CellSpec",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "measure_cell",
+    "aggregate_rate_sweep",
+    "run_sharded_sweep",
+    "sweep_specs",
     "EventKind",
     "TraceEvent",
     "Tracer",

@@ -26,8 +26,32 @@ from repro.cli.builders import (
     scenario_names,
     topology_names,
 )
-from repro.cli.registry import EXPERIMENTS
+from repro.cli.registry import (
+    COMPARE_CONTENDERS,
+    EXPERIMENTS,
+    compare_certified,
+)
 from repro.errors import ReproError
+from repro.sim.sharding import CellSpec, executor_names, make_executor
+
+
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sharding knobs shared by the sweep-shaped commands."""
+    parser.add_argument(
+        "--executor",
+        default="serial",
+        choices=executor_names(),
+        help=(
+            "how to run the (rate, seed) cells: in-process, or sharded "
+            "across worker processes (identical records either way)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-executor worker count (default: available CPUs)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -106,6 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--seeds", default="0,1", help="comma-separated seeds")
     sweep.add_argument("--t-scale", type=float, default=0.001)
+    _add_executor_arguments(sweep)
 
     compare = sub.add_parser(
         "compare",
@@ -121,6 +146,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="run each protocol at this fraction of its own certified rate",
     )
+    _add_executor_arguments(compare)
 
     sub.add_parser("experiments", help="list the reproduced paper claims")
 
@@ -261,27 +287,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     scenario = build_scenario(args.model, args.nodes, 0)
 
-    def make_protocol(rate, seed):
-        return repro.DynamicProtocol(
-            scenario.model,
-            scenario.algorithm,
-            min(rate, scenario.certified),
-            t_scale=args.t_scale,
-            rng=seed,
-        )
-
-    def make_injection(rate, seed, protocol):
-        return repro.uniform_pair_injection(
-            scenario.routing,
-            scenario.model,
-            rate,
-            num_generators=6,
-            rng=seed + 1000,
-        )
-
+    # The cells are registry-named specs (no closures), so the same
+    # list runs in-process or across worker processes — with identical
+    # records, which is why the printed table does not say which.
     rates = [fraction * scenario.certified for fraction in fractions]
-    records = repro.run_rate_sweep(
-        make_protocol, make_injection, rates, frames=args.frames, seeds=seeds
+    specs = repro.sweep_specs(
+        rates,
+        seeds,
+        frames=args.frames,
+        protocol="scenario-protocol",
+        injection="scenario-injection",
+        protocol_kwargs={
+            "model": args.model,
+            "nodes": args.nodes,
+            "t_scale": args.t_scale,
+        },
+        injection_kwargs={"model": args.model, "nodes": args.nodes},
+        requires=("repro.cli.registry",),
+    )
+    records = repro.run_sharded_sweep(
+        specs, make_executor(args.executor, args.workers)
     )
     print(f"scenario '{scenario.name}': certified rate "
           f"{scenario.certified:.4g}, {len(seeds)} seed(s)")
@@ -308,49 +333,44 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_compare(args: argparse.Namespace) -> int:
     """Certified rates and short stability runs, one network, all algorithms."""
     net = repro.random_sinr_network(args.nodes, rng=args.seed)
-    model = repro.linear_power_model(net, alpha=3.0, beta=1.0, noise=0.02)
-    routing = repro.build_routing_table(net)
     m = net.size_m
-    contenders = [
-        ("decay [Thm 19] + transform",
-         repro.TransformedAlgorithm(repro.DecayScheduler(), m=m,
-                                    chi_scale=0.05)),
-        ("KV [33] + transform",
-         repro.TransformedAlgorithm(repro.KvScheduler(), m=m,
-                                    chi_scale=0.05)),
-        ("HM-style [26] (native)", repro.HmScheduler()),
-    ]
+    # One cell per contender; each cell rebuilds the (deterministic)
+    # network from the seed inside its worker and shares its injection's
+    # PacketStore with the protocol, so the executor choice cannot
+    # change any number in the table.
+    specs = []
+    certified_rates = []
+    for index, (key, _) in enumerate(COMPARE_CONTENDERS):
+        certified = compare_certified(m, key)
+        certified_rates.append(certified)
+        specs.append(
+            CellSpec(
+                rate=args.rate_fraction * certified,
+                seed=args.seed,
+                frames=args.frames,
+                rate_index=index,
+                pair="compare-contender",
+                pair_kwargs={"nodes": args.nodes, "algorithm": key},
+                load_from_injected=True,
+                requires=("repro.cli.registry",),
+            )
+        )
+    results = make_executor(args.executor, args.workers).map(specs)
     print(f"network: {net.num_nodes} nodes, m = {m}, linear-power SINR; "
           f"each protocol at {args.rate_fraction:.2f}x its certified rate")
     rows = []
-    for label, algorithm in contenders:
-        certified = repro.certified_rate(algorithm, m)
-        rate = args.rate_fraction * certified
-        injection = repro.uniform_pair_injection(
-            routing, model, rate, num_generators=8, rng=args.seed + 1000
-        )
-        protocol = repro.DynamicProtocol(
-            model, algorithm, rate, t_scale=0.001, rng=args.seed,
-            store=injection.store,
-        )
-        simulation = repro.FrameSimulation(protocol, injection)
-        simulation.run(args.frames)
-        metrics = simulation.metrics
-        verdict = repro.assess_stability(
-            metrics.queue_series,
-            load_per_frame=max(
-                1.0, metrics.injected_total / max(1, args.frames)
-            ),
-        )
+    for (_, label), certified, result in zip(
+        COMPARE_CONTENDERS, certified_rates, results
+    ):
         rows.append(
             [
                 label,
                 f"{certified:.4g}",
-                protocol.frame_length,
-                metrics.injected_total,
-                protocol.potential.total_failures,
-                f"{metrics.mean_queue():.1f}",
-                verdict.stable,
+                result.frame_length,
+                result.injected,
+                result.failures,
+                f"{result.tail_queue:.1f}",
+                result.verdict.stable,
             ]
         )
     print(repro.format_table(

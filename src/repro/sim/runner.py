@@ -3,6 +3,21 @@
 The benchmark harness shares these helpers so every table is produced
 by the same code path: build protocol + injection from factories, run
 ``frames`` frames, assess stability, aggregate across seeds.
+
+The sweep is staged so serial and sharded execution share everything
+but the map step:
+
+1. **Spec generation** — the (rate, seed) grid becomes a flat list of
+   cell work units (:class:`FactoryCell` here, or the picklable
+   :class:`~repro.sim.sharding.CellSpec` for process pools).
+2. **Execution** — each cell runs one simulation and reduces it to a
+   :class:`CellResult` (:func:`measure_cell`). Any executor that maps
+   ``cell.run()`` over the list works; the default is a trivial
+   in-process loop.
+3. **Aggregation** — :func:`aggregate_rate_sweep` folds the flat
+   results back into per-rate :class:`RateSweepRecord` rows. Both the
+   serial and the sharded path call this exact function, so a sharded
+   sweep is record-for-record identical to a serial one.
 """
 
 from __future__ import annotations
@@ -13,9 +28,9 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.injection.base import InjectionProcess
 from repro.sim.engine import FrameSimulation
-from repro.sim.metrics import MetricsRecorder
 from repro.sim.stability import StabilityVerdict, assess_stability
 
 ProtocolFactory = Callable[[float, int], object]
@@ -31,6 +46,142 @@ def simulate_protocol(
     simulation = FrameSimulation(protocol, injection)
     simulation.run(frames)
     return simulation
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Everything one (rate, seed) cell contributes to a sweep.
+
+    Produced by :func:`measure_cell` inside whichever process ran the
+    cell; only plain floats/ints and the (frozen, picklable)
+    :class:`~repro.sim.stability.StabilityVerdict` cross process
+    boundaries — never protocol or metrics objects.
+    """
+
+    rate_index: int
+    rate: float
+    seed: int
+    verdict: StabilityVerdict
+    tail_queue: float
+    throughput: float
+    latency: float
+    frame_length: int
+    injected: int
+    delivered: int
+    failures: int
+
+
+def measure_cell(
+    protocol,
+    injection: InjectionProcess,
+    frames: int,
+    *,
+    rate: float,
+    seed: int,
+    rate_index: int = 0,
+    load_per_frame: Optional[float] = None,
+    load_from_injected: bool = False,
+) -> CellResult:
+    """Run one cell and reduce it to a :class:`CellResult`.
+
+    ``load_per_frame`` overrides the drift normalisation; the default is
+    ``rate * frame_length`` of the built protocol. With
+    ``load_from_injected`` the realised injection rate is used instead
+    (the ``compare`` CLI convention for protocols run at their own
+    certified rates).
+    """
+    simulation = simulate_protocol(protocol, injection, frames)
+    metrics = simulation.metrics
+    if load_from_injected:
+        load = max(1.0, metrics.injected_total / max(1, frames))
+    elif load_per_frame is not None:
+        load = load_per_frame
+    else:
+        load = max(1.0, rate * float(protocol.frame_length))
+    verdict = assess_stability(metrics.queue_series, load_per_frame=load)
+    summary = metrics.latency_summary(protocol.delivered)
+    potential = getattr(protocol, "potential", None)
+    return CellResult(
+        rate_index=rate_index,
+        rate=rate,
+        seed=seed,
+        verdict=verdict,
+        tail_queue=metrics.mean_queue(),
+        throughput=metrics.throughput(),
+        latency=summary.mean,
+        frame_length=int(protocol.frame_length),
+        injected=metrics.injected_total,
+        delivered=metrics.delivered_count(),
+        failures=(
+            int(potential.total_failures) if potential is not None else 0
+        ),
+    )
+
+
+@dataclass
+class FactoryCell:
+    """One (rate, seed) work unit closed over protocol/injection factories.
+
+    The in-process counterpart of the registry-named
+    :class:`~repro.sim.sharding.CellSpec`: it carries live callables, so
+    it is only picklable when the factories are module-level functions.
+    Closures stay on the serial path; process pools want ``CellSpec``.
+    """
+
+    make_protocol: ProtocolFactory
+    make_injection: InjectionFactory
+    rate: float
+    seed: int
+    frames: int
+    rate_index: int = 0
+    load_per_frame: Optional[float] = None
+
+    def run(self) -> CellResult:
+        protocol = self.make_protocol(self.rate, self.seed)
+        injection = self.make_injection(self.rate, self.seed, protocol)
+        return measure_cell(
+            protocol,
+            injection,
+            self.frames,
+            rate=self.rate,
+            seed=self.seed,
+            rate_index=self.rate_index,
+            load_per_frame=self.load_per_frame,
+        )
+
+
+def build_factory_cells(
+    make_protocol: ProtocolFactory,
+    make_injection: InjectionFactory,
+    rates: Sequence[float],
+    frames: int,
+    seeds: Sequence[int],
+    load_per_frame: Optional[Callable[[float], float]] = None,
+) -> List[FactoryCell]:
+    """Flatten a (rate, seed) grid into rate-major cell work units.
+
+    ``rates`` and ``seeds`` are materialised exactly once, so passing
+    generators is safe (each cell — and the seed count on the final
+    records — sees the full sequence).
+    """
+    rates = list(rates)
+    seeds = list(seeds)
+    cells: List[FactoryCell] = []
+    for index, rate in enumerate(rates):
+        load = load_per_frame(rate) if load_per_frame is not None else None
+        for seed in seeds:
+            cells.append(
+                FactoryCell(
+                    make_protocol=make_protocol,
+                    make_injection=make_injection,
+                    rate=rate,
+                    seed=seed,
+                    frames=frames,
+                    rate_index=index,
+                    load_per_frame=load,
+                )
+            )
+    return cells
 
 
 @dataclass
@@ -51,58 +202,50 @@ class RateSweepRecord:
         return self.stable_fraction >= 0.5
 
 
-def run_rate_sweep(
-    make_protocol: ProtocolFactory,
-    make_injection: InjectionFactory,
-    rates: Sequence[float],
-    frames: int,
-    seeds: Sequence[int] = (0, 1, 2),
-    load_per_frame: Optional[Callable[[float], float]] = None,
+def aggregate_rate_sweep(
+    results: Sequence[CellResult],
 ) -> List[RateSweepRecord]:
-    """Simulate every (rate, seed) cell and aggregate per rate.
+    """Fold flat cell results into per-rate records.
 
-    ``make_protocol(rate, seed)`` builds a fresh protocol;
-    ``make_injection(rate, seed, protocol)`` builds the matching
-    injection process (it may read the protocol's frame length).
-    ``load_per_frame(rate)`` normalises the drift detector; defaults to
-    ``rate * frame_length`` of each built protocol.
+    Cells are grouped by ``rate_index`` (so duplicate rate values stay
+    distinct rows, exactly as the serial loop produced them) and
+    averaged in input order — an order-preserving executor therefore
+    yields bit-identical records to the serial path.
     """
+    groups: dict = {}
+    for result in results:
+        groups.setdefault(result.rate_index, []).append(result)
     records: List[RateSweepRecord] = []
-    for rate in rates:
-        verdicts: List[StabilityVerdict] = []
-        tails: List[float] = []
-        throughputs: List[float] = []
-        latencies: List[float] = []
-        for seed in seeds:
-            protocol = make_protocol(rate, seed)
-            injection = make_injection(rate, seed, protocol)
-            simulation = simulate_protocol(protocol, injection, frames)
-            metrics = simulation.metrics
-            if load_per_frame is not None:
-                load = load_per_frame(rate)
-            else:
-                load = max(1.0, rate * float(protocol.frame_length))
-            verdict = assess_stability(
-                metrics.queue_series, load_per_frame=load
+    for index in sorted(groups):
+        cells = groups[index]
+        mixed = {cell.rate for cell in cells} - {cells[0].rate}
+        if mixed:
+            # Hand-built specs that forgot distinct rate_index values
+            # would otherwise be silently averaged into one wrong row.
+            raise ConfigurationError(
+                f"cells with rate_index {index} mix rates "
+                f"{sorted({cells[0].rate, *mixed})}; give each rate its "
+                "own rate_index (sweep_specs does this automatically)"
             )
-            verdicts.append(verdict)
-            tails.append(metrics.mean_queue())
-            throughputs.append(metrics.throughput())
-            summary = metrics.latency_summary(protocol.delivered)
-            latencies.append(summary.mean)
+        verdicts = [cell.verdict for cell in cells]
+        latencies = [cell.latency for cell in cells]
         # Seeds that delivered nothing have NaN latency summaries; they
         # carry no latency information, so average over the seeds that
         # did deliver (NaN only if none did).
         observed = [value for value in latencies if not math.isnan(value)]
         records.append(
             RateSweepRecord(
-                rate=rate,
-                seeds=len(list(seeds)),
+                rate=cells[0].rate,
+                seeds=len(cells),
                 stable_fraction=float(
                     np.mean([1.0 if v.stable else 0.0 for v in verdicts])
                 ),
-                mean_tail_queue=float(np.mean(tails)),
-                mean_throughput=float(np.mean(throughputs)),
+                mean_tail_queue=float(
+                    np.mean([cell.tail_queue for cell in cells])
+                ),
+                mean_throughput=float(
+                    np.mean([cell.throughput for cell in cells])
+                ),
                 mean_latency=(
                     float(np.mean(observed)) if observed else float("nan")
                 ),
@@ -112,4 +255,45 @@ def run_rate_sweep(
     return records
 
 
-__all__ = ["simulate_protocol", "run_rate_sweep", "RateSweepRecord"]
+def run_rate_sweep(
+    make_protocol: ProtocolFactory,
+    make_injection: InjectionFactory,
+    rates: Sequence[float],
+    frames: int,
+    seeds: Sequence[int] = (0, 1, 2),
+    load_per_frame: Optional[Callable[[float], float]] = None,
+    executor=None,
+) -> List[RateSweepRecord]:
+    """Simulate every (rate, seed) cell and aggregate per rate.
+
+    ``make_protocol(rate, seed)`` builds a fresh protocol;
+    ``make_injection(rate, seed, protocol)`` builds the matching
+    injection process (it may read the protocol's frame length).
+    ``load_per_frame(rate)`` normalises the drift detector; defaults to
+    ``rate * frame_length`` of each built protocol.
+
+    ``executor`` is anything with ``map(cells) -> results`` over
+    ``cell.run()`` work units (see :mod:`repro.sim.sharding`); ``None``
+    runs the cells in-process. A process executor requires the
+    factories to be picklable (module-level functions, not closures).
+    """
+    cells = build_factory_cells(
+        make_protocol, make_injection, rates, frames, seeds, load_per_frame
+    )
+    if executor is None:
+        results = [cell.run() for cell in cells]
+    else:
+        results = executor.map(cells)
+    return aggregate_rate_sweep(results)
+
+
+__all__ = [
+    "simulate_protocol",
+    "run_rate_sweep",
+    "RateSweepRecord",
+    "CellResult",
+    "FactoryCell",
+    "build_factory_cells",
+    "measure_cell",
+    "aggregate_rate_sweep",
+]

@@ -1,0 +1,401 @@
+"""Sharded sweep execution: process-parallel (rate, seed) cells.
+
+Every paper table bottoms out in a rate sweep, and each (rate, seed)
+cell is an independent simulation — embarrassingly parallel. This
+module turns a sweep into a flat list of picklable :class:`CellSpec`
+work units and maps them over ``multiprocessing`` workers, then folds
+the results through the *same* aggregation code the serial path uses
+(:func:`repro.sim.runner.aggregate_rate_sweep`), so a sharded sweep is
+record-for-record identical to a serial one.
+
+**Why specs instead of closures.** ``run_rate_sweep`` factories are
+usually closures over live network/model objects; closures do not
+pickle. A :class:`CellSpec` instead *names* its protocol and injection
+builders in a registry (or by ``"module:function"`` dotted path) and
+carries only plain data — rate, seed, frames, keyword arguments — so
+it crosses process boundaries cheaply and deterministically.
+
+**Seeding.** Nothing random crosses a process boundary: each cell's
+builders derive every RNG stream from the spec's own ``seed`` inside
+the worker (child-seeded per cell), exactly as the serial loop does.
+Same specs, any executor, any worker count => same records.
+
+Builders::
+
+    @register_protocol_builder("my-protocol")
+    def my_protocol(rate, seed, **kwargs): ...          # -> protocol
+
+    @register_injection_builder("my-injection")
+    def my_injection(rate, seed, protocol, **kwargs): ...  # -> injection
+
+    @register_pair_builder("my-pair")                   # when the two
+    def my_pair(rate, seed, **kwargs): ...              # must share
+        return protocol, injection                      # state (stores)
+
+Pair builders exist for store-mode protocols, where the protocol is
+constructed *from* the injection's ``PacketStore`` and the two must be
+built together.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.runner import (
+    CellResult,
+    RateSweepRecord,
+    aggregate_rate_sweep,
+    measure_cell,
+)
+
+# ----------------------------------------------------------------------
+# Builder registries
+# ----------------------------------------------------------------------
+
+_PROTOCOL_BUILDERS: Dict[str, Callable] = {}
+_INJECTION_BUILDERS: Dict[str, Callable] = {}
+_PAIR_BUILDERS: Dict[str, Callable] = {}
+
+
+def _register(table: Dict[str, Callable], kind: str, name: str,
+              builder: Callable) -> Callable:
+    existing = table.get(name)
+    if existing is not None and existing is not builder:
+        raise ConfigurationError(
+            f"{kind} builder '{name}' is already registered to "
+            f"{existing!r}"
+        )
+    table[name] = builder
+    return builder
+
+
+def register_protocol_builder(name: str, builder: Optional[Callable] = None):
+    """Register ``builder(rate, seed, **kwargs) -> protocol`` under ``name``.
+
+    Usable as a decorator (``builder`` omitted) or a direct call.
+    Re-registering the same callable under the same name is a no-op;
+    a different callable raises.
+    """
+    if builder is not None:
+        return _register(_PROTOCOL_BUILDERS, "protocol", name, builder)
+    return lambda fn: _register(_PROTOCOL_BUILDERS, "protocol", name, fn)
+
+
+def register_injection_builder(name: str, builder: Optional[Callable] = None):
+    """Register ``builder(rate, seed, protocol, **kwargs) -> injection``."""
+    if builder is not None:
+        return _register(_INJECTION_BUILDERS, "injection", name, builder)
+    return lambda fn: _register(_INJECTION_BUILDERS, "injection", name, fn)
+
+
+def register_pair_builder(name: str, builder: Optional[Callable] = None):
+    """Register ``builder(rate, seed, **kwargs) -> (protocol, injection)``."""
+    if builder is not None:
+        return _register(_PAIR_BUILDERS, "pair", name, builder)
+    return lambda fn: _register(_PAIR_BUILDERS, "pair", name, fn)
+
+
+def _resolve(name: str, table: Dict[str, Callable], kind: str) -> Callable:
+    """Look ``name`` up in the registry, or import a ``module:attr`` path."""
+    builder = table.get(name)
+    if builder is not None:
+        return builder
+    if ":" in name:
+        module_name, _, attr = name.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise ConfigurationError(
+                f"cannot import module '{module_name}' for {kind} "
+                f"builder '{name}': {exc}"
+            ) from exc
+        builder = getattr(module, attr, None)
+        if callable(builder):
+            return builder
+        raise ConfigurationError(
+            f"module '{module_name}' has no callable '{attr}' "
+            f"for {kind} builder '{name}'"
+        )
+    known = ", ".join(sorted(table)) or "(none)"
+    raise ConfigurationError(
+        f"unknown {kind} builder '{name}'; registered: {known} "
+        "(or use a 'module:function' dotted path)"
+    )
+
+
+def resolve_protocol_builder(name: str) -> Callable:
+    return _resolve(name, _PROTOCOL_BUILDERS, "protocol")
+
+
+def resolve_injection_builder(name: str) -> Callable:
+    return _resolve(name, _INJECTION_BUILDERS, "injection")
+
+
+def resolve_pair_builder(name: str) -> Callable:
+    return _resolve(name, _PAIR_BUILDERS, "pair")
+
+
+# ----------------------------------------------------------------------
+# Cell specs
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One picklable (rate, seed) work unit of a sweep.
+
+    Either ``pair`` or both ``protocol`` and ``injection`` name a
+    registered builder (or a ``"module:function"`` dotted path).
+    ``requires`` lists modules to import before resolving — the modules
+    whose import registers the builders — which makes specs robust
+    under spawn-style workers that do not inherit the parent registry.
+    """
+
+    rate: float
+    seed: int
+    frames: int
+    rate_index: int = 0
+    protocol: Optional[str] = None
+    injection: Optional[str] = None
+    pair: Optional[str] = None
+    protocol_kwargs: dict = field(default_factory=dict)
+    injection_kwargs: dict = field(default_factory=dict)
+    pair_kwargs: dict = field(default_factory=dict)
+    load_per_frame: Optional[float] = None
+    load_from_injected: bool = False
+    requires: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.frames < 1:
+            raise ConfigurationError(
+                f"cell frames must be >= 1, got {self.frames}"
+            )
+        if self.pair is not None:
+            if self.protocol is not None or self.injection is not None:
+                raise ConfigurationError(
+                    "a cell names either a pair builder or a "
+                    "protocol+injection builder pair, not both"
+                )
+        elif self.protocol is None or self.injection is None:
+            raise ConfigurationError(
+                "a cell must name a pair builder, or both a protocol "
+                "and an injection builder"
+            )
+
+    def run(self) -> CellResult:
+        return run_cell(self)
+
+
+def run_cell(spec: CellSpec) -> CellResult:
+    """Build and measure one cell (in whichever process this runs)."""
+    for module in spec.requires:
+        importlib.import_module(module)
+    if spec.pair is not None:
+        protocol, injection = resolve_pair_builder(spec.pair)(
+            spec.rate, spec.seed, **spec.pair_kwargs
+        )
+    else:
+        protocol = resolve_protocol_builder(spec.protocol)(
+            spec.rate, spec.seed, **spec.protocol_kwargs
+        )
+        injection = resolve_injection_builder(spec.injection)(
+            spec.rate, spec.seed, protocol, **spec.injection_kwargs
+        )
+    return measure_cell(
+        protocol,
+        injection,
+        spec.frames,
+        rate=spec.rate,
+        seed=spec.seed,
+        rate_index=spec.rate_index,
+        load_per_frame=spec.load_per_frame,
+        load_from_injected=spec.load_from_injected,
+    )
+
+
+def sweep_specs(
+    rates: Sequence[float],
+    seeds: Sequence[int],
+    frames: int,
+    *,
+    protocol: Optional[str] = None,
+    injection: Optional[str] = None,
+    pair: Optional[str] = None,
+    protocol_kwargs: Optional[dict] = None,
+    injection_kwargs: Optional[dict] = None,
+    pair_kwargs: Optional[dict] = None,
+    load_per_frame: Optional[Callable[[float], float]] = None,
+    load_from_injected: bool = False,
+    requires: Tuple[str, ...] = (),
+) -> List[CellSpec]:
+    """Flatten a (rate, seed) grid into rate-major :class:`CellSpec` units.
+
+    The spec-generation stage of a sharded sweep; mirrors
+    :func:`repro.sim.runner.build_factory_cells` cell for cell.
+    ``rates``/``seeds`` are materialised once, so generators are safe.
+    ``load_per_frame`` is an optional *callable* evaluated per rate at
+    spec-generation time (the spec itself carries only the float).
+    """
+    rates = list(rates)
+    seeds = list(seeds)
+    specs: List[CellSpec] = []
+    for index, rate in enumerate(rates):
+        load = load_per_frame(rate) if load_per_frame is not None else None
+        for seed in seeds:
+            specs.append(
+                CellSpec(
+                    rate=rate,
+                    seed=seed,
+                    frames=frames,
+                    rate_index=index,
+                    protocol=protocol,
+                    injection=injection,
+                    pair=pair,
+                    protocol_kwargs=dict(protocol_kwargs or {}),
+                    injection_kwargs=dict(injection_kwargs or {}),
+                    pair_kwargs=dict(pair_kwargs or {}),
+                    load_per_frame=load,
+                    load_from_injected=load_from_injected,
+                    requires=tuple(requires),
+                )
+            )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+
+def _run_unit(cell) -> CellResult:
+    """Module-level trampoline so Pool.map can pickle the call."""
+    return cell.run()
+
+
+def default_worker_count() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _default_start_method() -> Optional[str]:
+    # On Linux, fork inherits the builder registries (and test-local
+    # builders) and skips re-importing numpy per worker. Elsewhere the
+    # platform default stands — macOS offers fork but deliberately
+    # defaults to spawn because forking a threaded/Objective-C parent
+    # is unsafe; spawn workers recover registrations via each spec's
+    # ``requires`` imports.
+    if (
+        sys.platform.startswith("linux")
+        and "fork" in multiprocessing.get_all_start_methods()
+    ):
+        return "fork"
+    return None
+
+
+class SerialExecutor:
+    """The trivial in-process executor: ``map`` is a list comprehension."""
+
+    name = "serial"
+    workers = 1
+
+    def map(self, cells: Sequence) -> List[CellResult]:
+        return [cell.run() for cell in cells]
+
+
+class ProcessExecutor:
+    """Map cells over a ``multiprocessing`` pool, order-preserving.
+
+    ``chunksize=1`` keeps scheduling dynamic — sweep cells near the
+    stability boundary can cost many times more than cells far below
+    it, so static chunking would leave workers idle. Results come back
+    in spec order regardless, which the aggregation relies on for
+    bit-parity with the serial path.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        if workers is not None and workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {workers}"
+            )
+        self.workers = workers or default_worker_count()
+        self._start_method = start_method
+
+    def map(self, cells: Sequence) -> List[CellResult]:
+        cells = list(cells)
+        if not cells:
+            return []
+        workers = min(self.workers, len(cells))
+        context = multiprocessing.get_context(
+            self._start_method or _default_start_method()
+        )
+        with context.Pool(processes=workers) as pool:
+            return pool.map(_run_unit, cells, chunksize=1)
+
+
+EXECUTORS = ("serial", "process")
+
+
+def executor_names() -> List[str]:
+    return list(EXECUTORS)
+
+
+def make_executor(kind: str, workers: Optional[int] = None):
+    """Build an executor by CLI name ('serial' or 'process')."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "process":
+        return ProcessExecutor(workers=workers)
+    raise ConfigurationError(
+        f"unknown executor '{kind}'; choose from {', '.join(EXECUTORS)}"
+    )
+
+
+def run_sharded_sweep(
+    specs: Sequence[CellSpec],
+    executor=None,
+) -> List[RateSweepRecord]:
+    """Execute sweep specs and aggregate — the sharded ``run_rate_sweep``.
+
+    ``executor`` defaults to :class:`SerialExecutor`; pass a
+    :class:`ProcessExecutor` to shard across worker processes. Both
+    fold through :func:`~repro.sim.runner.aggregate_rate_sweep`, so the
+    records are identical either way.
+    """
+    if executor is None:
+        executor = SerialExecutor()
+    return aggregate_rate_sweep(executor.map(list(specs)))
+
+
+__all__ = [
+    "CellSpec",
+    "EXECUTORS",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "default_worker_count",
+    "executor_names",
+    "make_executor",
+    "register_injection_builder",
+    "register_pair_builder",
+    "register_protocol_builder",
+    "resolve_injection_builder",
+    "resolve_pair_builder",
+    "resolve_protocol_builder",
+    "run_cell",
+    "run_sharded_sweep",
+    "sweep_specs",
+]

@@ -56,6 +56,7 @@ class TestLittlesLaw:
         report = littles_law_check(series, sojourns, warmup_fraction=0.25)
         assert report.mean_in_system == pytest.approx(4.0, rel=0.05)
 
+    @pytest.mark.slow
     def test_on_real_protocol_run(self, chain_net, routing_chain):
         import repro
 

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 
 import pytest
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process-executor CLI tests assume fork workers",
+)
 
 from repro.cli.builders import (
     SCENARIOS,
@@ -195,6 +201,32 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "0.30x" in out
         assert "stable frac" in out
+
+    @needs_fork
+    def test_sweep_process_executor_output_identical(self, capsys):
+        # The executor is invisible in the results: byte-identical
+        # stdout, serial vs a 2-worker process pool.
+        argv = [
+            "sweep",
+            "--model", "packet-routing",
+            "--nodes", "9",
+            "--frames", "40",
+            "--fractions", "0.3,0.8",
+            "--seeds", "0,1",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--executor", "process", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    @needs_fork
+    @pytest.mark.slow
+    def test_compare_process_executor_output_identical(self, capsys):
+        argv = ["compare", "--nodes", "10", "--frames", "20", "--seed", "1"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--executor", "process", "--workers", "3"]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_sweep_rejects_bad_fractions(self, capsys):
         code = main(

@@ -36,6 +36,7 @@ def run_pipeline(model, algorithm, rate, frames, *, t_scale, routing,
 # ----------------------------------------------------------------------
 
 
+@pytest.mark.slow
 def test_sinr_linear_power_pipeline_stable():
     net = repro.random_sinr_network(20, rng=1)
     model = repro.linear_power_model(net, alpha=3.0, beta=1.0, noise=0.02)
@@ -101,6 +102,7 @@ def test_mac_round_robin_pipeline_stable():
     assert verdict.stable
 
 
+@pytest.mark.slow
 def test_mac_backoff_pipeline_stable_below_1_over_e():
     # Algorithm 2's O(log^2 n) additive constants force frames of ~10^5
     # slots regardless of t_scale, so this test keeps the rate (and with
@@ -129,6 +131,7 @@ def test_mac_backoff_pipeline_stable_below_1_over_e():
 # ----------------------------------------------------------------------
 
 
+@pytest.mark.slow
 def test_conflict_graph_pipeline():
     net = repro.grid_network(3, 3)
     conflicts = repro.node_constraint_conflicts(net)
@@ -153,6 +156,7 @@ def test_conflict_graph_pipeline():
 # ----------------------------------------------------------------------
 
 
+@pytest.mark.slow
 def test_adversarial_pipeline_with_bursty_adversary():
     net = repro.grid_network(3, 3)
     model = repro.PacketRoutingModel(net)
@@ -203,6 +207,7 @@ def test_overload_is_detected_as_unstable():
 # ----------------------------------------------------------------------
 
 
+@pytest.mark.slow
 def test_full_pipeline_deterministic():
     def run(seed):
         net = repro.random_sinr_network(15, rng=9)

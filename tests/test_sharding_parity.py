@@ -1,0 +1,317 @@
+"""Serial vs sharded sweeps must be record-for-record identical.
+
+The sharded executor's whole contract is that executor choice is
+invisible in the results: the same cell specs produce bit-identical
+``RateSweepRecord`` lists whether they run in-process, through a
+1-worker pool, or across n workers. These tests pin that contract on
+scheduler x injection combinations, including NaN-latency cells (seeds
+that deliver nothing) and the closure-based ``run_rate_sweep`` path.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+
+import pytest
+
+from repro.core.protocol import DynamicProtocol
+from repro.errors import ConfigurationError
+from repro.injection.stochastic import (
+    PathGenerator,
+    StochasticInjection,
+    uniform_pair_injection,
+)
+from repro.interference.mac import MultipleAccessChannel
+from repro.interference.packet_routing import PacketRoutingModel
+from repro.network.routing import build_routing_table
+from repro.network.topology import line_network, mac_network
+from repro.sim.runner import run_rate_sweep
+from repro.sim.sharding import (
+    CellSpec,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+    register_injection_builder,
+    register_protocol_builder,
+    resolve_protocol_builder,
+    run_cell,
+    run_sharded_sweep,
+    sweep_specs,
+)
+from repro.staticsched.round_robin import RoundRobinScheduler
+from repro.staticsched.single_hop import SingleHopScheduler
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not HAS_FORK,
+    reason="test-local builders reach workers via fork inheritance",
+)
+
+LINE_NET = line_network(4)
+LINE_MODEL = PacketRoutingModel(LINE_NET)
+LINE_ROUTING = build_routing_table(LINE_NET)
+MAC_NET = mac_network(4)
+MAC_MODEL = MultipleAccessChannel(MAC_NET)
+MAC_ROUTING = build_routing_table(MAC_NET)
+
+_MODELS = {
+    "line": (LINE_MODEL, LINE_ROUTING),
+    "mac": (MAC_MODEL, MAC_ROUTING),
+}
+_SCHEDULERS = {
+    "single-hop": SingleHopScheduler,
+    "round-robin": RoundRobinScheduler,
+}
+
+# scheduler x injection combinations the parity contract is pinned on.
+COMBOS = [
+    ("line", "single-hop", "path"),
+    ("line", "single-hop", "uniform"),
+    ("mac", "round-robin", "path"),
+    ("mac", "round-robin", "uniform"),
+]
+
+RATES = [0.2, 0.9]
+SEEDS = (0, 1)
+FRAMES = 40
+
+
+@register_protocol_builder("parity-protocol")
+def parity_protocol(
+    rate, seed, *, net="line", scheduler="single-hop", cap=0.5, t_scale=0.01
+):
+    # Provisioned for a fixed cap so sweep rates genuinely cross the
+    # stability boundary (same trick as tests/test_sim_runner.py).
+    model, _ = _MODELS[net]
+    return DynamicProtocol(
+        model, _SCHEDULERS[scheduler](), rate=cap, t_scale=t_scale, rng=seed
+    )
+
+
+@register_injection_builder("parity-injection")
+def parity_injection(rate, seed, protocol, *, net="line", kind="path"):
+    model, routing = _MODELS[net]
+    if kind == "path":
+        path = (0, 1) if net == "line" else (0,)
+        generator = PathGenerator([(path, min(rate, 1.0))])
+        return StochasticInjection([generator], rng=seed)
+    return uniform_pair_injection(
+        routing, model, rate, num_generators=4, rng=seed + 1000
+    )
+
+
+def specs_for(net, scheduler, kind, rates=RATES, seeds=SEEDS, frames=FRAMES):
+    return sweep_specs(
+        rates,
+        seeds,
+        frames=frames,
+        protocol="parity-protocol",
+        injection="parity-injection",
+        protocol_kwargs={"net": net, "scheduler": scheduler},
+        injection_kwargs={"net": net, "kind": kind},
+    )
+
+
+def closures_for(net, scheduler, kind):
+    def make_protocol(rate, seed):
+        return parity_protocol(rate, seed, net=net, scheduler=scheduler)
+
+    def make_injection(rate, seed, protocol):
+        return parity_injection(rate, seed, protocol, net=net, kind=kind)
+
+    return make_protocol, make_injection
+
+
+def assert_sweeps_identical(left, right):
+    """Field-for-field record equality, NaN-aware on latency means."""
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.rate == b.rate
+        assert a.seeds == b.seeds
+        assert a.stable_fraction == b.stable_fraction
+        assert a.mean_tail_queue == b.mean_tail_queue
+        assert a.mean_throughput == b.mean_throughput
+        assert a.mean_latency == b.mean_latency or (
+            math.isnan(a.mean_latency) and math.isnan(b.mean_latency)
+        )
+        assert a.verdicts == b.verdicts
+
+
+# ----------------------------------------------------------------------
+# Spec path == closure path (in-process)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("net,scheduler,kind", COMBOS)
+def test_spec_run_matches_closure_run(net, scheduler, kind):
+    make_protocol, make_injection = closures_for(net, scheduler, kind)
+    serial = run_rate_sweep(
+        make_protocol, make_injection, RATES, frames=FRAMES, seeds=SEEDS
+    )
+    sharded = run_sharded_sweep(specs_for(net, scheduler, kind))
+    assert_sweeps_identical(serial, sharded)
+    # Sanity: the combo actually straddles the boundary, so the parity
+    # assertion is not comparing degenerate all-stable tables.
+    assert serial[0].stable_fraction >= serial[-1].stable_fraction
+
+
+# ----------------------------------------------------------------------
+# Process pools == serial, 1 worker and n workers, same specs
+# ----------------------------------------------------------------------
+
+
+@needs_fork
+def test_process_executor_matches_serial_one_and_n_workers():
+    specs = specs_for("line", "single-hop", "uniform")
+    serial = run_sharded_sweep(specs, SerialExecutor())
+    one_worker = run_sharded_sweep(specs, ProcessExecutor(workers=1))
+    n_workers = run_sharded_sweep(specs, ProcessExecutor(workers=3))
+    assert_sweeps_identical(serial, one_worker)
+    assert_sweeps_identical(serial, n_workers)
+
+
+@needs_fork
+@pytest.mark.slow
+@pytest.mark.parametrize("net,scheduler,kind", COMBOS)
+def test_process_parity_full_matrix(net, scheduler, kind):
+    specs = specs_for(net, scheduler, kind)
+    serial = run_sharded_sweep(specs, SerialExecutor())
+    for workers in (1, 3):
+        sharded = run_sharded_sweep(specs, ProcessExecutor(workers=workers))
+        assert_sweeps_identical(serial, sharded)
+
+
+@needs_fork
+def test_nan_latency_cells_survive_the_pool():
+    # Rate 0.0 injects nothing, so its latency summaries are NaN; the
+    # NaN-aware aggregation must behave identically on both paths.
+    specs = specs_for("line", "single-hop", "path", rates=[0.0, 0.25])
+    serial = run_sharded_sweep(specs, SerialExecutor())
+    sharded = run_sharded_sweep(specs, ProcessExecutor(workers=2))
+    assert math.isnan(serial[0].mean_latency)
+    assert math.isnan(sharded[0].mean_latency)
+    assert not math.isnan(serial[1].mean_latency)
+    assert_sweeps_identical(serial, sharded)
+
+
+@needs_fork
+def test_run_rate_sweep_accepts_a_process_executor():
+    # Module-level factories are picklable, so the closure-shaped API
+    # itself can shard: same records as the default in-process loop.
+    serial = run_rate_sweep(
+        parity_protocol, parity_injection, RATES, frames=FRAMES, seeds=SEEDS
+    )
+    sharded = run_rate_sweep(
+        parity_protocol,
+        parity_injection,
+        RATES,
+        frames=FRAMES,
+        seeds=SEEDS,
+        executor=ProcessExecutor(workers=2),
+    )
+    assert_sweeps_identical(serial, sharded)
+
+
+@needs_fork
+def test_cell_results_align_with_specs():
+    specs = specs_for("line", "single-hop", "path")
+    for executor in (SerialExecutor(), ProcessExecutor(workers=2)):
+        results = executor.map(specs)
+        assert [(r.rate_index, r.rate, r.seed) for r in results] == [
+            (s.rate_index, s.rate, s.seed) for s in specs
+        ]
+
+
+# ----------------------------------------------------------------------
+# Spec generation and builder resolution
+# ----------------------------------------------------------------------
+
+
+def test_sweep_specs_materializes_generators_rate_major():
+    specs = sweep_specs(
+        (r for r in (0.1, 0.2)),
+        (s for s in (0, 1, 2)),
+        frames=10,
+        protocol="parity-protocol",
+        injection="parity-injection",
+    )
+    assert [(s.rate, s.seed) for s in specs] == [
+        (0.1, 0), (0.1, 1), (0.1, 2), (0.2, 0), (0.2, 1), (0.2, 2)
+    ]
+    assert [s.rate_index for s in specs] == [0, 0, 0, 1, 1, 1]
+
+
+def test_cell_spec_validation():
+    with pytest.raises(ConfigurationError):
+        CellSpec(rate=0.1, seed=0, frames=0, pair="compare-contender")
+    with pytest.raises(ConfigurationError):
+        CellSpec(rate=0.1, seed=0, frames=10)  # no builders at all
+    with pytest.raises(ConfigurationError):
+        CellSpec(
+            rate=0.1, seed=0, frames=10,
+            pair="compare-contender",
+            protocol="parity-protocol", injection="parity-injection",
+        )
+
+
+def test_unknown_builder_name_raises():
+    spec = CellSpec(
+        rate=0.1, seed=0, frames=25,
+        protocol="no-such-builder", injection="parity-injection",
+    )
+    with pytest.raises(ConfigurationError, match="no-such-builder"):
+        run_cell(spec)
+
+
+def test_duplicate_registration_rejected():
+    def other(rate, seed):
+        raise AssertionError("never built")
+
+    with pytest.raises(ConfigurationError):
+        register_protocol_builder("parity-protocol", other)
+    # Re-registering the same callable is a no-op.
+    register_protocol_builder("parity-protocol", parity_protocol)
+
+
+def test_dotted_path_resolution():
+    from repro.cli import registry
+
+    builder = resolve_protocol_builder(
+        "repro.cli.registry:scenario_protocol"
+    )
+    assert builder is registry.scenario_protocol
+    with pytest.raises(ConfigurationError):
+        resolve_protocol_builder("repro.cli.registry:not_a_builder")
+    with pytest.raises(ConfigurationError):
+        resolve_protocol_builder("no.such.module:builder")
+
+
+def test_make_executor():
+    assert isinstance(make_executor("serial"), SerialExecutor)
+    process = make_executor("process", workers=2)
+    assert isinstance(process, ProcessExecutor)
+    assert process.workers == 2
+    with pytest.raises(ConfigurationError):
+        make_executor("threads")
+    with pytest.raises(ConfigurationError):
+        make_executor("process", workers=0)
+
+
+def test_empty_spec_list_is_empty_sweep():
+    assert run_sharded_sweep([]) == []
+    assert ProcessExecutor(workers=2).map([]) == []
+
+
+def test_mixed_rates_in_one_group_rejected():
+    # Hand-built specs that forget distinct rate_index values must not
+    # be silently averaged into one record.
+    specs = [
+        CellSpec(
+            rate=rate, seed=0, frames=25,
+            protocol="parity-protocol", injection="parity-injection",
+        )
+        for rate in (0.1, 0.5)
+    ]
+    with pytest.raises(ConfigurationError, match="rate_index"):
+        run_sharded_sweep(specs)

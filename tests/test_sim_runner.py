@@ -138,6 +138,79 @@ def test_sweep_empty_rates_returns_empty():
     assert records == []
 
 
+def test_sweep_accepts_generator_seeds():
+    # Regression: ``seeds`` used to be re-consumed after iteration
+    # (``len(list(seeds))``), so a generator yielded ``seeds=0`` on the
+    # first rate and silently skipped every later rate's cells. The
+    # grid must be materialised exactly once.
+    from_list = run_rate_sweep(
+        make_protocol, make_injection, rates=[0.2, 0.3], frames=30,
+        seeds=[0, 1],
+    )
+    from_generator = run_rate_sweep(
+        make_protocol, make_injection, rates=[0.2, 0.3], frames=30,
+        seeds=(seed for seed in (0, 1)),
+    )
+    assert len(from_generator) == 2
+    for expected, record in zip(from_list, from_generator):
+        assert record.seeds == 2
+        assert len(record.verdicts) == 2
+        assert record.stable_fraction == expected.stable_fraction
+        assert record.mean_tail_queue == expected.mean_tail_queue
+        assert record.mean_throughput == expected.mean_throughput
+
+
+def test_sweep_accepts_generator_rates():
+    from_generator = run_rate_sweep(
+        make_protocol, make_injection,
+        rates=(rate for rate in (0.1, 0.2)), frames=20, seeds=(0,),
+    )
+    assert [record.rate for record in from_generator] == [0.1, 0.2]
+
+
+def test_measure_cell_and_aggregate_match_sweep():
+    # The staged pipeline (measure cells, then aggregate) is exactly
+    # what run_rate_sweep does internally.
+    from repro.sim.runner import aggregate_rate_sweep, measure_cell
+
+    results = []
+    for index, rate in enumerate([0.2, 0.3]):
+        for seed in (0, 1):
+            protocol = make_protocol(rate, seed)
+            results.append(
+                measure_cell(
+                    protocol,
+                    make_injection(rate, seed, protocol),
+                    30,
+                    rate=rate,
+                    seed=seed,
+                    rate_index=index,
+                )
+            )
+    staged = aggregate_rate_sweep(results)
+    direct = run_rate_sweep(
+        make_protocol, make_injection, rates=[0.2, 0.3], frames=30,
+        seeds=(0, 1),
+    )
+    assert len(staged) == len(direct) == 2
+    for a, b in zip(staged, direct):
+        assert (a.rate, a.seeds, a.stable_fraction, a.mean_tail_queue,
+                a.mean_throughput) == (b.rate, b.seeds, b.stable_fraction,
+                                       b.mean_tail_queue, b.mean_throughput)
+        assert a.verdicts == b.verdicts
+
+
+def test_duplicate_rates_stay_distinct_records():
+    # Two sweep rows at the same rate must not merge in aggregation
+    # (cells group by position in the rate list, not by float value).
+    records = run_rate_sweep(
+        make_protocol, make_injection, rates=[0.2, 0.2], frames=20,
+        seeds=(0,),
+    )
+    assert len(records) == 2
+    assert records[0].rate == records[1].rate == 0.2
+
+
 def test_simulate_protocol_latency_bookkeeping():
     simulation = simulate_protocol(
         make_protocol(0.3, 0), make_injection(0.3, 0, None), frames=60

@@ -61,3 +61,89 @@ def test_too_short_series_raises():
 def test_verdict_is_truthy():
     verdict = assess_stability([10] * 50, load_per_frame=5)
     assert bool(verdict) is True
+
+
+# ----------------------------------------------------------------------
+# Calibration across horizon lengths
+#
+# The sharded sweep aggregates verdicts computed in worker processes;
+# a drifting or loosely-calibrated detector could mask aggregation
+# regressions (every cell reads "stable" either way). These
+# property-style grids pin the verdict on synthetic known-stable and
+# known-unstable series across horizons, seeds, and load scales, so
+# the detector cannot silently go soft on either side.
+# ----------------------------------------------------------------------
+
+HORIZONS = [40, 80, 160, 320]
+
+
+@pytest.mark.parametrize("horizon", HORIZONS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_noisy_plateau_is_stable_across_horizons(horizon, seed):
+    rng = np.random.default_rng(seed)
+    load = 12.0
+    series = 60 + rng.integers(-5, 6, size=horizon)
+    verdict = assess_stability(series.tolist(), load_per_frame=load)
+    assert verdict.stable, (
+        f"plateau misread as unstable at horizon {horizon}, seed {seed}: "
+        f"{verdict}"
+    )
+    # Zero-mean noise: the fitted drift stays a small fraction of the
+    # load no matter how long the series runs.
+    assert abs(verdict.normalised_slope) < 0.02
+
+
+@pytest.mark.parametrize("horizon", HORIZONS)
+@pytest.mark.parametrize("load", [2.0, 20.0, 200.0])
+def test_plateau_level_scales_with_load(horizon, load):
+    # A queue hovering at ~5x the per-frame load is the steady state of
+    # a healthy pipeline at any provisioning scale.
+    series = [5.0 * load] * horizon
+    assert assess_stability(series, load_per_frame=load).stable
+
+
+@pytest.mark.parametrize("horizon", HORIZONS)
+@pytest.mark.parametrize("slope_fraction", [0.1, 0.3, 1.0])
+def test_linear_growth_is_unstable_across_horizons(horizon, slope_fraction):
+    load = 10.0
+    series = [slope_fraction * load * frame for frame in range(horizon)]
+    verdict = assess_stability(series, load_per_frame=load)
+    assert not verdict.stable, (
+        f"linear growth misread as stable at horizon {horizon}, "
+        f"slope {slope_fraction} load/frame: {verdict}"
+    )
+    assert verdict.normalised_slope > 0.02
+
+
+@pytest.mark.parametrize("horizon", HORIZONS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_noisy_linear_growth_is_unstable_across_horizons(horizon, seed):
+    rng = np.random.default_rng(seed)
+    load = 10.0
+    ramp = 0.3 * load * np.arange(horizon)
+    series = ramp + rng.integers(-5, 6, size=horizon)
+    verdict = assess_stability(series.tolist(), load_per_frame=load)
+    assert not verdict.stable
+
+
+@pytest.mark.parametrize("horizon", [120, 240, 480])
+def test_plateau_then_takeoff_is_unstable(horizon):
+    # Stable early life then a blow-up: the detector must not let the
+    # quiet prefix average the verdict back to stable.
+    load = 10.0
+    flat = [8.0] * (horizon // 3)
+    takeoff = [
+        8.0 + 0.5 * load * frame for frame in range(horizon - len(flat))
+    ]
+    verdict = assess_stability(flat + takeoff, load_per_frame=load)
+    assert not verdict.stable
+
+
+@pytest.mark.parametrize("horizon", [100, 200, 400])
+def test_draining_transient_is_stable(horizon):
+    # A large warm-up spike that drains to a plateau is stable at every
+    # horizon: the tail, not the transient, decides.
+    spike = [300.0 - 2.0 * frame for frame in range(horizon // 2)]
+    plateau = [max(spike[-1], 0.0)] * (horizon - len(spike))
+    verdict = assess_stability(spike + plateau, load_per_frame=40.0)
+    assert verdict.stable
