@@ -59,6 +59,7 @@ from repro.staticsched.base import (
     StaticAlgorithm,
 )
 from repro.staticsched.kernel import scalar_reference
+from repro.staticsched.runloop import use_backend
 from repro.utils.rng import RngLike, ensure_rng
 
 NUM_LINKS = 500
@@ -237,7 +238,13 @@ def build_model(
 
 def run_stability(scheduler, frames: int):
     """The 500-link stability run; only the frame loop is timed —
-    instance construction is identical across modes and excluded."""
+    instance construction is identical across modes and excluded.
+
+    Pinned to the ``kernel`` backend: P1 measures the per-slot kernel
+    against the pre-kernel scalar loops, and must keep doing so now
+    that the default backend is the fused loop (P4 owns that
+    comparison). A scalar-reference context still wins the tie.
+    """
     model = build_model()
     protocol = repro.DynamicProtocol(
         model, scheduler, FRAME.rate, params=FRAME, rng=17
@@ -247,9 +254,10 @@ def run_stability(scheduler, frames: int):
         routing, model, FRAME.rate, num_generators=8, rng=1017
     )
     simulation = repro.FrameSimulation(protocol, injection)
-    start = time.perf_counter()
-    simulation.run(frames)
-    seconds = time.perf_counter() - start
+    with use_backend("kernel"):
+        start = time.perf_counter()
+        simulation.run(frames)
+        seconds = time.perf_counter() - start
     return {
         "slots": frames * FRAME.frame_length,
         "delivered": len(protocol.delivered),
@@ -259,16 +267,20 @@ def run_stability(scheduler, frames: int):
 
 
 def run_static(scheduler, budget: int, model_kwargs=None):
-    """A static backlog drain on the 500-link model (run loop timed)."""
+    """A static backlog drain on the 500-link model (run loop timed).
+
+    Pinned to the ``kernel`` backend like :func:`run_stability`.
+    """
     model = build_model(**(model_kwargs or {}))
     model.weight_matrix()  # build + validate W outside the timed region
     rng = np.random.default_rng(23)
     requests = list(rng.integers(0, NUM_LINKS, size=4000))
-    start = time.perf_counter()
-    result = scheduler.run(
-        model, requests, budget, rng=np.random.default_rng(29)
-    )
-    seconds = time.perf_counter() - start
+    with use_backend("kernel"):
+        start = time.perf_counter()
+        result = scheduler.run(
+            model, requests, budget, rng=np.random.default_rng(29)
+        )
+        seconds = time.perf_counter() - start
     return {
         "slots": result.slots_used,
         "delivered": len(result.delivered),

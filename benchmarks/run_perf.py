@@ -72,15 +72,29 @@ def _run_p3(quick: bool, out_dir: Path) -> dict:
     )
 
 
+def _run_p4(quick: bool, out_dir: Path) -> dict:
+    import bench_p4_runloop
+
+    frames = 3 if quick else bench_p4_runloop.FRAMES
+    return bench_p4_runloop.run_experiment(
+        frames=frames,
+        out_path=out_dir / "BENCH_p4.json",
+        tags={"quick_mode": bool(quick)},
+    )
+
+
 #: Registry of perf benches: id -> (runner(quick, out_dir) -> payload,
 #: headline-speedup floor or None). The floor is per-bench: P1's
 #: acceptance criterion is >= 3x, P2's is >= 2x; future benches
 #: declare their own. P3's 2x-at-4-workers floor needs real cores, so
 #: it is enforced CPU-conditionally by its pytest wrapper, not here.
+#: P4's fused-numpy floor is 1.5x on any host; its numba floor (3x) is
+#: numba-conditional and enforced by the pytest wrapper / CI lane.
 PERF_BENCHES = {
     "p1": (_run_p1, 3.0),
     "p2": (_run_p2, 2.0),
     "p3": (_run_p3, None),
+    "p4": (_run_p4, 1.5),
 }
 
 

@@ -33,6 +33,27 @@ from repro.cli.registry import (
 )
 from repro.errors import ReproError
 from repro.sim.sharding import CellSpec, executor_names, make_executor
+from repro.staticsched.runloop import (
+    BACKENDS,
+    available_backends,
+    use_backend,
+)
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    """The run-loop backend knob shared by the simulation commands."""
+    parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=BACKENDS,
+        help=(
+            "run-loop backend for the slot loop: 'auto' picks the "
+            "numba-compiled backend when numba is installed and the "
+            "fused numpy backend otherwise; 'scalar' pins the "
+            "ground-truth reference. Every backend produces identical "
+            "results from one seed — the choice only changes speed"
+        ),
+    )
 
 
 def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
@@ -100,6 +121,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.001,
         help="scale on the paper's frame-length constants",
     )
+    _add_backend_argument(simulate)
     simulate.add_argument(
         "--trace",
         action="store_true",
@@ -130,6 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--seeds", default="0,1", help="comma-separated seeds")
     sweep.add_argument("--t-scale", type=float, default=0.001)
+    _add_backend_argument(sweep)
     _add_executor_arguments(sweep)
 
     compare = sub.add_parser(
@@ -146,6 +169,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="run each protocol at this fraction of its own certified rate",
     )
+    _add_backend_argument(compare)
     _add_executor_arguments(compare)
 
     sub.add_parser("experiments", help="list the reproduced paper claims")
@@ -163,6 +187,9 @@ def cmd_info(args: argparse.Namespace) -> int:
     print()
     print("model presets: " + ", ".join(scenario_names()))
     print("topologies:    " + ", ".join(topology_names()))
+    print("backends:      " + ", ".join(available_backends())
+          + " (--backend; 'numba' silently falls back to 'numpy' "
+          "when numba is not installed)")
     print(f"experiments:   {len(EXPERIMENTS)} "
           "(run `python -m repro experiments`)")
     print()
@@ -212,7 +239,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         store=injection.store,
     )
     simulation = repro.FrameSimulation(protocol, injection)
-    simulation.run(args.frames)
+    with use_backend(args.backend):
+        simulation.run(args.frames)
     metrics = simulation.metrics
 
     print(f"scenario '{scenario.name}': {scenario.network.num_nodes} nodes, "
@@ -304,6 +332,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         },
         injection_kwargs={"model": args.model, "nodes": args.nodes},
         requires=("repro.cli.registry",),
+        backend=args.backend,
     )
     records = repro.run_sharded_sweep(
         specs, make_executor(args.executor, args.workers)
@@ -353,6 +382,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 pair_kwargs={"nodes": args.nodes, "algorithm": key},
                 load_from_injected=True,
                 requires=("repro.cli.registry",),
+                backend=args.backend,
             )
         )
     results = make_executor(args.executor, args.workers).map(specs)

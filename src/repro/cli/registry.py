@@ -169,6 +169,13 @@ EXPERIMENTS: List[ExperimentEntry] = [
         "record-identical to serial; >= 2x throughput at 4 workers",
         "bench_p3_sharded_sweep.py",
     ),
+    ExperimentEntry(
+        "P4", "Performance",
+        "fused run-loop backends: >= 1.5x slots/sec over the per-slot "
+        "kernel path on the 500-link KV headline (>= 3x with numba), "
+        "bit-identical to the scalar reference",
+        "bench_p4_runloop.py",
+    ),
 ]
 
 

@@ -155,6 +155,13 @@ class CellSpec:
     ``requires`` lists modules to import before resolving — the modules
     whose import registers the builders — which makes specs robust
     under spawn-style workers that do not inherit the parent registry.
+
+    ``backend`` optionally pins the run-loop backend
+    (:data:`repro.staticsched.runloop.BACKENDS`) for the cell's
+    simulation. It rides inside the spec so the choice survives any
+    process boundary (spawn workers included) — though because every
+    backend replays the scalar reference bit for bit, the choice can
+    never change a record, only its wall-clock.
     """
 
     rate: float
@@ -170,6 +177,7 @@ class CellSpec:
     load_per_frame: Optional[float] = None
     load_from_injected: bool = False
     requires: Tuple[str, ...] = ()
+    backend: Optional[str] = None
 
     def __post_init__(self):
         if self.frames < 1:
@@ -194,29 +202,37 @@ class CellSpec:
 
 def run_cell(spec: CellSpec) -> CellResult:
     """Build and measure one cell (in whichever process this runs)."""
+    from contextlib import nullcontext
+
+    from repro.staticsched.runloop import use_backend
+
     for module in spec.requires:
         importlib.import_module(module)
-    if spec.pair is not None:
-        protocol, injection = resolve_pair_builder(spec.pair)(
-            spec.rate, spec.seed, **spec.pair_kwargs
+    # Only pin a backend when the spec names one: a None backend keeps
+    # whatever selection is ambient (so e.g. a scalar-reference
+    # verification context still governs in-process cells).
+    with use_backend(spec.backend) if spec.backend else nullcontext():
+        if spec.pair is not None:
+            protocol, injection = resolve_pair_builder(spec.pair)(
+                spec.rate, spec.seed, **spec.pair_kwargs
+            )
+        else:
+            protocol = resolve_protocol_builder(spec.protocol)(
+                spec.rate, spec.seed, **spec.protocol_kwargs
+            )
+            injection = resolve_injection_builder(spec.injection)(
+                spec.rate, spec.seed, protocol, **spec.injection_kwargs
+            )
+        return measure_cell(
+            protocol,
+            injection,
+            spec.frames,
+            rate=spec.rate,
+            seed=spec.seed,
+            rate_index=spec.rate_index,
+            load_per_frame=spec.load_per_frame,
+            load_from_injected=spec.load_from_injected,
         )
-    else:
-        protocol = resolve_protocol_builder(spec.protocol)(
-            spec.rate, spec.seed, **spec.protocol_kwargs
-        )
-        injection = resolve_injection_builder(spec.injection)(
-            spec.rate, spec.seed, protocol, **spec.injection_kwargs
-        )
-    return measure_cell(
-        protocol,
-        injection,
-        spec.frames,
-        rate=spec.rate,
-        seed=spec.seed,
-        rate_index=spec.rate_index,
-        load_per_frame=spec.load_per_frame,
-        load_from_injected=spec.load_from_injected,
-    )
 
 
 def sweep_specs(
@@ -233,6 +249,7 @@ def sweep_specs(
     load_per_frame: Optional[Callable[[float], float]] = None,
     load_from_injected: bool = False,
     requires: Tuple[str, ...] = (),
+    backend: Optional[str] = None,
 ) -> List[CellSpec]:
     """Flatten a (rate, seed) grid into rate-major :class:`CellSpec` units.
 
@@ -241,6 +258,7 @@ def sweep_specs(
     ``rates``/``seeds`` are materialised once, so generators are safe.
     ``load_per_frame`` is an optional *callable* evaluated per rate at
     spec-generation time (the spec itself carries only the float).
+    ``backend`` stamps a run-loop backend into every cell.
     """
     rates = list(rates)
     seeds = list(seeds)
@@ -263,6 +281,7 @@ def sweep_specs(
                     load_per_frame=load,
                     load_from_injected=load_from_injected,
                     requires=tuple(requires),
+                    backend=backend,
                 )
             )
     return specs

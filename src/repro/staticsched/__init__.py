@@ -11,12 +11,15 @@ interface — ``run(model, requests, budget, rng)`` — and carry a
 need in the ``f(m) * I + g(m, n)`` form the Section-4 protocol sizes its
 frames with.
 
-The per-slot execution of the randomized schedulers runs through the
-vectorized slot kernel (:mod:`repro.staticsched.kernel`): numpy array
-state per busy link, batched Bernoulli draws, and batch success
-evaluation against cached model state. ``kernel.scalar_reference()``
-pins runs to the scalar ``successes()`` reference path for
-verification.
+The per-slot execution of the randomized schedulers runs through a
+pluggable run-loop backend (:mod:`repro.staticsched.runloop`): the
+fused pure-numpy backend by default (chunked Bernoulli draws, sparse
+attempter-set bookkeeping, lazy history), an optional numba-compiled
+backend when numba is importable, and the per-slot ``kernel`` path
+(:mod:`repro.staticsched.kernel`) as the benchmark baseline.
+``kernel.scalar_reference()`` pins runs to the scalar ``successes()``
+reference path for verification; every backend replays it
+bit-for-bit from one seed.
 
 Included algorithms (paper references in each module):
 
@@ -35,12 +38,22 @@ module                    algorithm                              length (whp)
 """
 
 from repro.staticsched.base import (
+    LazySlotHistory,
     LengthBound,
     LinkQueues,
     RunResult,
     StaticAlgorithm,
 )
 from repro.staticsched.kernel import SlotKernel, scalar_reference
+from repro.staticsched.runloop import (
+    BACKENDS,
+    available_backends,
+    default_backend,
+    numba_available,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.staticsched.decay import DecayScheduler
 from repro.staticsched.fkv import FkvScheduler
 from repro.staticsched.hm import HmScheduler
@@ -55,10 +68,18 @@ from repro.staticsched.max_weight import MaxWeightScheduler
 __all__ = [
     "StaticAlgorithm",
     "RunResult",
+    "LazySlotHistory",
     "LengthBound",
     "LinkQueues",
     "SlotKernel",
     "scalar_reference",
+    "BACKENDS",
+    "available_backends",
+    "default_backend",
+    "numba_available",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
     "DecayScheduler",
     "FkvScheduler",
     "HmScheduler",

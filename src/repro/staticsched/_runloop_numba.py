@@ -1,0 +1,647 @@
+"""The optional numba-compiled run-loop backend.
+
+One JIT "driver" runs a (policy, evaluator) slot loop to completion:
+the kv / decay / fkv / single-hop recurrences over the affectance and
+conflict evaluators, with delivery, history and compaction done by
+scalar loops inside the compiled function. The Python wrapper owns
+everything the driver cannot: uniform chunks (drawn from the caller's
+generator, bit-identical to per-slot draws), history-array growth, and
+the rare slots that need *exact* numpy arithmetic.
+
+Parity contract
+---------------
+The compiled loop must replay the scalar reference bit for bit. Three
+ingredients make that work:
+
+* **Coins** come pre-drawn from the caller's PCG64 stream via
+  :class:`~repro.staticsched.runloop.ChunkedUniforms` (same values,
+  same order as per-slot draws, generator rewound exactly at run end).
+* **Recurrences** (backoff, clamps, phase probabilities) are scalar
+  IEEE operations identical to the numpy ufunc element operations.
+* **Affectance row sums** are the one place compiled arithmetic can
+  diverge: numpy reduces pairwise, the compiled loop sequentially, and
+  the two can differ in the last ulps. Both are within ~1e-11 of the
+  exact value on admissible instances, so outside a ±1e-9 band around
+  the threshold the success *decision* is identical; a slot whose
+  impact lands inside the band is bailed out (``_BORDERLINE``) and
+  executed once in Python with the reference's own pairwise reduction,
+  then the compiled loop resumes. The conflict evaluator is pure
+  boolean algebra and needs no band.
+
+The HM scheduler is deliberately *not* compiled: its transmission
+probabilities are computed from incrementally maintained row sums, so
+a last-ulp summation difference would change coin comparisons, not
+just a band-guarded decision. It stays on the fused numpy backend.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+try:
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised in the no-numba lane
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # pragma: no cover
+        def deco(fn):
+            return fn
+
+        return deco if not (args and callable(args[0])) else args[0]
+
+
+from repro.interference.conflict import ConflictGraphModel
+from repro.interference.matrix_model import AffectanceThresholdModel
+from repro.staticsched.base import LazySlotHistory, LinkQueues, RunResult
+
+# Policy / evaluator codes shared between wrapper and driver.
+_KV, _DECAY, _FKV, _SINGLE_HOP = 0, 1, 2, 3
+_AFFECTANCE, _CONFLICT = 0, 1
+# Driver exit statuses.
+_DONE, _NEED_UNIFORMS, _HIST_FULL, _BORDERLINE = 0, 1, 2, 3
+# State-vector slots.
+_S_SLOTS, _S_PENDING, _S_K, _S_CUR, _S_DN = 0, 1, 2, 3, 4
+_S_ATT_LEN, _S_HSLOTS, _S_PHASE, _S_PHASE_LEFT, _S_LP_DIRTY = 5, 6, 7, 8, 9
+
+_GUARD = 1e-9
+
+
+def supported(policy, model, budget: int = 0,
+              record_history: bool = False) -> bool:
+    """Whether this (policy, model) run can go through the driver."""
+    if not NUMBA_AVAILABLE:
+        return False
+    from repro.staticsched.runloop import (
+        DecayPolicy,
+        FkvPolicy,
+        KvPolicy,
+        SingleHopPolicy,
+    )
+
+    if type(policy) not in (KvPolicy, DecayPolicy, FkvPolicy,
+                            SingleHopPolicy):
+        return False
+    if type(model) not in (AffectanceThresholdModel, ConflictGraphModel):
+        return False
+    if record_history and budget > 2_000_000:
+        # History offsets are preallocated per slot; decline absurd
+        # recording budgets rather than over-allocate.
+        return False
+    return True
+
+
+@njit(cache=False)
+def _pow_int(base, exponent):
+    # Mirror the exactly-representable exponent fast paths so the
+    # result matches numpy's power loop bit for bit even if the libm
+    # at hand is not correctly rounded for them.
+    if exponent == 0.0:
+        return 1.0
+    if exponent == 1.0:
+        return base
+    if exponent == 2.0:
+        return base * base
+    return base ** exponent
+
+
+@njit(cache=False)
+def _drive(policy, evalk, budget, rec, record_history,
+           p0, p_min, backoff, threshold, dec_prob, dec_comp,
+           fkv_prob, fkv_comp, fkv_len,
+           uniforms, S,
+           busy, head_ptr, end_ptr, order,
+           probability, last_reset, lp,
+           sub_flat, n0, row_sums, diag, adj_flat, cols,
+           delivered, att_ids, att_off, succ_off,
+           att_loc, ok):
+    slots = S[_S_SLOTS]
+    pending = S[_S_PENDING]
+    k = S[_S_K]
+    cur = S[_S_CUR]
+    dn = S[_S_DN]
+    att_len = S[_S_ATT_LEN]
+    hslots = S[_S_HSLOTS]
+    phase = S[_S_PHASE]
+    phase_left = S[_S_PHASE_LEFT]
+    lp_dirty = S[_S_LP_DIRTY]
+
+    prob_scalar = dec_prob
+    comp_scalar = dec_comp
+    if policy == _FKV and phase >= 0:
+        idx = phase if phase < fkv_prob.size else fkv_prob.size - 1
+        prob_scalar = fkv_prob[idx]
+        comp_scalar = fkv_comp[idx]
+
+    status = _DONE
+    while slots < budget and pending > 0:
+        uses_rng = policy != _SINGLE_HOP
+        if uses_rng and cur + k > uniforms.size:
+            status = _NEED_UNIFORMS
+            break
+        if record_history and (
+            att_len + k > att_ids.size or hslots + 2 > att_off.size
+        ):
+            status = _HIST_FULL
+            break
+
+        # -- phase bookkeeping (fkv) -------------------------------
+        if policy == _FKV:
+            if phase_left == 0:
+                phase += 1
+                idx = phase if phase < fkv_prob.size else fkv_prob.size - 1
+                prob_scalar = fkv_prob[idx]
+                comp_scalar = fkv_comp[idx]
+                phase_left = fkv_len[idx]
+                lp_dirty = 1
+            phase_left -= 1
+
+        # -- draws --------------------------------------------------
+        t = 0
+        if policy == _KV:
+            for i in range(k):
+                if uniforms[cur + i] < probability[i]:
+                    att_loc[t] = i
+                    t += 1
+                    last_reset[i] = slots
+        elif policy == _SINGLE_HOP:
+            for i in range(k):
+                att_loc[i] = i
+            t = k
+        else:
+            if lp_dirty == 1:
+                for i in range(k):
+                    depth = np.float64(end_ptr[i] - head_ptr[i])
+                    lp[i] = 1.0 - _pow_int(comp_scalar, depth)
+                lp_dirty = 0
+            for i in range(k):
+                if uniforms[cur + i] < lp[i]:
+                    att_loc[t] = i
+                    t += 1
+        if uses_rng:
+            cur += k
+
+        # -- evaluate -----------------------------------------------
+        n_succ = 0
+        drained = False
+        if t > 0:
+            if evalk == _AFFECTANCE:
+                borderline = False
+                if t == k:
+                    for j in range(k):
+                        imp = row_sums[j] - diag[j]
+                        d = imp - threshold
+                        if -_GUARD < d < _GUARD:
+                            borderline = True
+                        ok[j] = imp <= threshold
+                else:
+                    for j in range(t):
+                        ci = cols[att_loc[j]]
+                        base = ci * n0
+                        acc = 0.0
+                        for j2 in range(t):
+                            acc += sub_flat[base + cols[att_loc[j2]]]
+                        acc -= sub_flat[base + ci]
+                        d = acc - threshold
+                        if -_GUARD < d < _GUARD:
+                            borderline = True
+                        ok[j] = acc <= threshold
+                if borderline:
+                    # Rewind this slot's coins and hand the whole slot
+                    # to the Python exact path (the kv idle stamps
+                    # above are idempotent re-runs there).
+                    if uses_rng:
+                        cur -= k
+                    status = _BORDERLINE
+                    break
+            else:
+                for j in range(t):
+                    base = cols[att_loc[j]] * n0
+                    collided = False
+                    for j2 in range(t):
+                        if adj_flat[base + cols[att_loc[j2]]] != 0:
+                            collided = True
+                            break
+                    ok[j] = not collided
+
+            # -- pops -----------------------------------------------
+            for j in range(t):
+                if ok[j]:
+                    i = att_loc[j]
+                    hp = head_ptr[i]
+                    delivered[dn] = order[hp]
+                    dn += 1
+                    n_succ += 1
+                    head_ptr[i] = hp + 1
+                    if hp + 1 == end_ptr[i]:
+                        drained = True
+            pending -= n_succ
+
+        # -- history ------------------------------------------------
+        if record_history:
+            for j in range(t):
+                att_ids[att_len + j] = busy[att_loc[j]]
+            att_len += t
+            att_off[hslots + 1] = att_len
+            succ_off[hslots + 1] = dn
+            hslots += 1
+
+        # -- adaptive updates ---------------------------------------
+        if policy == _KV:
+            for j in range(t):
+                i = att_loc[j]
+                if ok[j]:
+                    probability[i] = p0
+                else:
+                    v = probability[i] * backoff
+                    probability[i] = v if v > p_min else p_min
+            stamp = slots - rec
+            for i in range(k):
+                if last_reset[i] == stamp:
+                    v = probability[i] * 2.0
+                    probability[i] = v if v < p0 else p0
+                    last_reset[i] = slots
+        elif policy != _SINGLE_HOP and n_succ > 0:
+            lp_dirty = 1
+
+        # -- compaction ---------------------------------------------
+        if drained:
+            if evalk == _AFFECTANCE:
+                # Subtract every gone link's column from the surviving
+                # row sums (sequential; the all-transmit guard band
+                # absorbs the reduction-order drift, exactly as it
+                # does for the numpy backend's incremental updates).
+                n_gone = 0
+                for i in range(k):
+                    if head_ptr[i] >= end_ptr[i]:
+                        att_loc[n_gone] = cols[i]  # scratch reuse
+                        n_gone += 1
+                w = 0
+                for i in range(k):
+                    if head_ptr[i] < end_ptr[i]:
+                        acc = row_sums[i]
+                        base = cols[i] * n0
+                        for g in range(n_gone):
+                            acc -= sub_flat[base + att_loc[g]]
+                        row_sums[w] = acc
+                        diag[w] = diag[i]
+                        busy[w] = busy[i]
+                        head_ptr[w] = head_ptr[i]
+                        end_ptr[w] = end_ptr[i]
+                        cols[w] = cols[i]
+                        probability[w] = probability[i]
+                        last_reset[w] = last_reset[i]
+                        lp[w] = lp[i]
+                        w += 1
+                k = w
+            else:
+                w = 0
+                for i in range(k):
+                    if head_ptr[i] < end_ptr[i]:
+                        busy[w] = busy[i]
+                        head_ptr[w] = head_ptr[i]
+                        end_ptr[w] = end_ptr[i]
+                        cols[w] = cols[i]
+                        probability[w] = probability[i]
+                        last_reset[w] = last_reset[i]
+                        lp[w] = lp[i]
+                        w += 1
+                k = w
+            lp_dirty = 1
+
+        slots += 1
+
+    S[_S_SLOTS] = slots
+    S[_S_PENDING] = pending
+    S[_S_K] = k
+    S[_S_CUR] = cur
+    S[_S_DN] = dn
+    S[_S_ATT_LEN] = att_len
+    S[_S_HSLOTS] = hslots
+    S[_S_PHASE] = phase
+    S[_S_PHASE_LEFT] = phase_left
+    S[_S_LP_DIRTY] = lp_dirty
+    return status
+
+
+def _fkv_phase_tables(policy, model, requests):
+    """Precompute the fkv phase schedule until its fixpoint.
+
+    Once ``measure / 2**phase`` hits the floor of 1.0 the phase
+    parameters stop changing, so the driver clamps to the last entry.
+    """
+    import math
+
+    requests = list(requests)
+    n = max(1, len(requests))
+    log_n = math.log(n + 2)
+    measure = max(model.interference_measure(requests), 1.0)
+    probs: List[float] = []
+    lens: List[int] = []
+    phase = 0
+    while True:
+        phase_measure = max(measure / 2.0 ** phase, 1.0)
+        probs.append(
+            min(0.25, 1.0 / (policy.probability_scale * phase_measure))
+        )
+        lens.append(max(1, math.ceil(
+            policy.phase_scale
+            * policy.probability_scale
+            * max(phase_measure, log_n)
+        )))
+        if phase_measure == 1.0:
+            break
+        phase += 1
+    prob = np.asarray(probs)
+    comp = 1.0 - prob
+    return prob, comp, np.asarray(lens, dtype=np.int64)
+
+
+def _exact_python_slot(policy_code, rec, p0, p_min, backoff, threshold,
+                       record_history, uniforms, S,
+                       busy, head_ptr, end_ptr, order,
+                       probability, last_reset, lp,
+                       sub, row_sums, diag, cols,
+                       delivered, att_ids, att_off, succ_off):
+    """Execute one borderline slot with the reference's exact numpy
+    arithmetic, updating the driver's state in place.
+
+    Only the affectance evaluator can request this. The attempt set is
+    recomputed from the same coins (the driver rewound its cursor);
+    the success decision uses the scalar reference's own pairwise
+    submatrix reduction, so the slot is bit-exact by construction.
+    """
+    slots = int(S[_S_SLOTS])
+    k = int(S[_S_K])
+    cur = int(S[_S_CUR])
+    if policy_code == _KV:
+        u = uniforms[cur:cur + k]
+        attempt = u < probability[:k]
+        att_idx = attempt.nonzero()[0]
+        last_reset[att_idx] = slots
+        cur += k
+    elif policy_code == _SINGLE_HOP:
+        att_idx = np.arange(k)
+    else:
+        u = uniforms[cur:cur + k]
+        attempt = u < lp[:k]
+        att_idx = attempt.nonzero()[0]
+        cur += k
+    t = att_idx.size
+
+    n_succ = 0
+    drained = False
+    heads = np.empty(0, dtype=np.int64)
+    if t:
+        t_idx = cols[:k][att_idx]
+        sub_t = sub[t_idx[:, None], t_idx]
+        impact = sub_t.sum(axis=1) - sub_t.diagonal()
+        ok = impact <= threshold
+        s_idx = att_idx[ok]
+        if s_idx.size:
+            hp = head_ptr[:k][s_idx]
+            heads = order[hp].copy()
+            dn = int(S[_S_DN])
+            delivered[dn:dn + heads.size] = heads
+            S[_S_DN] = dn + heads.size
+            head_ptr[s_idx] = hp + 1
+            n_succ = int(heads.size)
+            drained = bool((hp + 1 == end_ptr[:k][s_idx]).any())
+    else:
+        ok = np.empty(0, dtype=bool)
+
+    if record_history:
+        att_len = int(S[_S_ATT_LEN])
+        hslots = int(S[_S_HSLOTS])
+        att_ids[att_len:att_len + t] = busy[:k][att_idx]
+        att_off[hslots + 1] = att_len + t
+        succ_off[hslots + 1] = int(S[_S_DN])
+        S[_S_ATT_LEN] = att_len + t
+        S[_S_HSLOTS] = hslots + 1
+
+    if policy_code == _KV:
+        if t:
+            backed = np.maximum(
+                probability[:k][att_idx] * backoff, p_min
+            )
+            backed[ok] = p0
+            probability[att_idx] = backed
+        rec_idx = (last_reset[:k] == slots - rec).nonzero()[0]
+        if rec_idx.size:
+            doubled = probability[:k][rec_idx] * 2.0
+            np.minimum(doubled, p0, out=doubled)
+            probability[rec_idx] = doubled
+            last_reset[rec_idx] = slots
+    elif policy_code != _SINGLE_HOP and n_succ:
+        S[_S_LP_DIRTY] = 1
+
+    if drained:
+        live = head_ptr[:k] < end_ptr[:k]
+        surv = live.nonzero()[0]
+        gone_cols = cols[:k][~live]
+        kept_cols = cols[:k][surv]
+        ns = surv.size
+        row_sums[:ns] = (
+            row_sums[:k][surv]
+            - sub[kept_cols[:, None], gone_cols].sum(axis=1)
+        )
+        for arr in (busy, head_ptr, end_ptr, cols, diag, probability,
+                    last_reset, lp):
+            arr[:ns] = arr[:k][surv]
+        S[_S_K] = ns
+        S[_S_LP_DIRTY] = 1
+
+    S[_S_PENDING] = int(S[_S_PENDING]) - n_succ
+    S[_S_CUR] = cur
+    S[_S_SLOTS] = slots + 1
+
+
+def run_compiled(policy, model, requests, budget, gen,
+                 record_history) -> RunResult:
+    """Run one (policy, model) pair through the compiled driver."""
+    from repro.staticsched.runloop import (
+        ChunkedUniforms,
+        DecayPolicy,
+        FkvPolicy,
+        KvPolicy,
+        SingleHopPolicy,
+    )
+
+    queues = LinkQueues(requests, model.num_links)
+    order, starts = queues.csr_arrays()
+    busy = queues.busy_array()
+    k0 = busy.size
+    head_ptr = starts[busy].copy()
+    end_ptr = starts[busy + 1].copy()
+    n_pending = queues.pending
+
+    policy_code = {
+        KvPolicy: _KV,
+        DecayPolicy: _DECAY,
+        FkvPolicy: _FKV,
+        SingleHopPolicy: _SINGLE_HOP,
+    }[type(policy)]
+    eval_code = (
+        _AFFECTANCE if type(model) is AffectanceThresholdModel
+        else _CONFLICT
+    )
+
+    # Policy parameters (unused ones keep benign defaults).
+    p0 = p_min = backoff = 0.0
+    rec = 0
+    dec_prob = dec_comp = 0.0
+    fkv_prob = np.empty(0)
+    fkv_comp = np.empty(0)
+    fkv_len = np.empty(0, dtype=np.int64)
+    if policy_code == _KV:
+        p0, p_min = policy.p0, policy.p_min
+        backoff, rec = policy.backoff, policy.recovery_slots
+    elif policy_code == _DECAY:
+        measure = max(
+            model.interference_measure(list(requests)),
+            policy.measure_floor,
+        )
+        dec_prob = min(1.0, 1.0 / (policy.probability_scale * measure))
+        dec_comp = 1.0 - dec_prob
+    elif policy_code == _FKV:
+        fkv_prob, fkv_comp, fkv_len = _fkv_phase_tables(
+            policy, model, requests
+        )
+
+    # Evaluator caches (typed consistently across all calls).
+    threshold = 0.0
+    sub = np.empty((0, 0))
+    sub_flat = np.empty(0)
+    row_sums = np.empty(0)
+    diag = np.empty(0)
+    adj_flat = np.empty(0, dtype=np.uint8)
+    if eval_code == _AFFECTANCE:
+        threshold = model.threshold
+        sub = model.weight_matrix()[np.ix_(busy, busy)]
+        sub_flat = np.ascontiguousarray(sub).reshape(-1)
+        row_sums = sub.sum(axis=1)
+        diag = sub.diagonal().copy()
+    else:
+        adj = model.adjacency_matrix()[np.ix_(busy, busy)]
+        adj_flat = adj.astype(np.uint8).reshape(-1)
+    cols = np.arange(k0)
+
+    # Full-size state for every policy: the driver's compaction loop
+    # copies all of them unconditionally (numba does not bounds-check,
+    # so zero-size placeholders are not an option).
+    probability = np.full(k0, p0)
+    last_reset = np.full(k0, -1, dtype=np.int64)
+    lp = np.zeros(k0)
+
+    delivered = np.empty(n_pending, dtype=np.int64)
+    if record_history:
+        cap_slots = min(int(budget), 4096)
+        att_ids = np.empty(max(4 * n_pending, 1024), dtype=np.int64)
+        att_off = np.zeros(cap_slots + 1, dtype=np.int64)
+        succ_off = np.zeros(cap_slots + 1, dtype=np.int64)
+    else:
+        att_ids = np.empty(0, dtype=np.int64)
+        att_off = np.zeros(1, dtype=np.int64)
+        succ_off = np.zeros(1, dtype=np.int64)
+
+    att_loc = np.empty(k0, dtype=np.int64)
+    ok = np.empty(k0, dtype=bool)
+
+    S = np.zeros(16, dtype=np.int64)
+    S[_S_PENDING] = n_pending
+    S[_S_K] = k0
+    S[_S_PHASE] = -1
+    S[_S_LP_DIRTY] = 1
+
+    chunk = (
+        ChunkedUniforms(gen) if policy_code != _SINGLE_HOP else None
+    )
+    uniforms = chunk._buf if chunk is not None else np.empty(0)
+    # _consumed value at the last refill (= minus the spliced-in
+    # leftover); the driver consumes straight off the buffer, so the
+    # chunk's consumption ledger is re-synced after every return.
+    consumed_base = 0
+
+    while True:
+        status = _drive(
+            policy_code, eval_code, budget, rec, record_history,
+            p0, p_min, backoff, threshold, dec_prob, dec_comp,
+            fkv_prob, fkv_comp, fkv_len,
+            uniforms, S,
+            busy, head_ptr, end_ptr, order,
+            probability, last_reset, lp,
+            sub_flat, k0, row_sums, diag, adj_flat, cols,
+            delivered, att_ids, att_off, succ_off,
+            att_loc, ok,
+        )
+        if chunk is not None:
+            chunk._cursor = int(S[_S_CUR])
+            chunk._consumed = consumed_base + int(S[_S_CUR])
+        if status == _DONE:
+            break
+        if status == _NEED_UNIFORMS:
+            chunk.refill(int(S[_S_K]))
+            uniforms = chunk._buf
+            S[_S_CUR] = 0
+            consumed_base = chunk._consumed
+        elif status == _HIST_FULL:
+            att_ids = np.concatenate(
+                [att_ids, np.empty(att_ids.size + 1024, dtype=np.int64)]
+            )
+            grow = np.zeros(att_off.size + 4096, dtype=np.int64)
+            grow[:att_off.size] = att_off
+            att_off = grow
+            grow = np.zeros(succ_off.size + 4096, dtype=np.int64)
+            grow[:succ_off.size] = succ_off
+            succ_off = grow
+        elif status == _BORDERLINE:
+            _exact_python_slot(
+                policy_code, rec, p0, p_min, backoff, threshold,
+                record_history, uniforms, S,
+                busy, head_ptr, end_ptr, order,
+                probability, last_reset, lp,
+                sub, row_sums, diag, cols,
+                delivered, att_ids, att_off, succ_off,
+            )
+            if chunk is not None:
+                chunk._cursor = int(S[_S_CUR])
+                chunk._consumed = consumed_base + int(S[_S_CUR])
+
+    if chunk is not None:
+        chunk.finalize()
+
+    dn = int(S[_S_DN])
+    k = int(S[_S_K])
+    delivered_list = delivered[:dn].tolist()
+    remaining: List[int] = []
+    for i in range(k):
+        remaining.extend(
+            order[head_ptr[i]:starts[busy[i] + 1]].tolist()
+        )
+
+    history: Optional[LazySlotHistory] = None
+    if record_history:
+        history = LazySlotHistory(np.asarray(requests, dtype=np.int64))
+        hslots = int(S[_S_HSLOTS])
+        for s in range(hslots):
+            a0, a1 = int(att_off[s]), int(att_off[s + 1])
+            d0, d1 = int(succ_off[s]), int(succ_off[s + 1])
+            if a1 == a0:
+                history.append_empty()
+            else:
+                history.append_ids_heads(
+                    att_ids[a0:a1], delivered[d0:d1]
+                )
+
+    return RunResult(
+        delivered=delivered_list,
+        remaining=remaining,
+        slots_used=int(S[_S_SLOTS]),
+        history=history,
+    )
+
+
+__all__ = ["NUMBA_AVAILABLE", "run_compiled", "supported"]

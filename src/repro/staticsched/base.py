@@ -49,6 +49,151 @@ class SlotRecord:
     succeeded: Tuple[int, ...]
 
 
+class LazySlotHistory(Sequence):
+    """A slot history that materialises :class:`SlotRecord` lazily.
+
+    Recording a run used to build one ``SlotRecord`` — two tuples of
+    Python ints — per slot, which dominated history-recording runs.
+    This container instead stores the raw per-slot numpy arrays the
+    run loop already has in hand and only converts them to
+    ``SlotRecord`` tuples on access (indexing, iteration, equality),
+    i.e. in tests and analysis code, never in the hot loop.
+
+    Two append forms cover the two run loops:
+
+    * :meth:`append_ids` — attempted/succeeded link-id arrays
+      (ascending), as gathered by the per-slot kernel path;
+    * :meth:`append_mask` — the fused backend's zero-copy form: a
+      reference to the (immutable-by-convention) busy array of the
+      slot's compaction epoch, a private copy of the local attempt
+      mask, and the slot's popped head-request array (``None`` when
+      nothing succeeded). Succeeded link ids are recovered lazily as
+      ``request_links[heads]`` — heads pop in ascending busy order, so
+      the ids come out sorted exactly like the eager tuples did.
+
+    Equality compares materialised records elementwise, so histories
+    recorded by different backends (or plain ``List[SlotRecord]``
+    histories from the legacy scalar loops) compare naturally;
+    concatenation (``+``) materialises to a plain list, which keeps
+    :meth:`RunResult.merge_after` working unchanged.
+    """
+
+    __slots__ = ("_attempted", "_succeeded", "_request_links")
+
+    def __init__(self, request_links: Optional[np.ndarray] = None):
+        # Per slot: entry in _attempted is None (idle slot), an int
+        # array of link ids, or a (busy_ref, mask_copy) pair; entry in
+        # _succeeded is None, an int array of link ids, or an array of
+        # head request indices to be mapped through _request_links.
+        self._attempted: List = []
+        self._succeeded: List = []
+        self._request_links = request_links
+
+    # -- recording -----------------------------------------------------
+
+    def append_empty(self) -> None:
+        """Record an idle slot (no attempts, no successes)."""
+        self._attempted.append(None)
+        self._succeeded.append(None)
+
+    def append_ids(
+        self, attempted: np.ndarray, succeeded: np.ndarray
+    ) -> None:
+        """Record a slot from attempted/succeeded link-id arrays."""
+        self._attempted.append(attempted)
+        self._succeeded.append(("ids", succeeded))
+
+    def append_mask(
+        self,
+        busy: np.ndarray,
+        attempt_mask: np.ndarray,
+        heads: Optional[np.ndarray],
+    ) -> None:
+        """Record a slot from the fused loop's working arrays.
+
+        ``busy`` is kept by reference (compaction replaces, never
+        mutates, the array), ``attempt_mask`` must be a private copy,
+        ``heads`` are the popped request indices (``None`` if none).
+        """
+        self._attempted.append((busy, attempt_mask))
+        self._succeeded.append(heads)
+
+    def append_ids_heads(
+        self, attempted: np.ndarray, heads: np.ndarray
+    ) -> None:
+        """Record a slot from attempted link ids plus popped heads.
+
+        The compiled backend's form: succeeded link ids resolve lazily
+        as ``request_links[heads]`` exactly like :meth:`append_mask`.
+        """
+        self._attempted.append(attempted)
+        self._succeeded.append(heads if heads.size else None)
+
+    # -- materialisation ----------------------------------------------
+
+    def _record(self, index: int) -> SlotRecord:
+        attempted = self._attempted[index]
+        if attempted is None:
+            return SlotRecord((), ())
+        if isinstance(attempted, tuple):
+            busy, mask = attempted
+            attempted = busy[mask]
+        succeeded = self._succeeded[index]
+        if succeeded is None:
+            succeeded_ids: Tuple[int, ...] = ()
+        elif isinstance(succeeded, tuple):
+            succeeded_ids = tuple(int(e) for e in succeeded[1])
+        else:
+            succeeded_ids = tuple(
+                int(e) for e in self._request_links[succeeded]
+            )
+        return SlotRecord(
+            tuple(int(e) for e in attempted), succeeded_ids
+        )
+
+    def __len__(self) -> int:
+        return len(self._attempted)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._record(i) for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("history index out of range")
+        return self._record(index)
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self._record(i)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, (Sequence, LazySlotHistory)):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return all(a == b for a, b in zip(self, other))
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __add__(self, other):
+        if isinstance(other, (list, LazySlotHistory)):
+            return list(self) + list(other)
+        return NotImplemented
+
+    def __radd__(self, other):
+        if isinstance(other, list):
+            return list(other) + list(self)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"LazySlotHistory({len(self)} slots)"
+
+
 @dataclass
 class RunResult:
     """Outcome of running a static algorithm under a slot budget."""
@@ -56,7 +201,10 @@ class RunResult:
     delivered: List[int] = field(default_factory=list)
     remaining: List[int] = field(default_factory=list)
     slots_used: int = 0
-    history: Optional[List[SlotRecord]] = None
+    #: A sequence of :class:`SlotRecord` — a plain list from the
+    #: legacy scalar loops, a :class:`LazySlotHistory` from the kernel
+    #: and fused run-loop backends (records materialise on access).
+    history: Optional[Sequence[SlotRecord]] = None
 
     @property
     def all_delivered(self) -> bool:
@@ -222,6 +370,16 @@ class LinkQueues:
         self._pending -= int(links.size)
         return heads
 
+    def csr_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The raw CSR layout ``(order, starts)`` — treat as read-only.
+
+        ``order`` holds request indices grouped by link (FIFO within
+        each group), ``starts`` the per-link group offsets. The fused
+        run-loop backends pop heads straight off these arrays instead
+        of going through :meth:`pop_heads`' per-call validation.
+        """
+        return self._order, self._starts
+
     def remaining_indices(self) -> List[int]:
         """All still-pending request indices, in link order then FIFO order."""
         out: List[int] = []
@@ -311,6 +469,7 @@ __all__ = [
     "StaticAlgorithm",
     "RunResult",
     "SlotRecord",
+    "LazySlotHistory",
     "LengthBound",
     "LinkQueues",
 ]

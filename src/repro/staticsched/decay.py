@@ -28,6 +28,11 @@ from repro.errors import SchedulingError
 from repro.interference.base import InterferenceModel
 from repro.staticsched.base import RunResult, StaticAlgorithm
 from repro.staticsched.kernel import make_run_state
+from repro.staticsched.runloop import (
+    DecayPolicy,
+    resolve_backend,
+    run_fused,
+)
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive
 
@@ -86,6 +91,13 @@ class DecayScheduler(StaticAlgorithm):
         if budget < 0:
             raise SchedulingError(f"budget must be >= 0, got {budget}")
         gen = ensure_rng(rng)
+        backend = resolve_backend()
+        if backend in ("numpy", "numba"):
+            return run_fused(
+                DecayPolicy(self._probability_scale, self._measure_floor),
+                model, requests, budget, gen, record_history,
+                backend=backend,
+            )
         kernel, queues, delivered, history = make_run_state(
             model, requests, record_history
         )

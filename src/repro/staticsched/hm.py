@@ -44,6 +44,7 @@ from repro.errors import SchedulingError
 from repro.interference.base import InterferenceModel
 from repro.staticsched.base import LengthBound, RunResult, StaticAlgorithm
 from repro.staticsched.kernel import make_run_state
+from repro.staticsched.runloop import HmPolicy, resolve_backend, run_fused
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive
 
@@ -129,6 +130,18 @@ class HmScheduler(StaticAlgorithm):
         if budget < 0:
             raise SchedulingError(f"budget must be >= 0, got {budget}")
         gen = ensure_rng(rng)
+        backend = resolve_backend()
+        if backend in ("numpy", "numba"):
+            # The HM recurrence divides by incrementally maintained
+            # row sums, so it is numpy-fused only: the compiled
+            # backend would need bit-exact pairwise summation to keep
+            # the transmission probabilities identical (see
+            # _runloop_numba.supported).
+            return run_fused(
+                HmPolicy(self._chi),
+                model, requests, budget, gen, record_history,
+                backend=backend,
+            )
         kernel, queues, delivered, history = make_run_state(
             model, requests, record_history
         )

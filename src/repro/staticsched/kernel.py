@@ -20,48 +20,47 @@ call per slot. Because numpy generators fill batched draws from the
 same stream as repeated scalar calls, a batched scheduler replays
 bit-for-bit against its scalar-loop ancestor.
 
+This per-slot kernel is the ``kernel`` run-loop backend; the fused
+and compiled backends live in :mod:`repro.staticsched.runloop`, which
+also owns backend selection.
+
 Reference mode
 --------------
 ``successes()`` on the models remains the ground-truth semantics. The
-:func:`scalar_reference` context manager forces every kernel built
-inside it to evaluate slots through the scalar path (one
-``successes()`` call per slot); the parity tests run each scheduler
-twice from one seed — vectorized and reference — and require identical
+:func:`scalar_reference` context manager forces every run started
+inside it onto the scalar ``scalar`` backend (one ``successes()`` call
+per slot, through this kernel) — it wins ties against any other
+backend selection; the parity tests run each scheduler per backend
+from one seed and require identical
 :class:`~repro.staticsched.base.RunResult`\\ s.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.interference.base import InterferenceModel, ScalarBatchEvaluator
-from repro.staticsched.base import LinkQueues, SlotRecord
+from repro.staticsched import runloop
+from repro.staticsched.base import LazySlotHistory, LinkQueues
 
-_force_scalar = False
 
-
-@contextmanager
 def scalar_reference():
-    """Force kernels created in this context onto the scalar success path.
+    """Force runs created in this context onto the scalar success path.
 
-    Used by verification: the vectorized evaluators must reproduce the
-    reference run exactly (same RNG stream, same ``RunResult``).
+    Used by verification: the vectorized evaluators and the fused
+    backends must reproduce the reference run exactly (same RNG
+    stream, same ``RunResult``). A scalar context wins ties against
+    every other backend selection (see
+    :func:`repro.staticsched.runloop.use_backend`).
     """
-    global _force_scalar
-    previous = _force_scalar
-    _force_scalar = True
-    try:
-        yield
-    finally:
-        _force_scalar = previous
+    return runloop.use_backend("scalar")
 
 
 def scalar_forced() -> bool:
-    """Whether kernels are currently pinned to the scalar reference."""
-    return _force_scalar
+    """Whether runs are currently pinned to the scalar reference."""
+    return runloop.scalar_forced()
 
 
 class SlotKernel:
@@ -86,7 +85,7 @@ class SlotKernel:
         model: InterferenceModel,
         queues: LinkQueues,
         delivered: List[int],
-        history: Optional[List[SlotRecord]],
+        history: Optional[LazySlotHistory],
     ):
         self._model = model
         self._queues = queues
@@ -94,16 +93,21 @@ class SlotKernel:
         self._history = history
         self.busy: np.ndarray = queues.busy_array()
         self.depths: np.ndarray = queues.depths_for(self.busy)
-        if _force_scalar:
+        if runloop.resolve_backend() == "scalar":
             self._evaluator = ScalarBatchEvaluator(model, self.busy)
         else:
             self._evaluator = model.batch_evaluator(self.busy)
         self.last_keep: Optional[np.ndarray] = None
+        self._no_success = self._make_no_success()
+
+    def _make_no_success(self) -> np.ndarray:
         # Reused all-False mask returned for idle slots, so the common
-        # nobody-transmits case costs no allocation. Treated as
-        # read-only by contract (boolean-mask consumers never write
-        # through it).
-        self._no_success = np.zeros(self.busy.size, dtype=bool)
+        # nobody-transmits case costs no allocation. Read-only so the
+        # "treated as read-only by contract" rule is enforced, not
+        # just documented: a consumer writing through it raises.
+        mask = np.zeros(self.busy.size, dtype=bool)
+        mask.setflags(write=False)
+        return mask
 
     # ------------------------------------------------------------------
     # Introspection
@@ -134,15 +138,14 @@ class SlotKernel:
             # Idle slot: the model is not consulted (matching the
             # scalar loop, which skipped ``successes([])``).
             if self._history is not None:
-                self._history.append(SlotRecord((), ()))
+                self._history.append_empty()
             return self._no_success
         success = self._evaluator.successes_local(transmit_local)
         if self._history is not None:
-            self._history.append(
-                SlotRecord(
-                    tuple(int(e) for e in self.busy[transmit_local]),
-                    tuple(int(e) for e in self.busy[success]),
-                )
+            # Record raw id arrays; SlotRecord tuples materialise
+            # lazily on access (LazySlotHistory).
+            self._history.append_ids(
+                self.busy[transmit_local], self.busy[success]
             )
         if success.any():
             # busy is sorted, so heads pop in ascending link order —
@@ -159,7 +162,7 @@ class SlotKernel:
                 self.depths = self.depths[keep]
                 self._evaluator.drop(keep)
                 self.last_keep = keep
-                self._no_success = np.zeros(self.busy.size, dtype=bool)
+                self._no_success = self._make_no_success()
         return success
 
 
@@ -167,11 +170,13 @@ def make_run_state(
     model: InterferenceModel,
     requests,
     record_history: bool,
-) -> Tuple[SlotKernel, LinkQueues, List[int], Optional[List[SlotRecord]]]:
+) -> Tuple[SlotKernel, LinkQueues, List[int], Optional[LazySlotHistory]]:
     """Build the (kernel, queues, delivered, history) tuple for a run."""
     queues = LinkQueues(requests, model.num_links)
     delivered: List[int] = []
-    history: Optional[List[SlotRecord]] = [] if record_history else None
+    history: Optional[LazySlotHistory] = (
+        LazySlotHistory() if record_history else None
+    )
     kernel = SlotKernel(model, queues, delivered, history)
     return kernel, queues, delivered, history
 

@@ -24,7 +24,12 @@ from repro.errors import SchedulingError
 from repro.interference.base import InterferenceModel
 from repro.staticsched.base import LengthBound, RunResult, StaticAlgorithm
 from repro.staticsched.kernel import make_run_state
-from repro.utils.rng import RngLike
+from repro.staticsched.runloop import (
+    SingleHopPolicy,
+    resolve_backend,
+    run_fused,
+)
+from repro.utils.rng import RngLike, ensure_rng
 
 
 class SingleHopScheduler(StaticAlgorithm):
@@ -54,6 +59,13 @@ class SingleHopScheduler(StaticAlgorithm):
     ) -> RunResult:
         if budget < 0:
             raise SchedulingError(f"budget must be >= 0, got {budget}")
+        backend = resolve_backend()
+        if backend in ("numpy", "numba"):
+            return run_fused(
+                SingleHopPolicy(),
+                model, requests, budget, ensure_rng(rng), record_history,
+                backend=backend,
+            )
         kernel, queues, delivered, history = make_run_state(
             model, requests, record_history
         )

@@ -1,18 +1,25 @@
-"""Vectorized slot kernel vs the scalar reference path.
+"""Run-loop backends vs the scalar reference path.
 
-Two layers of verification:
+Three layers of verification:
 
-1. **Full-run parity** — every scheduler is run twice from the same
-   seed on the same instance: once on the vectorized kernel (batch
-   evaluators, cached submatrices) and once inside
-   ``kernel.scalar_reference()`` (one scalar ``successes()`` call per
-   slot). The two ``RunResult``\\ s — delivered order, remaining set,
-   slots used, full slot history — must be identical, which also pins
-   down that both paths consume the exact same RNG stream.
+1. **Full-run parity** — every scheduler is run per *backend* from
+   the same seed on the same instance: the ``kernel`` per-slot path
+   (batch evaluators, cached submatrices), the fused ``numpy``
+   backend (chunked draws, sparse bookkeeping, inline evaluators),
+   the ``numba`` backend when numba is installed, and the scalar
+   reference inside ``kernel.scalar_reference()`` (one scalar
+   ``successes()`` call per slot). All ``RunResult``\\ s — delivered
+   order, remaining set, slots used, full slot history — must be
+   identical, which also pins down that every backend consumes the
+   exact same RNG stream (the chunk-drawn backends must rewind their
+   overdraw to the per-slot generator position).
 2. **Predicate parity** — ``successes_mask`` must agree with
    ``successes`` on random active sets for every model, including a
    hypothesis sweep over random weight matrices for the affectance
    criterion.
+3. **Boundary parity** — crafted instances whose accumulated impact
+   lands exactly on the affectance threshold, forcing the fused and
+   compiled backends through their exact-summation guard paths.
 """
 
 from __future__ import annotations
@@ -48,6 +55,7 @@ from repro.staticsched import (
     SingleHopScheduler,
 )
 from repro.staticsched.kernel import scalar_reference
+from repro.staticsched.runloop import available_backends, use_backend
 
 
 def _random_weights(m: int, seed: int, scale: float = 0.35) -> np.ndarray:
@@ -137,18 +145,27 @@ def _run_once(scheduler_factory, model_factory, seed, record_history=True):
     )
 
 
+#: Concrete non-reference backends runnable here ("numba" only rides
+#: along when numba is importable — the CI numba lane covers it).
+PARITY_BACKENDS = tuple(
+    name for name in available_backends() if name != "scalar"
+)
+
+
+@pytest.mark.parametrize("backend", PARITY_BACKENDS)
 @pytest.mark.parametrize("model_name", sorted(MODEL_FACTORIES))
 @pytest.mark.parametrize("sched_name", sorted(KERNEL_SCHEDULERS))
-def test_full_run_parity(sched_name, model_name):
+def test_full_run_parity(sched_name, model_name, backend):
     scheduler_factory = KERNEL_SCHEDULERS[sched_name]
     model_factory = MODEL_FACTORIES[model_name]
-    vectorized = _run_once(scheduler_factory, model_factory, seed=5)
+    with use_backend(backend):
+        run = _run_once(scheduler_factory, model_factory, seed=5)
     with scalar_reference():
         reference = _run_once(scheduler_factory, model_factory, seed=5)
-    assert vectorized.delivered == reference.delivered
-    assert vectorized.remaining == reference.remaining
-    assert vectorized.slots_used == reference.slots_used
-    assert vectorized.history == reference.history
+    assert run.delivered == reference.delivered
+    assert run.remaining == reference.remaining
+    assert run.slots_used == reference.slots_used
+    assert run.history == reference.history
 
 
 @pytest.mark.parametrize("sched_name", ["mac-backoff", "round-robin"])
