@@ -1,0 +1,211 @@
+"""P5 — the multi-network fleet runner vs the serial scenario loop.
+
+The scaling tentpole after P3: the sharded sweep parallelised the
+(rate, seed) cells of *one* network, but the paper's claims quantify
+over *distributions of networks* — an honest data point is a fleet of
+independent topology draws, and the serial loop runs them one after
+another in one process. The scenario layer (``repro.scenario``)
+describes each network as a picklable ``ScenarioSpec``;
+``run_scenario_fleet`` maps the fleet over a process pool, one worker
+per network, each worker drawing and building its own topology from
+the spec's seed, and folds the per-network records through the same
+aggregation — so the only thing an executor changes is wall-clock.
+
+Workload: the ``sinr-linear`` preset (Corollary 12's regime) at 8
+distinct random geometric instances — seeds 0..7, 20 nodes each, run
+at 0.7x certified rate for 60 frames. Network *construction* (BFS
+routing, affectance matrices) happens inside the workers too, which is
+exactly what the sharded sweep could not parallelise.
+
+The benchmark runs the same spec list serially and at 1, 2, and 4
+process workers, asserts every configuration produces identical
+per-network records, and reports networks/sec. The headline is the
+4-worker speedup over serial; the acceptance floor is 2x, which needs
+real CPUs — the pytest wrapper enforces it when >= 4 cores are
+available and records ``cpu_count`` in the JSON either way, so a
+1-core container documents overhead honestly instead of faking
+scaling.
+
+Results go to ``BENCH_p5.json`` (see ``benchmarks/run_perf.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import resource
+import time
+from pathlib import Path
+
+import pytest
+
+from _harness import once, print_experiment
+
+from repro.scenario import ScenarioSpec, preset_spec, run_scenario_fleet
+from repro.sim.sharding import (
+    ProcessExecutor,
+    SerialExecutor,
+    default_worker_count,
+)
+
+PRESET = "sinr-linear"
+NODES = 20
+FRAMES = 60
+RATE_FRACTION = 0.7
+NETWORKS = 8
+WORKER_COUNTS = (1, 2, 4)
+HEADLINE_WORKERS = 4
+TIMING_REPEATS = 2
+
+
+def build_specs(
+    frames: int = FRAMES, networks: int = NETWORKS, nodes: int = NODES
+):
+    specs = [
+        preset_spec(
+            PRESET,
+            nodes=nodes,
+            seed=seed,
+            frames=frames,
+            rate=RATE_FRACTION,
+        )
+        for seed in range(networks)
+    ]
+    # Round-trip through JSON: the fleet must scale on exactly the
+    # serialized form a spec file would carry.
+    return [ScenarioSpec.from_json(spec.to_json()) for spec in specs]
+
+
+def records_identical(left, right) -> bool:
+    """Per-network CellResult equality, NaN-aware on latency."""
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if (a.rate_index, a.rate, a.seed, a.verdict, a.tail_queue,
+                a.throughput, a.frame_length, a.injected, a.delivered,
+                a.failures) != (b.rate_index, b.rate, b.seed, b.verdict,
+                                b.tail_queue, b.throughput, b.frame_length,
+                                b.injected, b.delivered, b.failures):
+            return False
+        if not (
+            a.latency == b.latency
+            or (math.isnan(a.latency) and math.isnan(b.latency))
+        ):
+            return False
+    return True
+
+
+def run_experiment(
+    frames: int = FRAMES,
+    networks: int = NETWORKS,
+    nodes: int = NODES,
+    worker_counts=WORKER_COUNTS,
+    repeats: int = TIMING_REPEATS,
+    out_path=None,
+    tags=None,
+):
+    specs = build_specs(frames, networks, nodes)
+    executors = [("serial", SerialExecutor())] + [
+        (f"process-{count}", ProcessExecutor(workers=count))
+        for count in worker_counts
+    ]
+    seconds = {name: float("inf") for name, _ in executors}
+    records = {}
+    # Interleaved min-of-N (the P1..P4 noise-robust estimator); every
+    # configuration must reproduce the identical fleet records.
+    for _ in range(repeats):
+        for name, executor in executors:
+            start = time.perf_counter()
+            result = run_scenario_fleet(specs, executor)
+            seconds[name] = min(seconds[name], time.perf_counter() - start)
+            assert name not in records or records_identical(
+                records[name].records, result.records
+            ), f"{name} records diverged between repeats"
+            records[name] = result
+    baseline = records["serial"]
+    for name, _ in executors:
+        assert records_identical(
+            baseline.records, records[name].records
+        ), f"fleet '{name}' is not record-identical to serial"
+        assert records[name].summary == baseline.summary
+
+    worker_rows = []
+    for count in worker_counts:
+        name = f"process-{count}"
+        worker_rows.append(
+            {
+                "workers": count,
+                "seconds": seconds[name],
+                "networks_per_sec": networks / seconds[name],
+                "speedup": seconds["serial"] / seconds[name],
+            }
+        )
+    headline = seconds["serial"] / seconds[f"process-{HEADLINE_WORKERS}"]
+    payload = {
+        "benchmark": "p5_fleet",
+        "created_unix": time.time(),
+        "cpu_count": default_worker_count(),
+        "workload": {
+            "name": f"fleet-{PRESET}-{nodes}nodes",
+            "preset": PRESET,
+            "nodes": nodes,
+            "frames": frames,
+            "rate_fraction": RATE_FRACTION,
+            "networks": networks,
+            "distinct_topologies": True,
+        },
+        "parity": "identical",
+        "seconds_serial": seconds["serial"],
+        "networks_per_sec_serial": networks / seconds["serial"],
+        "workers": worker_rows,
+        "headline_workers": HEADLINE_WORKERS,
+        "headline_speedup": headline,
+        "stable_fraction": baseline.summary.stable_fraction,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    if tags:
+        payload.update(tags)
+    if out_path is None:
+        out_path = Path(__file__).resolve().parents[1] / "BENCH_p5.json"
+    Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [["serial", 1, f"{seconds['serial']:.2f}",
+             f"{networks / seconds['serial']:.2f}", "1.0x"]]
+    for row in worker_rows:
+        rows.append(
+            [
+                "process",
+                row["workers"],
+                f"{row['seconds']:.2f}",
+                f"{row['networks_per_sec']:.2f}",
+                f"{row['speedup']:.2f}x",
+            ]
+        )
+    print_experiment(
+        "P5",
+        f"Scenario fleet runner: {networks} independent networks on "
+        f"{default_worker_count()} CPU(s), record-identical to serial",
+        ["executor", "workers", "seconds", "networks/sec", "speedup"],
+        rows,
+    )
+    return payload
+
+
+def test_p5_fleet(benchmark):
+    payload = once(benchmark, run_experiment)
+    # Parity is unconditional: every executor configuration reproduced
+    # the serial records (run_experiment asserts it network for
+    # network, summary included).
+    assert payload["parity"] == "identical"
+    cpus = payload["cpu_count"]
+    if cpus >= HEADLINE_WORKERS:
+        assert payload["headline_speedup"] >= 2.0, (
+            f"fleet speedup below the 2x acceptance floor at "
+            f"{HEADLINE_WORKERS} workers: "
+            f"{payload['headline_speedup']:.2f}x"
+        )
+    else:
+        pytest.skip(
+            f"scaling floor needs >= {HEADLINE_WORKERS} CPUs, have "
+            f"{cpus}; parity was still enforced"
+        )

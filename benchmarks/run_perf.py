@@ -83,6 +83,25 @@ def _run_p4(quick: bool, out_dir: Path) -> dict:
     )
 
 
+def _run_p5(quick: bool, out_dir: Path) -> dict:
+    import bench_p5_fleet
+
+    if quick:
+        return bench_p5_fleet.run_experiment(
+            frames=25,
+            networks=3,
+            nodes=12,
+            worker_counts=(2, 4),
+            repeats=1,
+            out_path=out_dir / "BENCH_p5.json",
+            tags={"quick_mode": True},
+        )
+    return bench_p5_fleet.run_experiment(
+        out_path=out_dir / "BENCH_p5.json",
+        tags={"quick_mode": False},
+    )
+
+
 #: Registry of perf benches: id -> (runner(quick, out_dir) -> payload,
 #: headline-speedup floor or None). The floor is per-bench: P1's
 #: acceptance criterion is >= 3x, P2's is >= 2x; future benches
@@ -90,11 +109,13 @@ def _run_p4(quick: bool, out_dir: Path) -> dict:
 #: it is enforced CPU-conditionally by its pytest wrapper, not here.
 #: P4's fused-numpy floor is 1.5x on any host; its numba floor (3x) is
 #: numba-conditional and enforced by the pytest wrapper / CI lane.
+#: P5 (the scenario fleet) is CPU-conditional like P3.
 PERF_BENCHES = {
     "p1": (_run_p1, 3.0),
     "p2": (_run_p2, 2.0),
     "p3": (_run_p3, None),
     "p4": (_run_p4, 1.5),
+    "p5": (_run_p5, None),
 }
 
 

@@ -26,11 +26,19 @@ steady state. Verdicts below are taken on the post-warm-up tail.)
 Run:  python examples/adversarial_bursts.py
 """
 
+import os
+
 import repro
+
+# REPRO_EXAMPLES_FAST=1 shrinks the workload for smoke runs (the CI
+# examples lane); output stays illustrative, numbers are not.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
 from repro.core.frames import FrameParameters
 
 
-def run_case(shift_enabled, adversary_seed=11, tail_frames=200):
+def run_case(shift_enabled, adversary_seed=11, tail_frames=None):
+    if tail_frames is None:
+        tail_frames = 40 if FAST else 200
     net = repro.grid_network(3, 3)
     model = repro.PacketRoutingModel(net)
     algorithm = repro.SingleHopScheduler()

@@ -19,7 +19,13 @@ all, at rates scaled by the model's rho.
 Run:  python examples/conflict_graph_models.py
 """
 
+import os
+
 import repro
+
+# REPRO_EXAMPLES_FAST=1 shrinks the workload for smoke runs (the CI
+# examples lane); output stays illustrative, numbers are not.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
 from repro.interference.builders import (
     distance2_matching_conflicts,
     node_constraint_conflicts,
@@ -67,11 +73,12 @@ def main() -> None:
             routing, model, rate, num_generators=4, rng=2
         )
         simulation = repro.FrameSimulation(protocol, injection)
-        simulation.run(60)
+        frames = 25 if FAST else 60
+        simulation.run(frames)
         metrics = simulation.metrics
         verdict = repro.assess_stability(
             metrics.queue_series,
-            load_per_frame=max(1.0, metrics.injected_total / 60),
+            load_per_frame=max(1.0, metrics.injected_total / frames),
         )
         charts[name] = metrics.queue_series
         rows.append(

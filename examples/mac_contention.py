@@ -16,15 +16,39 @@ Run:  python examples/mac_contention.py
 """
 
 import math
+import os
 
 import repro
 
+# REPRO_EXAMPLES_FAST=1 shrinks the workload for smoke runs (the CI
+# examples lane); output stays illustrative, numbers are not.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
 
-def run_mac(algorithm, rate, provisioned_rate, frames=60, seed=0):
+
+def run_mac(algorithm, rate, provisioned_rate, frames=None, seed=0):
+    if frames is None:
+        frames = 25 if FAST else 60
     net = repro.mac_network(8)
     model = repro.MultipleAccessChannel(net)
+    # Fast mode caps the frame at hand-built parameters: the symmetric
+    # protocol's Section-4 provisioning solves to ~1M-slot frames near
+    # its certified rate, far beyond what a smoke run can afford.
+    params = None
+    if FAST:
+        frame_length = 400
+        params = repro.FrameParameters(
+            frame_length=frame_length,
+            phase1_budget=240,
+            cleanup_budget=120,
+            measure_budget=max(1.0, 1.5 * rate * frame_length),
+            epsilon=0.5,
+            rate=provisioned_rate,
+            f_m=algorithm.network_bound(net.size_m).f(net.size_m),
+            m=net.size_m,
+        )
     protocol = repro.DynamicProtocol(
-        model, algorithm, provisioned_rate, t_scale=0.02, rng=seed
+        model, algorithm, provisioned_rate, params=params,
+        t_scale=0.02, rng=seed
     )
     routing = repro.build_routing_table(net)
     injection = repro.uniform_pair_injection(

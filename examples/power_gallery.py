@@ -17,7 +17,13 @@ a short stability run at half that rate.
 Run:  python examples/power_gallery.py
 """
 
+import os
+
 import repro
+
+# REPRO_EXAMPLES_FAST=1 shrinks the workload for smoke runs (the CI
+# examples lane); output stays illustrative, numbers are not.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
 from repro.sinr.capacity import PowerControlCapacity
 
 
@@ -74,7 +80,7 @@ def main() -> None:
             routing, model, rate, num_generators=6, rng=3
         )
         simulation = repro.FrameSimulation(protocol, injection)
-        simulation.run(60)
+        simulation.run(25 if FAST else 60)
         metrics = simulation.metrics
         verdict = repro.assess_stability(
             metrics.queue_series,

@@ -16,7 +16,13 @@ Theorem-3 stability guarantee, live.
 Run:  python examples/quickstart.py
 """
 
+import os
+
 import repro
+
+# REPRO_EXAMPLES_FAST=1 shrinks the workload for smoke runs (the CI
+# examples lane); output stays illustrative, numbers are not.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
 
 
 def main() -> None:
@@ -44,7 +50,7 @@ def main() -> None:
     injection = repro.uniform_pair_injection(routing, model, rate, rng=2)
 
     simulation = repro.FrameSimulation(protocol, injection)
-    frames = 150
+    frames = 30 if FAST else 150
     simulation.run(frames)
     metrics = simulation.metrics
 

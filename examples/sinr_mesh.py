@@ -18,12 +18,20 @@ feasibility bound — the competitive-ratio separation of Section 6.
 Run:  python examples/sinr_mesh.py
 """
 
+import os
+
 import repro
+
+# REPRO_EXAMPLES_FAST=1 shrinks the workload for smoke runs (the CI
+# examples lane); output stays illustrative, numbers are not.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
 from repro.sinr.weights import monotone_power_model
 from repro.staticsched.kv import KvScheduler
 
 
-def run_regime(name, model, algorithm, frames=80, seed=0):
+def run_regime(name, model, algorithm, frames=None, seed=0):
+    if frames is None:
+        frames = 25 if FAST else 80
     m = model.network.size_m
     certified = repro.certified_rate(algorithm, m)
     rate = 0.7 * certified

@@ -11,7 +11,13 @@ the stable run and the drift CI flags the overloaded one.
 Run:  python examples/trace_debugging.py
 """
 
+import os
+
 import repro
+
+# REPRO_EXAMPLES_FAST=1 shrinks the workload for smoke runs (the CI
+# examples lane); output stays illustrative, numbers are not.
+FAST = os.environ.get("REPRO_EXAMPLES_FAST", "") not in ("", "0")
 from repro.core.frames import FrameParameters
 
 
@@ -45,7 +51,7 @@ def build(phase1_budget, tracer=None, seed=3):
 
 
 def main() -> None:
-    frames = 250
+    frames = 60 if FAST else 250
 
     # ---- healthy run -----------------------------------------------------
     protocol, injection = build(phase1_budget=30)

@@ -165,6 +165,14 @@ from repro.sim import (
     run_sharded_sweep,
     sweep_specs,
 )
+from repro.scenario import (
+    FleetResult,
+    FleetSummary,
+    ScenarioSpec,
+    aggregate_fleet,
+    preset_spec,
+    run_scenario_fleet,
+)
 from repro.analysis import (
     busy_period_stats,
     drift_confidence_interval,
@@ -300,6 +308,13 @@ __all__ = [
     "aggregate_rate_sweep",
     "run_sharded_sweep",
     "sweep_specs",
+    # scenario layer
+    "ScenarioSpec",
+    "FleetResult",
+    "FleetSummary",
+    "aggregate_fleet",
+    "preset_spec",
+    "run_scenario_fleet",
     "EventKind",
     "TraceEvent",
     "Tracer",

@@ -1,4 +1,4 @@
-"""Scenario presets shared by the CLI commands.
+"""Scenario presets shared by the CLI commands — thin adapters.
 
 A *scenario* bundles what every simulation needs: a network, the
 interference model over it, a static algorithm with a usable
@@ -12,39 +12,28 @@ injection rate. The presets mirror the benchmark families:
 ``mac``             multiple-access channel, Round-Robin-Withholding
 ``conflict``        grid disk graph, node-constraint conflicts
 ===============  ====================================================
+
+Since the declarative scenario layer landed, this module *describes*
+nothing itself: presets are :class:`~repro.scenario.spec.ScenarioSpec`
+templates (:mod:`repro.scenario.presets`), topologies resolve through
+the unified component registry (:mod:`repro.scenario.registry`), and
+the functions here only adapt both to the CLI's historical
+``(name, nodes, seed)`` call shape — construction is bit-compatible
+with the old imperative path.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from repro.core.competitive import certified_rate
-from repro.core.transform import TransformedAlgorithm
 from repro.errors import ConfigurationError
 from repro.interference.base import InterferenceModel
-from repro.interference.builders import node_constraint_conflicts
-from repro.interference.conflict import ConflictGraphModel
-from repro.interference.mac import MultipleAccessChannel
-from repro.interference.packet_routing import PacketRoutingModel
 from repro.network.network import Network
-from repro.network.routing import RoutingTable, build_routing_table
-from repro.network.topology import (
-    figure1_instance,
-    grid_network,
-    line_network,
-    mac_network,
-    random_sinr_network,
-    star_network,
-)
-from repro.sinr.power import SquareRootPower
-from repro.sinr.weights import linear_power_model, monotone_power_model
+from repro.network.routing import RoutingTable
+from repro.scenario.presets import PRESETS, preset_names, preset_spec
+from repro.scenario.registry import resolve as resolve_component
 from repro.staticsched.base import StaticAlgorithm
-from repro.staticsched.decay import DecayScheduler
-from repro.staticsched.kv import KvScheduler
-from repro.staticsched.round_robin import RoundRobinScheduler
-from repro.staticsched.single_hop import SingleHopScheduler
 
 
 @dataclass
@@ -63,102 +52,32 @@ class Scenario:
         return self.network.size_m
 
 
-def _grid_side(nodes: int) -> int:
-    return max(2, int(round(math.sqrt(nodes))))
-
-
-def _packet_routing(nodes: int, seed: int) -> Scenario:
-    side = _grid_side(nodes)
-    net = grid_network(side, side)
-    model = PacketRoutingModel(net)
-    algorithm = SingleHopScheduler()
-    return Scenario(
-        name="packet-routing",
-        network=net,
-        model=model,
-        algorithm=algorithm,
-        routing=build_routing_table(net),
-        certified=certified_rate(algorithm, net.size_m),
-    )
-
-
-def _sinr_linear(nodes: int, seed: int) -> Scenario:
-    net = random_sinr_network(nodes, rng=seed)
-    model = linear_power_model(net, alpha=3.0, beta=1.0, noise=0.02)
-    algorithm = TransformedAlgorithm(
-        DecayScheduler(), m=net.size_m, chi_scale=0.05
+def _build_preset(name: str, nodes: int, seed: int) -> Scenario:
+    built = preset_spec(name, nodes=nodes, seed=seed).build(
+        with_protocol=False
     )
     return Scenario(
-        name="sinr-linear",
-        network=net,
-        model=model,
-        algorithm=algorithm,
-        routing=build_routing_table(net),
-        certified=certified_rate(algorithm, net.size_m),
+        name=name,
+        network=built.network,
+        model=built.model,
+        algorithm=built.algorithm,
+        routing=built.routing,
+        certified=built.certified,
     )
 
 
-def _sinr_sqrt(nodes: int, seed: int) -> Scenario:
-    net = random_sinr_network(nodes, rng=seed)
-    model = monotone_power_model(
-        net, SquareRootPower(), alpha=3.0, beta=1.0, noise=0.02
-    )
-    algorithm = TransformedAlgorithm(
-        KvScheduler(), m=net.size_m, chi_scale=0.05
-    )
-    return Scenario(
-        name="sinr-sqrt",
-        network=net,
-        model=model,
-        algorithm=algorithm,
-        routing=build_routing_table(net),
-        certified=certified_rate(algorithm, net.size_m),
-    )
-
-
-def _mac(nodes: int, seed: int) -> Scenario:
-    net = mac_network(max(2, nodes))
-    model = MultipleAccessChannel(net)
-    algorithm = RoundRobinScheduler()
-    return Scenario(
-        name="mac",
-        network=net,
-        model=model,
-        algorithm=algorithm,
-        routing=build_routing_table(net),
-        certified=certified_rate(algorithm, net.size_m),
-    )
-
-
-def _conflict(nodes: int, seed: int) -> Scenario:
-    side = _grid_side(nodes)
-    net = grid_network(side, side)
-    model = ConflictGraphModel(net, node_constraint_conflicts(net))
-    algorithm = TransformedAlgorithm(
-        DecayScheduler(), m=net.size_m, chi_scale=0.05
-    )
-    return Scenario(
-        name="conflict",
-        network=net,
-        model=model,
-        algorithm=algorithm,
-        routing=build_routing_table(net),
-        certified=certified_rate(algorithm, net.size_m),
-    )
-
-
+#: Preset name -> ``(nodes, seed) -> Scenario`` adapter (kept for
+#: callers that iterate the table; new code should prefer
+#: ``repro.scenario.preset_spec``).
 SCENARIOS: Dict[str, Callable[[int, int], Scenario]] = {
-    "packet-routing": _packet_routing,
-    "sinr-linear": _sinr_linear,
-    "sinr-sqrt": _sinr_sqrt,
-    "mac": _mac,
-    "conflict": _conflict,
+    name: (lambda nodes, seed, _name=name: _build_preset(_name, nodes, seed))
+    for name in PRESETS
 }
 
 
 def scenario_names() -> List[str]:
     """The preset names, in presentation order."""
-    return list(SCENARIOS)
+    return preset_names()
 
 
 def build_scenario(name: str, nodes: int, seed: int) -> Scenario:
@@ -167,36 +86,50 @@ def build_scenario(name: str, nodes: int, seed: int) -> Scenario:
         raise ConfigurationError(
             f"unknown scenario '{name}'; choose from {', '.join(SCENARIOS)}"
         )
-    if nodes < 2:
-        raise ConfigurationError(f"nodes must be >= 2, got {nodes}")
-    return SCENARIOS[name](nodes, seed)
+    return _build_preset(name, nodes, seed)
 
 
+def _grid_side(nodes: int) -> int:
+    from repro.scenario.presets import _grid_side as side
+
+    return side(nodes)
+
+
+#: CLI topology kind -> registry component name + ``nodes`` mapping.
+_TOPOLOGY_ARGS: Dict[str, Callable[[int, int], tuple]] = {
+    "random": lambda nodes, seed: ("random", {"num_nodes": nodes,
+                                              "seed": seed}),
+    "grid": lambda nodes, seed: ("grid", {"rows": _grid_side(nodes),
+                                          "cols": _grid_side(nodes)}),
+    "line": lambda nodes, seed: ("line", {"num_nodes": nodes}),
+    "star": lambda nodes, seed: ("star", {"leaves": max(1, nodes - 1)}),
+    "mac": lambda nodes, seed: ("mac", {"num_stations": max(2, nodes)}),
+    "figure1": lambda nodes, seed: ("figure1", {"m": max(2, nodes)}),
+}
+
+#: Kept for callers that iterate the table; resolves through the
+#: unified registry like everything else.
 TOPOLOGIES: Dict[str, Callable[[int, int], Network]] = {
-    "random": lambda nodes, seed: random_sinr_network(nodes, rng=seed),
-    "grid": lambda nodes, seed: grid_network(
-        _grid_side(nodes), _grid_side(nodes)
-    ),
-    "line": lambda nodes, seed: line_network(nodes),
-    "star": lambda nodes, seed: star_network(max(1, nodes - 1)),
-    "mac": lambda nodes, seed: mac_network(max(2, nodes)),
-    "figure1": lambda nodes, seed: figure1_instance(max(2, nodes)),
+    name: (lambda nodes, seed, _name=name: build_topology(_name, nodes, seed))
+    for name in _TOPOLOGY_ARGS
 }
 
 
 def topology_names() -> List[str]:
-    return list(TOPOLOGIES)
+    return list(_TOPOLOGY_ARGS)
 
 
 def build_topology(kind: str, nodes: int, seed: int) -> Network:
     """Build one topology; raises on unknown kinds."""
-    if kind not in TOPOLOGIES:
+    if kind not in _TOPOLOGY_ARGS:
         raise ConfigurationError(
-            f"unknown topology '{kind}'; choose from {', '.join(TOPOLOGIES)}"
+            f"unknown topology '{kind}'; choose from "
+            f"{', '.join(_TOPOLOGY_ARGS)}"
         )
     if nodes < 2:
         raise ConfigurationError(f"nodes must be >= 2, got {nodes}")
-    return TOPOLOGIES[kind](nodes, seed)
+    component, kwargs = _TOPOLOGY_ARGS[kind](nodes, seed)
+    return resolve_component("topology", component)(**kwargs)
 
 
 __all__ = [

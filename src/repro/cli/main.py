@@ -1,11 +1,14 @@
-"""Argument parsing and the five CLI commands.
+"""Argument parsing and the CLI commands.
 
 ``python -m repro <command>``:
 
 * ``info`` — version, model presets, experiment count.
 * ``topology`` — generate a topology and describe it.
+* ``scenarios`` — every registered scenario component + signature.
 * ``simulate`` — one protocol run on a preset; metrics + verdict.
 * ``sweep`` — rate sweep across the stability boundary.
+* ``compare`` — static algorithms side by side on one network.
+* ``fleet`` — a multi-network scenario fleet, one process per network.
 * ``experiments`` — the reproduced-claim inventory.
 
 Every command writes plain text to stdout and returns a process exit
@@ -32,6 +35,9 @@ from repro.cli.registry import (
     compare_certified,
 )
 from repro.errors import ReproError
+from repro.scenario import registry as component_registry
+from repro.scenario.fleet import load_specs, run_scenario_fleet
+from repro.scenario.presets import preset_spec
 from repro.sim.sharding import CellSpec, executor_names, make_executor
 from repro.staticsched.runloop import (
     BACKENDS,
@@ -93,6 +99,12 @@ def _build_parser() -> argparse.ArgumentParser:
     topo.add_argument("--seed", type=int, default=0)
     topo.add_argument(
         "--links", type=int, default=8, help="how many links to list"
+    )
+
+    sub.add_parser(
+        "scenarios",
+        help="list every registered scenario component with its "
+             "parameter signature (the spec-file authoring reference)",
     )
 
     simulate = sub.add_parser(
@@ -172,6 +184,53 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_backend_argument(compare)
     _add_executor_arguments(compare)
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a multi-network scenario fleet "
+             "(one process per network with --executor process)",
+    )
+    fleet.add_argument(
+        "--spec",
+        default=None,
+        help="JSON spec file: one ScenarioSpec object, a list of them, "
+             'or {"specs": [...]}; omit to generate presets instead',
+    )
+    fleet.add_argument(
+        "--model",
+        default="packet-routing",
+        choices=scenario_names(),
+        help="preset for generated fleets (ignored with --spec)",
+    )
+    fleet.add_argument("--nodes", type=int, default=12)
+    fleet.add_argument(
+        "--networks",
+        type=int,
+        default=4,
+        help="how many networks to generate (seeds seed, seed+1, ...)",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--frames",
+        type=int,
+        default=120,
+        help="horizon per network (generated fleets only)",
+    )
+    fleet.add_argument(
+        "--rate-fraction",
+        type=float,
+        default=0.5,
+        help="injection rate as a fraction of each network's certified "
+             "rate (generated fleets only)",
+    )
+    fleet.add_argument(
+        "--backend",
+        default=None,
+        choices=BACKENDS,
+        help="override every spec's run-loop backend "
+             "(default: respect the specs)",
+    )
+    _add_executor_arguments(fleet)
+
     sub.add_parser("experiments", help="list the reproduced paper claims")
 
     return parser
@@ -192,6 +251,8 @@ def cmd_info(args: argparse.Namespace) -> int:
           "when numba is not installed)")
     print(f"experiments:   {len(EXPERIMENTS)} "
           "(run `python -m repro experiments`)")
+    print("scenario specs: `python -m repro scenarios` lists every "
+          "component; `python -m repro fleet` runs multi-network fleets")
     print()
     print("quickstart:    python -m repro simulate --model sinr-linear "
           "--nodes 15 --frames 100")
@@ -213,6 +274,90 @@ def cmd_topology(args: argparse.Namespace) -> int:
                                  rows))
     if net.num_links > args.links:
         print(f"... and {net.num_links - args.links} more links")
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """The spec-file authoring reference: components + signatures."""
+    print("scenario components (spec files name these; see "
+          "repro.scenario.ScenarioSpec):")
+    for kind in ("topology", "model", "scheduler", "injection"):
+        print()
+        print(f"{kind}:")
+        for name in component_registry.names(kind):
+            print(f"  {component_registry.signature(kind, name)}")
+            description = component_registry.describe(kind, name)
+            if description:
+                print(f"      {description}")
+    print()
+    print("backend: " + ", ".join(BACKENDS)
+          + " (spec field 'backend'; every backend is bit-identical, "
+          "the choice only changes speed)")
+    print("presets: " + ", ".join(scenario_names())
+          + " (repro.scenario.preset_spec / `repro fleet --model`)")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a fleet of networks; per-network records + summary."""
+    if args.spec is not None:
+        specs = load_specs(args.spec)
+        source = f"spec file {args.spec}"
+    else:
+        if args.networks < 1:
+            print(f"error: --networks must be >= 1, got {args.networks}",
+                  file=sys.stderr)
+            return 2
+        specs = [
+            preset_spec(
+                args.model,
+                nodes=args.nodes,
+                seed=args.seed + offset,
+                frames=args.frames,
+                rate=args.rate_fraction,
+            )
+            for offset in range(args.networks)
+        ]
+        source = (f"preset '{args.model}' x {args.networks} networks "
+                  f"(seeds {args.seed}..{args.seed + args.networks - 1})")
+    if args.backend is not None:
+        specs = [spec.replace(backend=args.backend) for spec in specs]
+
+    result = run_scenario_fleet(
+        specs, make_executor(args.executor, args.workers)
+    )
+    print(f"fleet: {source}, {len(specs)} network(s), "
+          f"executor '{args.executor}'")
+    rows = []
+    for spec, record in zip(specs, result.records):
+        rows.append(
+            [
+                record.rate_index,
+                spec.name or spec.topology,
+                record.seed,
+                f"{record.rate:.4g}",
+                record.injected,
+                record.delivered,
+                f"{record.tail_queue:.1f}",
+                f"{record.throughput:.3f}",
+                f"{record.latency:.0f}",
+                record.verdict.stable,
+            ]
+        )
+    print(repro.format_table(
+        ["#", "scenario", "seed", "rate", "injected", "delivered",
+         "tail queue", "throughput", "latency", "stable"],
+        rows,
+    ))
+    summary = result.summary
+    print()
+    print(f"summary over {summary.networks} network(s): "
+          f"stable fraction {summary.stable_fraction:.2f}, "
+          f"mean tail queue {summary.mean_tail_queue:.1f}, "
+          f"mean throughput {summary.mean_throughput:.3f}, "
+          f"mean latency {summary.mean_latency:.0f}, "
+          f"injected {summary.total_injected}, "
+          f"delivered {summary.total_delivered}")
     return 0
 
 
@@ -423,9 +568,11 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "info": cmd_info,
     "topology": cmd_topology,
+    "scenarios": cmd_scenarios,
     "simulate": cmd_simulate,
     "sweep": cmd_sweep,
     "compare": cmd_compare,
+    "fleet": cmd_fleet,
     "experiments": cmd_experiments,
 }
 

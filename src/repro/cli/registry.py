@@ -176,6 +176,13 @@ EXPERIMENTS: List[ExperimentEntry] = [
         "bit-identical to the scalar reference",
         "bench_p4_runloop.py",
     ),
+    ExperimentEntry(
+        "P5", "Performance",
+        "scenario fleet runner: process-per-network execution of "
+        "declarative ScenarioSpecs, record-identical to serial; "
+        ">= 2x throughput at 4 workers",
+        "bench_p5_fleet.py",
+    ),
 ]
 
 

@@ -47,6 +47,17 @@ def random_sinr_network(
     """
     if num_nodes < 2:
         raise ConfigurationError(f"need at least 2 nodes, got {num_nodes}")
+    if not side > 0:
+        raise ConfigurationError(
+            f"side must be positive, got {side!r}; a non-positive square "
+            "has no placement area"
+        )
+    if max_link_length is not None and not max_link_length > 0:
+        # A non-positive radius used to fall through to the
+        # nearest-neighbour fallback — a silently absurd network.
+        raise ConfigurationError(
+            f"max_link_length must be positive, got {max_link_length!r}"
+        )
     gen = ensure_rng(rng)
     points = uniform_placement(num_nodes, side=side, rng=gen)
     if max_link_length is None:
@@ -90,6 +101,21 @@ def grid_network(
     rows: int, cols: int, spacing: float = 1.0, max_path_length: Optional[int] = None
 ) -> Network:
     """A ``rows x cols`` grid; links connect 4-neighbours in both directions."""
+    if rows < 1 or cols < 1:
+        raise ConfigurationError(
+            f"grid dimensions must be >= 1, got {rows} x {cols}"
+        )
+    if rows * cols < 2:
+        # A 1x1 grid would be a linkless single node — every consumer
+        # (routing, injection, interference) would fail later and worse.
+        raise ConfigurationError(
+            f"grid needs at least 2 nodes, got {rows} x {cols} = "
+            f"{rows * cols}"
+        )
+    if not spacing > 0:
+        raise ConfigurationError(
+            f"spacing must be positive, got {spacing!r}"
+        )
     points = grid_placement(rows, cols, spacing)
     links: List[Tuple[int, int]] = []
 
@@ -123,6 +149,10 @@ def line_network(
     """
     if num_nodes < 2:
         raise ConfigurationError(f"need at least 2 nodes, got {num_nodes}")
+    if not spacing > 0:
+        raise ConfigurationError(
+            f"spacing must be positive, got {spacing!r}"
+        )
     points = line_placement(num_nodes, spacing)
     links = [(i, i + 1) for i in range(num_nodes - 1)]
     if bidirectional:
@@ -139,6 +169,12 @@ def star_network(leaves: int, radius: float = 1.0) -> Network:
     """
     if leaves < 1:
         raise ConfigurationError(f"need at least 1 leaf, got {leaves}")
+    if not radius > 0:
+        # radius 0 would place every leaf on the centre: zero-length
+        # links, and SINR path loss divides by them.
+        raise ConfigurationError(
+            f"radius must be positive, got {radius!r}"
+        )
     points = [Point(0.0, 0.0)]
     for k in range(leaves):
         angle = 2.0 * math.pi * k / leaves
@@ -183,6 +219,14 @@ def figure1_instance(
     """
     if m < 2:
         raise ConfigurationError(f"Figure-1 instance needs m >= 2, got {m}")
+    if not short_length > 0:
+        raise ConfigurationError(
+            f"short_length must be positive, got {short_length!r}"
+        )
+    if not separation > 0:
+        raise ConfigurationError(
+            f"separation must be positive, got {separation!r}"
+        )
     points: List[Point] = []
     links: List[Tuple[int, int]] = []
     for i in range(m - 1):

@@ -1,0 +1,281 @@
+"""Built-in scenario components, registered at import.
+
+Each registered callable is one building block of a
+:class:`~repro.scenario.spec.ScenarioSpec`:
+
+* ``topology`` builders return a :class:`~repro.network.network.Network`.
+  Every one accepts a ``seed`` keyword — the spec's seed is passed in by
+  default so random topologies draw their instance from it; the
+  deterministic generators simply ignore it (one signature, so a spec
+  can switch topologies without special-casing randomness).
+* ``model`` builders take the built network first and return the
+  :class:`~repro.interference.base.InterferenceModel` over it.
+* ``scheduler`` builders construct a fresh
+  :class:`~repro.staticsched.base.StaticAlgorithm` (the classes
+  themselves are registered — their constructor signature *is* the
+  parameter surface). The spec applies the Section-3 transformation on
+  top when asked (``transform=True``), so raw schedulers stay raw here.
+* ``injection`` builders take ``(routing, model, rate, seed, **kwargs)``
+  and return an :class:`~repro.injection.base.InjectionProcess` whose
+  aggregate injection rate under ``model`` is exactly ``rate``. Every
+  randomness stream derives from ``seed`` (offset by 1000, the
+  repository-wide convention separating injection streams from protocol
+  streams).
+
+``repro scenarios`` lists all of these with their signatures; custom
+components register through :func:`repro.scenario.registry.register` or
+are named by ``"module:function"`` path directly in the spec.
+
+(No postponed annotations here on purpose: ``repro scenarios`` renders
+each builder's live ``inspect.signature``, and string-ified annotations
+would print as ``rows: 'int'``.)
+"""
+
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.injection.markov import PoissonBatchInjection
+from repro.injection.stochastic import PathGenerator, uniform_pair_injection
+from repro.interference.builders import (
+    distance2_matching_conflicts,
+    node_constraint_conflicts,
+)
+from repro.interference.conflict import ConflictGraphModel
+from repro.interference.mac import MultipleAccessChannel
+from repro.interference.packet_routing import PacketRoutingModel
+from repro.network.topology import (
+    figure1_instance,
+    grid_network,
+    line_network,
+    mac_network,
+    random_sinr_network,
+    star_network,
+)
+from repro.scenario.registry import register
+from repro.sinr.power import SquareRootPower
+from repro.sinr.weights import linear_power_model, monotone_power_model
+from repro.staticsched.decay import DecayScheduler
+from repro.staticsched.fkv import FkvScheduler
+from repro.staticsched.hm import HmScheduler
+from repro.staticsched.kv import KvScheduler
+from repro.staticsched.mac_backoff import MacBackoffScheduler
+from repro.staticsched.round_robin import RoundRobinScheduler
+from repro.staticsched.single_hop import SingleHopScheduler
+
+# ----------------------------------------------------------------------
+# Topologies
+# ----------------------------------------------------------------------
+
+
+@register("topology", "random")
+def topology_random(
+    num_nodes: int,
+    side: float = 1.0,
+    max_link_length: Optional[float] = None,
+    max_path_length: Optional[int] = None,
+    seed: int = 0,
+):
+    """Random geometric network: uniform nodes, proximity links."""
+    return random_sinr_network(
+        num_nodes,
+        side=side,
+        max_link_length=max_link_length,
+        max_path_length=max_path_length,
+        rng=seed,
+    )
+
+
+@register("topology", "grid")
+def topology_grid(
+    rows: int,
+    cols: int,
+    spacing: float = 1.0,
+    max_path_length: Optional[int] = None,
+    seed: int = 0,
+):
+    """Rows x cols grid, 4-neighbour links both ways (deterministic)."""
+    return grid_network(
+        rows, cols, spacing=spacing, max_path_length=max_path_length
+    )
+
+
+@register("topology", "line")
+def topology_line(
+    num_nodes: int,
+    spacing: float = 1.0,
+    bidirectional: bool = False,
+    max_path_length: Optional[int] = None,
+    seed: int = 0,
+):
+    """Chain 0 -> 1 -> ... -> n-1 (deterministic)."""
+    return line_network(
+        num_nodes,
+        spacing=spacing,
+        bidirectional=bidirectional,
+        max_path_length=max_path_length,
+    )
+
+
+@register("topology", "star")
+def topology_star(leaves: int, radius: float = 1.0, seed: int = 0):
+    """Star: centre node 0, leaves on a circle (deterministic)."""
+    return star_network(leaves, radius=radius)
+
+
+@register("topology", "mac")
+def topology_mac(num_stations: int, seed: int = 0):
+    """Multiple-access channel: stations -> base, no geometry."""
+    return mac_network(num_stations)
+
+
+@register("topology", "figure1")
+def topology_figure1(
+    m: int, short_length: float = 1.0, separation: float = 1000.0,
+    seed: int = 0,
+):
+    """The Figure-1 lower-bound instance: m-1 short links + 1 long."""
+    return figure1_instance(m, short_length=short_length,
+                            separation=separation)
+
+
+# ----------------------------------------------------------------------
+# Interference models
+# ----------------------------------------------------------------------
+
+
+@register("model", "packet-routing")
+def model_packet_routing(network):
+    """Identity W: links interfere only with themselves."""
+    return PacketRoutingModel(network)
+
+
+@register("model", "linear-power")
+def model_linear_power(
+    network, alpha: float = 3.0, beta: float = 1.0, noise: float = 0.02,
+    scale: float = 1.0,
+):
+    """Corollary-12 SINR model under the linear power assignment."""
+    return linear_power_model(
+        network, alpha=alpha, beta=beta, noise=noise, scale=scale
+    )
+
+
+@register("model", "sqrt-power")
+def model_sqrt_power(
+    network, alpha: float = 3.0, beta: float = 1.0, noise: float = 0.02
+):
+    """Corollary-13 SINR model under square-root (monotone) powers."""
+    return monotone_power_model(
+        network, SquareRootPower(), alpha=alpha, beta=beta, noise=noise
+    )
+
+
+@register("model", "mac")
+def model_mac(network):
+    """The all-ones W of Section 7.1: every link pair conflicts."""
+    return MultipleAccessChannel(network)
+
+
+@register("model", "conflict-node")
+def model_conflict_node(network):
+    """Conflict graph: links sharing an endpoint conflict."""
+    return ConflictGraphModel(network, node_constraint_conflicts(network))
+
+
+@register("model", "conflict-distance2")
+def model_conflict_distance2(network, connectivity_radius: float = 1.0):
+    """Conflict graph: distance-2 matching in the disk graph."""
+    return ConflictGraphModel(
+        network, distance2_matching_conflicts(network, connectivity_radius)
+    )
+
+
+# ----------------------------------------------------------------------
+# Schedulers — the classes themselves: constructor == parameter surface
+# ----------------------------------------------------------------------
+
+register("scheduler", "kv", KvScheduler)
+register("scheduler", "decay", DecayScheduler)
+register("scheduler", "fkv", FkvScheduler)
+register("scheduler", "hm", HmScheduler)
+register("scheduler", "round-robin", RoundRobinScheduler)
+register("scheduler", "single-hop", SingleHopScheduler)
+register("scheduler", "mac-backoff", MacBackoffScheduler)
+
+
+# ----------------------------------------------------------------------
+# Injection processes
+# ----------------------------------------------------------------------
+
+
+def _routed_paths(routing, pairs) -> Sequence[Tuple[int, ...]]:
+    if pairs is not None:
+        # JSON round-trips pairs as lists; the routing table wants tuples.
+        pairs = [tuple(pair) for pair in pairs]
+    else:
+        pairs = routing.pairs()
+    if not pairs:
+        raise ConfigurationError("no routed pairs available for injection")
+    paths = []
+    for source, destination in pairs:
+        path = routing.path(source, destination)
+        if len(path) == 0:
+            raise ConfigurationError(
+                f"routing returned an empty path for pair "
+                f"({source}, {destination}); injection paths need at "
+                "least one link"
+            )
+        paths.append(path)
+    return paths
+
+
+@register("injection", "uniform-pairs")
+def injection_uniform_pairs(
+    routing, model, rate, seed, num_generators: int = 6, pairs=None
+):
+    """Finite generators uniform over routed pairs, scaled to ``rate``."""
+    if pairs is not None:
+        pairs = [tuple(pair) for pair in pairs]
+    return uniform_pair_injection(
+        routing,
+        model,
+        rate,
+        num_generators=num_generators,
+        pairs=pairs,
+        rng=seed + 1000,
+    )
+
+
+@register("injection", "poisson-batch")
+def injection_poisson_batch(routing, model, rate, seed, pairs=None):
+    """Poisson batches, uniform path draw per packet, scaled to ``rate``."""
+    paths = _routed_paths(routing, pairs)
+    probability = 1.0 / len(paths)
+    per_packet = PathGenerator([(path, probability) for path in paths])
+    per_packet_rate = model.injection_norm(
+        per_packet.mean_usage(model.num_links)
+    )
+    if per_packet_rate <= 0:
+        raise ConfigurationError("per-packet injection rate is zero; "
+                                 "cannot scale to the target rate")
+    return PoissonBatchInjection(
+        per_packet.distribution, rate / per_packet_rate, rng=seed + 1000
+    )
+
+
+__all__ = [
+    "injection_poisson_batch",
+    "injection_uniform_pairs",
+    "model_conflict_distance2",
+    "model_conflict_node",
+    "model_linear_power",
+    "model_mac",
+    "model_packet_routing",
+    "model_sqrt_power",
+    "topology_figure1",
+    "topology_grid",
+    "topology_line",
+    "topology_mac",
+    "topology_random",
+    "topology_star",
+]

@@ -1,0 +1,117 @@
+"""The CLI's model presets, expressed as :class:`ScenarioSpec` data.
+
+These are the same five presets ``cli/builders.py`` has always offered
+— the mapping from a preset name and a node budget to concrete
+component choices — now produced as declarative specs so they can be
+serialized, sharded, and fleet-run like any hand-written spec.
+Construction is bit-compatible with the historical imperative path:
+same generators, same parameters, same seeds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.scenario.spec import ScenarioSpec
+
+
+def _grid_side(nodes: int) -> int:
+    return max(2, int(round(math.sqrt(nodes))))
+
+
+def _packet_routing(nodes: int, seed: int) -> ScenarioSpec:
+    side = _grid_side(nodes)
+    return ScenarioSpec(
+        name="packet-routing",
+        topology="grid",
+        topology_kwargs={"rows": side, "cols": side},
+        model="packet-routing",
+        scheduler="single-hop",
+        seed=seed,
+    )
+
+
+def _sinr_linear(nodes: int, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="sinr-linear",
+        topology="random",
+        topology_kwargs={"num_nodes": nodes},
+        model="linear-power",
+        scheduler="decay",
+        transform=True,
+        seed=seed,
+    )
+
+
+def _sinr_sqrt(nodes: int, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="sinr-sqrt",
+        topology="random",
+        topology_kwargs={"num_nodes": nodes},
+        model="sqrt-power",
+        scheduler="kv",
+        transform=True,
+        seed=seed,
+    )
+
+
+def _mac(nodes: int, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="mac",
+        topology="mac",
+        topology_kwargs={"num_stations": max(2, nodes)},
+        model="mac",
+        scheduler="round-robin",
+        seed=seed,
+    )
+
+
+def _conflict(nodes: int, seed: int) -> ScenarioSpec:
+    side = _grid_side(nodes)
+    return ScenarioSpec(
+        name="conflict",
+        topology="grid",
+        topology_kwargs={"rows": side, "cols": side},
+        model="conflict-node",
+        scheduler="decay",
+        transform=True,
+        seed=seed,
+    )
+
+
+PRESETS: Dict[str, Callable[[int, int], ScenarioSpec]] = {
+    "packet-routing": _packet_routing,
+    "sinr-linear": _sinr_linear,
+    "sinr-sqrt": _sinr_sqrt,
+    "mac": _mac,
+    "conflict": _conflict,
+}
+
+
+def preset_names() -> List[str]:
+    """The preset names, in presentation order."""
+    return list(PRESETS)
+
+
+def preset_spec(
+    name: str, nodes: int = 12, seed: int = 0, **overrides: Any
+) -> ScenarioSpec:
+    """Build one preset spec; ``overrides`` replace spec fields.
+
+    ``nodes`` is the preset's node budget, mapped onto the topology's
+    natural parameters exactly as the CLI always did (grid side =
+    ``round(sqrt(nodes))``, MAC stations = ``max(2, nodes)``, ...).
+    """
+    if name not in PRESETS:
+        raise ConfigurationError(
+            f"unknown scenario '{name}'; choose from {', '.join(PRESETS)}"
+        )
+    if nodes < 2:
+        raise ConfigurationError(f"nodes must be >= 2, got {nodes}")
+    spec = PRESETS[name](nodes, seed)
+    return spec.replace(**overrides) if overrides else spec
+
+
+__all__ = ["PRESETS", "preset_names", "preset_spec"]

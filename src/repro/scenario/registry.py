@@ -1,0 +1,144 @@
+"""The unified component registry behind every construction path.
+
+Before this layer existed the repository described scenarios three
+different ways: the CLI's preset closures (``cli/builders.py``), the
+CLI experiment registry's sharding builders (``cli/registry.py``), and
+the sweep executor's protocol/injection/pair registries
+(``sim/sharding.py``). Each kept its own name table with its own
+resolution rules, so nothing could carry *a whole scenario* across a
+process boundary by name.
+
+This module is the one table all of them now share. A component is a
+named callable filed under a *kind* — ``topology``, ``model``,
+``scheduler``, ``injection`` for the declarative
+:class:`~repro.scenario.spec.ScenarioSpec` layer, and the
+``cell-protocol`` / ``cell-injection`` / ``cell-pair`` kinds that back
+:mod:`repro.sim.sharding`'s builder registries. Resolution falls back
+to ``"module:function"`` dotted paths exactly like the sharding
+registries always did, so third-party components need no registration
+call at all (the importing module registers them as a side effect, or
+the spec names them by path).
+
+Registration is idempotent per callable: re-registering the same
+function under the same name is a no-op, a *different* callable under
+a taken name raises — silently replacing a component would let two
+processes resolve the same spec to different code.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: The component kinds specs and cells resolve through. ``topology``
+#: builders return a Network, ``model`` builders an InterferenceModel
+#: over one, ``scheduler`` builders a StaticAlgorithm, ``injection``
+#: builders an InjectionProcess; the ``cell-*`` kinds keep the
+#: sharding-cell builder contracts documented in repro.sim.sharding.
+KINDS = (
+    "topology",
+    "model",
+    "scheduler",
+    "injection",
+    "cell-protocol",
+    "cell-injection",
+    "cell-pair",
+)
+
+_TABLES: Dict[str, Dict[str, Callable]] = {kind: {} for kind in KINDS}
+
+
+def _table(kind: str) -> Dict[str, Callable]:
+    try:
+        return _TABLES[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown component kind '{kind}'; choose from {', '.join(KINDS)}"
+        ) from None
+
+
+def register(kind: str, name: str, builder: Optional[Callable] = None):
+    """Register ``builder`` under ``(kind, name)``.
+
+    Usable as a decorator (``builder`` omitted) or a direct call.
+    Re-registering the same callable is a no-op; a different callable
+    under a taken name raises :class:`ConfigurationError`.
+    """
+    table = _table(kind)
+
+    def _file(fn: Callable) -> Callable:
+        existing = table.get(name)
+        if existing is not None and existing is not fn:
+            raise ConfigurationError(
+                f"{kind} builder '{name}' is already registered to "
+                f"{existing!r}"
+            )
+        table[name] = fn
+        return fn
+
+    if builder is not None:
+        return _file(builder)
+    return _file
+
+
+def resolve(kind: str, name: str, label: Optional[str] = None) -> Callable:
+    """Look ``name`` up under ``kind``, or import a ``module:attr`` path.
+
+    ``label`` only changes the error wording (the sharding wrappers
+    pass e.g. ``"protocol builder"`` to keep their historical
+    messages).
+    """
+    table = _table(kind)
+    builder = table.get(name)
+    if builder is not None:
+        return builder
+    label = label or kind
+    if ":" in name:
+        module_name, _, attr = name.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise ConfigurationError(
+                f"cannot import module '{module_name}' for {label} "
+                f"'{name}': {exc}"
+            ) from exc
+        builder = getattr(module, attr, None)
+        if callable(builder):
+            return builder
+        raise ConfigurationError(
+            f"module '{module_name}' has no callable '{attr}' "
+            f"for {label} '{name}'"
+        )
+    known = ", ".join(sorted(table)) or "(none)"
+    raise ConfigurationError(
+        f"unknown {label} '{name}'; registered: {known} "
+        "(or use a 'module:function' dotted path)"
+    )
+
+
+def names(kind: str) -> List[str]:
+    """Registered names under ``kind``, sorted."""
+    return sorted(_table(kind))
+
+
+def signature(kind: str, name: str) -> str:
+    """``name(params...)`` for the registered builder — the authoring aid
+    behind ``repro scenarios`` (spec files without reading source)."""
+    builder = resolve(kind, name)
+    try:
+        sig = str(inspect.signature(builder))
+    except (TypeError, ValueError):  # pragma: no cover - builtins only
+        sig = "(...)"
+    return f"{name}{sig}"
+
+
+def describe(kind: str, name: str) -> str:
+    """First docstring line of the registered builder ('' if none)."""
+    doc = inspect.getdoc(resolve(kind, name)) or ""
+    return doc.splitlines()[0] if doc else ""
+
+
+__all__ = ["KINDS", "describe", "names", "register", "resolve", "signature"]

@@ -35,6 +35,13 @@ Builders::
 Pair builders exist for store-mode protocols, where the protocol is
 constructed *from* the injection's ``PacketStore`` and the two must be
 built together.
+
+All three registries are views into the unified component registry
+(:mod:`repro.scenario.registry`), the same table the declarative
+:class:`~repro.scenario.spec.ScenarioSpec` layer resolves through. A
+cell can therefore also carry a *whole network scenario* across the
+process boundary (``CellSpec(scenario=...)`` / ``sweep_specs(...,
+scenario=...)``) instead of naming protocol/injection builders.
 """
 
 from __future__ import annotations
@@ -44,9 +51,11 @@ import multiprocessing
 import os
 import sys
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.scenario.registry import register as _register_component
+from repro.scenario.registry import resolve as _resolve_component
 from repro.sim.runner import (
     CellResult,
     RateSweepRecord,
@@ -54,25 +63,15 @@ from repro.sim.runner import (
     measure_cell,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.scenario.spec import ScenarioSpec
+
 # ----------------------------------------------------------------------
-# Builder registries
+# Builder registries — thin adapters over the unified component
+# registry (repro.scenario.registry): the cell builders live in the
+# same table the declarative ScenarioSpec layer resolves through, under
+# the ``cell-protocol`` / ``cell-injection`` / ``cell-pair`` kinds.
 # ----------------------------------------------------------------------
-
-_PROTOCOL_BUILDERS: Dict[str, Callable] = {}
-_INJECTION_BUILDERS: Dict[str, Callable] = {}
-_PAIR_BUILDERS: Dict[str, Callable] = {}
-
-
-def _register(table: Dict[str, Callable], kind: str, name: str,
-              builder: Callable) -> Callable:
-    existing = table.get(name)
-    if existing is not None and existing is not builder:
-        raise ConfigurationError(
-            f"{kind} builder '{name}' is already registered to "
-            f"{existing!r}"
-        )
-    table[name] = builder
-    return builder
 
 
 def register_protocol_builder(name: str, builder: Optional[Callable] = None):
@@ -82,63 +81,31 @@ def register_protocol_builder(name: str, builder: Optional[Callable] = None):
     Re-registering the same callable under the same name is a no-op;
     a different callable raises.
     """
-    if builder is not None:
-        return _register(_PROTOCOL_BUILDERS, "protocol", name, builder)
-    return lambda fn: _register(_PROTOCOL_BUILDERS, "protocol", name, fn)
+    return _register_component("cell-protocol", name, builder)
 
 
 def register_injection_builder(name: str, builder: Optional[Callable] = None):
     """Register ``builder(rate, seed, protocol, **kwargs) -> injection``."""
-    if builder is not None:
-        return _register(_INJECTION_BUILDERS, "injection", name, builder)
-    return lambda fn: _register(_INJECTION_BUILDERS, "injection", name, fn)
+    return _register_component("cell-injection", name, builder)
 
 
 def register_pair_builder(name: str, builder: Optional[Callable] = None):
     """Register ``builder(rate, seed, **kwargs) -> (protocol, injection)``."""
-    if builder is not None:
-        return _register(_PAIR_BUILDERS, "pair", name, builder)
-    return lambda fn: _register(_PAIR_BUILDERS, "pair", name, fn)
-
-
-def _resolve(name: str, table: Dict[str, Callable], kind: str) -> Callable:
-    """Look ``name`` up in the registry, or import a ``module:attr`` path."""
-    builder = table.get(name)
-    if builder is not None:
-        return builder
-    if ":" in name:
-        module_name, _, attr = name.partition(":")
-        try:
-            module = importlib.import_module(module_name)
-        except ImportError as exc:
-            raise ConfigurationError(
-                f"cannot import module '{module_name}' for {kind} "
-                f"builder '{name}': {exc}"
-            ) from exc
-        builder = getattr(module, attr, None)
-        if callable(builder):
-            return builder
-        raise ConfigurationError(
-            f"module '{module_name}' has no callable '{attr}' "
-            f"for {kind} builder '{name}'"
-        )
-    known = ", ".join(sorted(table)) or "(none)"
-    raise ConfigurationError(
-        f"unknown {kind} builder '{name}'; registered: {known} "
-        "(or use a 'module:function' dotted path)"
-    )
+    return _register_component("cell-pair", name, builder)
 
 
 def resolve_protocol_builder(name: str) -> Callable:
-    return _resolve(name, _PROTOCOL_BUILDERS, "protocol")
+    return _resolve_component("cell-protocol", name, label="protocol builder")
 
 
 def resolve_injection_builder(name: str) -> Callable:
-    return _resolve(name, _INJECTION_BUILDERS, "injection")
+    return _resolve_component(
+        "cell-injection", name, label="injection builder"
+    )
 
 
 def resolve_pair_builder(name: str) -> Callable:
-    return _resolve(name, _PAIR_BUILDERS, "pair")
+    return _resolve_component("cell-pair", name, label="pair builder")
 
 
 # ----------------------------------------------------------------------
@@ -150,8 +117,12 @@ def resolve_pair_builder(name: str) -> Callable:
 class CellSpec:
     """One picklable (rate, seed) work unit of a sweep.
 
-    Either ``pair`` or both ``protocol`` and ``injection`` name a
-    registered builder (or a ``"module:function"`` dotted path).
+    Either ``scenario`` carries a whole declarative
+    :class:`~repro.scenario.spec.ScenarioSpec` (network description
+    included — the cell rebuilds the network inside its worker with
+    the cell's own rate and seed), or ``pair`` / both ``protocol`` and
+    ``injection`` name a registered builder (or a
+    ``"module:function"`` dotted path).
     ``requires`` lists modules to import before resolving — the modules
     whose import registers the builders — which makes specs robust
     under spawn-style workers that do not inherit the parent registry.
@@ -171,6 +142,7 @@ class CellSpec:
     protocol: Optional[str] = None
     injection: Optional[str] = None
     pair: Optional[str] = None
+    scenario: Optional["ScenarioSpec"] = None
     protocol_kwargs: dict = field(default_factory=dict)
     injection_kwargs: dict = field(default_factory=dict)
     pair_kwargs: dict = field(default_factory=dict)
@@ -184,16 +156,34 @@ class CellSpec:
             raise ConfigurationError(
                 f"cell frames must be >= 1, got {self.frames}"
             )
-        if self.pair is not None:
-            if self.protocol is not None or self.injection is not None:
-                raise ConfigurationError(
-                    "a cell names either a pair builder or a "
-                    "protocol+injection builder pair, not both"
-                )
-        elif self.protocol is None or self.injection is None:
+        named = [
+            kind
+            for kind, value in (
+                ("scenario", self.scenario),
+                ("pair", self.pair),
+                ("protocol+injection", self.protocol or self.injection),
+            )
+            if value is not None
+        ]
+        if len(named) > 1:
             raise ConfigurationError(
-                "a cell must name a pair builder, or both a protocol "
-                "and an injection builder"
+                "a cell names exactly one construction path — a scenario "
+                "spec, a pair builder, or a protocol+injection builder "
+                f"pair — got {', '.join(named)}"
+            )
+        if self.scenario is None and self.pair is None and (
+            self.protocol is None or self.injection is None
+        ):
+            raise ConfigurationError(
+                "a cell must carry a scenario spec, name a pair builder, "
+                "or name both a protocol and an injection builder"
+            )
+        if self.scenario is not None and not self.rate > 0:
+            # The scenario layer provisions its protocol from the
+            # cell's rate, and Section-4 frame sizing needs rate > 0;
+            # fail at spec-generation, not mid-sweep inside a worker.
+            raise ConfigurationError(
+                f"a scenario-carrying cell needs rate > 0, got {self.rate}"
             )
 
     def run(self) -> CellResult:
@@ -208,6 +198,25 @@ def run_cell(spec: CellSpec) -> CellResult:
 
     for module in spec.requires:
         importlib.import_module(module)
+    if spec.scenario is not None:
+        # The cell's (rate, seed, frames) are the sweep axes: they
+        # override the carried scenario's own values, and the cell's
+        # rate is always absolute (sweeps resolve certified-rate
+        # fractions at spec-generation time). Backend pinning happens
+        # inside ScenarioSpec.run.
+        effective = spec.scenario.replace(
+            rate=spec.rate,
+            rate_mode="absolute",
+            seed=spec.seed,
+            frames=spec.frames,
+            backend=spec.backend or spec.scenario.backend,
+            load_from_injected=(
+                spec.load_from_injected or spec.scenario.load_from_injected
+            ),
+        )
+        return effective.run(
+            rate_index=spec.rate_index, load_per_frame=spec.load_per_frame
+        )
     # Only pin a backend when the spec names one: a None backend keeps
     # whatever selection is ambient (so e.g. a scalar-reference
     # verification context still governs in-process cells).
@@ -243,6 +252,7 @@ def sweep_specs(
     protocol: Optional[str] = None,
     injection: Optional[str] = None,
     pair: Optional[str] = None,
+    scenario: Optional["ScenarioSpec"] = None,
     protocol_kwargs: Optional[dict] = None,
     injection_kwargs: Optional[dict] = None,
     pair_kwargs: Optional[dict] = None,
@@ -259,6 +269,10 @@ def sweep_specs(
     ``load_per_frame`` is an optional *callable* evaluated per rate at
     spec-generation time (the spec itself carries only the float).
     ``backend`` stamps a run-loop backend into every cell.
+    ``scenario`` sweeps a declarative
+    :class:`~repro.scenario.spec.ScenarioSpec` instead of named
+    builders: every cell carries the whole network description and
+    rebuilds it in its worker at the cell's (rate, seed).
     """
     rates = list(rates)
     seeds = list(seeds)
@@ -275,6 +289,7 @@ def sweep_specs(
                     protocol=protocol,
                     injection=injection,
                     pair=pair,
+                    scenario=scenario,
                     protocol_kwargs=dict(protocol_kwargs or {}),
                     injection_kwargs=dict(injection_kwargs or {}),
                     pair_kwargs=dict(pair_kwargs or {}),

@@ -252,3 +252,68 @@ class TestCommands:
         assert main(argv) == 0
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestScenariosCommand:
+    def test_lists_every_registered_component(self, capsys):
+        from repro.scenario import registry
+
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("topology", "model", "scheduler", "injection"):
+            assert f"{kind}:" in out
+            for name in registry.names(kind):
+                assert name + "(" in out, f"{kind} '{name}' not listed"
+        # Signatures are printed, not just names — the authoring aid.
+        assert "rows" in out and "num_generators" in out
+        assert "backend:" in out
+        assert "presets:" in out
+
+
+class TestFleetCommand:
+    def test_generated_fleet(self, capsys):
+        code = main(
+            ["fleet", "--model", "packet-routing", "--nodes", "9",
+             "--networks", "2", "--frames", "30"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 network(s)" in out
+        assert "summary over 2 network(s)" in out
+        assert "packet-routing" in out
+
+    def test_spec_file_fleet(self, tmp_path, capsys):
+        import json
+
+        from repro.scenario import preset_spec
+
+        specs = [
+            preset_spec("packet-routing", nodes=9, seed=seed, frames=30)
+            for seed in (0, 1)
+        ]
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps({"specs": [s.to_dict() for s in specs]}))
+        assert main(["fleet", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"spec file {path}" in out
+        assert "summary over 2 network(s)" in out
+
+    @needs_fork
+    def test_fleet_process_executor_output_identical(self, capsys):
+        argv = ["fleet", "--model", "packet-routing", "--nodes", "9",
+                "--networks", "2", "--frames", "30"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--executor", "process", "--workers", "2"]) == 0
+        process = capsys.readouterr().out
+        assert process.replace("'process'", "'serial'") == serial
+
+    def test_fleet_rejects_bad_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["fleet", "--spec", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_fleet_rejects_zero_networks(self, capsys):
+        assert main(["fleet", "--networks", "0"]) == 2
+        assert "--networks" in capsys.readouterr().err

@@ -1,0 +1,52 @@
+"""Examples smoke lane: every example must run clean in fast mode.
+
+Examples are executable documentation — the first code a reader runs —
+so a refactor that breaks one is a release bug even when the library
+suite stays green. Each example honours ``REPRO_EXAMPLES_FAST=1`` by
+shrinking its workload (fewer frames / hand-capped frame parameters);
+this lane runs them all as subprocesses, exactly like a reader would,
+and fails on any exception or non-zero exit.
+
+Marked ``slow``: the fast PR lane (``-m "not slow"``) skips it, the
+full tier-1 gate and the CI examples lane run it.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((ROOT / "examples").glob("*.py"))
+
+
+def test_example_inventory_is_nonempty():
+    assert len(EXAMPLES) >= 10
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean_in_fast_mode(example):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLES_FAST"] = "1"
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    result = subprocess.run(
+        [sys.executable, str(example)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{example.name} failed (exit {result.returncode}):\n"
+        f"{result.stderr[-2000:]}"
+    )
+    # Every example prints something; silence means it silently did
+    # nothing, which is its own kind of broken.
+    assert result.stdout.strip(), f"{example.name} produced no output"

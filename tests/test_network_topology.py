@@ -93,3 +93,65 @@ def test_figure1_instance_layout():
 def test_figure1_instance_needs_two_links():
     with pytest.raises(ConfigurationError):
         figure1_instance(1)
+
+
+class TestDegenerateInputsRejected:
+    """Non-positive geometry and degenerate node counts must raise with
+    messages naming the offending parameter — never produce an empty or
+    absurd network silently."""
+
+    @pytest.mark.parametrize("side", [0.0, -1.0])
+    def test_random_network_rejects_non_positive_side(self, side):
+        with pytest.raises(ConfigurationError, match="side must be positive"):
+            random_sinr_network(10, side=side, rng=0)
+
+    @pytest.mark.parametrize("radius", [0.0, -0.5])
+    def test_random_network_rejects_non_positive_link_radius(self, radius):
+        # Used to fall through to the nearest-neighbour fallback and
+        # return a connected-anyway network for an impossible radius.
+        with pytest.raises(
+            ConfigurationError, match="max_link_length must be positive"
+        ):
+            random_sinr_network(10, max_link_length=radius, rng=0)
+
+    @pytest.mark.parametrize("rows,cols", [(0, 3), (3, 0), (-1, 2)])
+    def test_grid_rejects_non_positive_dimensions(self, rows, cols):
+        with pytest.raises(
+            ConfigurationError, match="grid dimensions must be >= 1"
+        ):
+            grid_network(rows, cols)
+
+    def test_grid_rejects_single_node(self):
+        # 1x1 used to build a linkless one-node network silently.
+        with pytest.raises(
+            ConfigurationError, match="grid needs at least 2 nodes"
+        ):
+            grid_network(1, 1)
+
+    def test_grid_rejects_non_positive_spacing(self):
+        with pytest.raises(
+            ConfigurationError, match="spacing must be positive"
+        ):
+            grid_network(2, 2, spacing=0.0)
+
+    def test_line_rejects_non_positive_spacing(self):
+        with pytest.raises(
+            ConfigurationError, match="spacing must be positive"
+        ):
+            line_network(3, spacing=-1.0)
+
+    def test_star_rejects_non_positive_radius(self):
+        with pytest.raises(
+            ConfigurationError, match="radius must be positive"
+        ):
+            star_network(4, radius=0.0)
+
+    def test_figure1_rejects_non_positive_geometry(self):
+        with pytest.raises(
+            ConfigurationError, match="short_length must be positive"
+        ):
+            figure1_instance(3, short_length=0.0)
+        with pytest.raises(
+            ConfigurationError, match="separation must be positive"
+        ):
+            figure1_instance(3, separation=-10.0)
