@@ -230,6 +230,48 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default: respect the specs)",
     )
     _add_executor_arguments(fleet)
+    fault = fleet.add_argument_group(
+        "fault tolerance",
+        "any of these switches the fleet onto the resilient executor "
+        "(retry with backoff, crash quarantine, durable manifest); "
+        "e.g. `repro fleet --checkpoint-dir runs/f1` then, after an "
+        "interruption, `repro fleet --checkpoint-dir runs/f1 --resume`",
+    )
+    fault.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for the fleet manifest and per-cell simulation "
+             "checkpoints (enables crash-durable execution)",
+    )
+    fault.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already completed in --checkpoint-dir's manifest "
+             "and resume unfinished ones from their last snapshot",
+    )
+    fault.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per cell for transient failures (default: 2)",
+    )
+    fault.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell; a wedged cell is killed and "
+             "retried (default: unlimited)",
+    )
+    fault.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=None,
+        metavar="FRAMES",
+        help="frames between simulation checkpoints inside each cell "
+             "(default: 50; needs --checkpoint-dir)",
+    )
 
     sub.add_parser("experiments", help="list the reproduced paper claims")
 
@@ -323,13 +365,52 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     if args.backend is not None:
         specs = [spec.replace(backend=args.backend) for spec in specs]
 
-    result = run_scenario_fleet(
-        specs, make_executor(args.executor, args.workers)
-    )
+    resilient = any(
+        value is not None
+        for value in (
+            args.checkpoint_dir,
+            args.max_retries,
+            args.cell_timeout,
+            args.snapshot_interval,
+        )
+    ) or args.resume
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume needs --checkpoint-dir (the manifest to "
+              "resume from)", file=sys.stderr)
+        return 2
+    if resilient:
+        from repro.sim.resilience import run_resilient_fleet
+
+        outcome = run_resilient_fleet(
+            specs,
+            workers=args.workers,
+            max_retries=(
+                args.max_retries if args.max_retries is not None else 2
+            ),
+            cell_timeout=args.cell_timeout,
+            manifest_dir=args.checkpoint_dir,
+            resume=args.resume,
+            snapshot_interval=args.snapshot_interval,
+        )
+        executor_label = "resilient"
+        records = [r for r in outcome.records if r is not None]
+        pairs = [
+            (spec, record)
+            for spec, record in zip(specs, outcome.records)
+            if record is not None
+        ]
+    else:
+        outcome = None
+        executor_label = args.executor
+        result = run_scenario_fleet(
+            specs, make_executor(args.executor, args.workers)
+        )
+        records = result.records
+        pairs = list(zip(specs, result.records))
     print(f"fleet: {source}, {len(specs)} network(s), "
-          f"executor '{args.executor}'")
+          f"executor '{executor_label}'")
     rows = []
-    for spec, record in zip(specs, result.records):
+    for spec, record in pairs:
         rows.append(
             [
                 record.rate_index,
@@ -349,15 +430,31 @@ def cmd_fleet(args: argparse.Namespace) -> int:
          "tail queue", "throughput", "latency", "stable"],
         rows,
     ))
-    summary = result.summary
-    print()
-    print(f"summary over {summary.networks} network(s): "
-          f"stable fraction {summary.stable_fraction:.2f}, "
-          f"mean tail queue {summary.mean_tail_queue:.1f}, "
-          f"mean throughput {summary.mean_throughput:.3f}, "
-          f"mean latency {summary.mean_latency:.0f}, "
-          f"injected {summary.total_injected}, "
-          f"delivered {summary.total_delivered}")
+    summary = outcome.summary if outcome is not None else result.summary
+    if summary is not None:
+        print()
+        print(f"summary over {summary.networks} network(s): "
+              f"stable fraction {summary.stable_fraction:.2f}, "
+              f"mean tail queue {summary.mean_tail_queue:.1f}, "
+              f"mean throughput {summary.mean_throughput:.3f}, "
+              f"mean latency {summary.mean_latency:.0f}, "
+              f"injected {summary.total_injected}, "
+              f"delivered {summary.total_delivered}")
+    if outcome is not None:
+        recovered = sum(
+            1 for s in outcome.statuses if s.source == "manifest"
+        )
+        if recovered:
+            print(f"resumed: {recovered} cell(s) recovered from the "
+                  f"manifest, {len(specs) - recovered} run")
+        for status in outcome.statuses:
+            if status.state in ("failed", "quarantined"):
+                last = status.failures[-1] if status.failures else "?"
+                print(f"cell {status.index} {status.state} after "
+                      f"{status.attempts} attempt(s): {last}",
+                      file=sys.stderr)
+        if not outcome.complete:
+            return 1
     return 0
 
 

@@ -183,6 +183,12 @@ EXPERIMENTS: List[ExperimentEntry] = [
         ">= 2x throughput at 4 workers",
         "bench_p5_fleet.py",
     ),
+    ExperimentEntry(
+        "P6", "Robustness",
+        "checkpointed execution: interrupt+resume bit-identical, "
+        "<= ~5% overhead at the default snapshot interval",
+        "bench_p6_checkpoint.py",
+    ),
 ]
 
 

@@ -59,6 +59,25 @@ class PotentialTracker:
         """Record the end-of-frame value."""
         self.series.append(self.value)
 
+    def state_dict(self) -> dict:
+        return {
+            "value": self.value,
+            "series": list(self.series),
+            "total_failures": self.total_failures,
+            "total_cleanup_hops": self.total_cleanup_hops,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.errors import ConfigurationError
+
+        try:
+            self.value = int(state["value"])
+            self.series = [int(v) for v in state["series"]]
+            self.total_failures = int(state["total_failures"])
+            self.total_cleanup_hops = int(state["total_cleanup_hops"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"invalid potential state: {exc}") from exc
+
     def drift_estimate(self, window: int = 50) -> float:
         """Mean per-frame change over the last ``window`` samples."""
         if len(self.series) < 2:

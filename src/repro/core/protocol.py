@@ -44,6 +44,7 @@ Two bookkeeping modes share the frame logic:
 from __future__ import annotations
 
 import bisect
+import itertools
 import math
 from collections import deque
 from dataclasses import dataclass
@@ -218,6 +219,110 @@ class DynamicProtocol:
             for link, buffer in self._failed_buffers.items()
             if buffer
         }
+
+    @property
+    def model(self) -> InterferenceModel:
+        return self._model
+
+    @property
+    def algorithm(self) -> StaticAlgorithm:
+        return self._algorithm
+
+    # ------------------------------------------------------------------
+    # Checkpoint support (store mode only)
+    # ------------------------------------------------------------------
+
+    def state_dict(self, copy: bool = True) -> dict:
+        """Snapshot of all mutable protocol state at a frame boundary.
+
+        Only store mode is checkpointable — object mode holds live
+        ``Packet`` objects whose identity cannot be reconstructed from
+        arrays. Failed buffers are flattened CSR-style (sorted link ids,
+        offsets, concatenated FIFO contents) so the whole snapshot is
+        arrays plus plain scalars. ``copy=False`` lets the snapshot
+        alias live arrays (serialize it before the protocol runs again).
+        """
+        if self._store is None:
+            raise ConfigurationError(
+                "checkpointing requires store mode; object-mode protocols "
+                "hold live Packet objects and cannot be snapshotted"
+            )
+        buffers = sorted(
+            (link, buffer)
+            for link, buffer in self._failed_buffers.items()
+            if buffer
+        )
+        counts = [len(buffer) for _, buffer in buffers]
+        offsets = np.zeros(len(buffers) + 1, dtype=np.int64)
+        if buffers:
+            np.cumsum(counts, out=offsets[1:])
+            contents = np.fromiter(
+                itertools.chain.from_iterable(b for _, b in buffers),
+                dtype=np.int64,
+                count=int(offsets[-1]),
+            )
+        else:
+            contents = np.empty(0, dtype=np.int64)
+        return {
+            "frame_index": self._frame_index,
+            "rng": self._rng.bit_generator.state,
+            "active_idx": (
+                self._active_idx.copy() if copy else self._active_idx
+            ),
+            "failed_links": np.asarray(
+                [link for link, _ in buffers], dtype=np.int64
+            ),
+            "failed_offsets": offsets,
+            "failed_contents": contents,
+            "delivered_ids": np.asarray(self._delivered_ids, dtype=np.int64),
+            "potential": self.potential.state_dict(),
+            "algorithm": self._algorithm.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        The algorithm entry is a compatibility check (the scheduler is
+        stateless, but resuming under different parameters would
+        diverge); everything else replaces the protocol's mutable state.
+        """
+        from repro.utils.rng import restore_generator_state
+
+        if self._store is None:
+            raise ConfigurationError(
+                "checkpointing requires store mode; object-mode protocols "
+                "cannot restore snapshots"
+            )
+        try:
+            frame_index = int(state["frame_index"])
+            active_idx = np.asarray(state["active_idx"], dtype=np.int64)
+            links = np.asarray(state["failed_links"], dtype=np.int64)
+            offsets = np.asarray(state["failed_offsets"], dtype=np.int64)
+            contents = np.asarray(state["failed_contents"], dtype=np.int64)
+            delivered = np.asarray(state["delivered_ids"], dtype=np.int64)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"invalid protocol state: {exc}") from exc
+        if offsets.size != links.size + 1 or (
+            offsets.size and offsets[-1] != contents.size
+        ):
+            raise ConfigurationError(
+                "protocol state failed-buffer CSR is inconsistent: "
+                f"{links.size} links, {offsets.size} offsets, "
+                f"{contents.size} entries"
+            )
+        self._algorithm.load_state_dict(state.get("algorithm", {}))
+        self._frame_index = frame_index
+        restore_generator_state(self._rng, state["rng"])
+        self._active_idx = active_idx
+        self._failed_buffers = {
+            int(link): deque(
+                int(p) for p in contents[offsets[k] : offsets[k + 1]]
+            )
+            for k, link in enumerate(links)
+        }
+        self._delivered_ids = [int(p) for p in delivered]
+        self._delivered = []
+        self.potential.load_state_dict(state["potential"])
 
     # ------------------------------------------------------------------
     # The frame loop

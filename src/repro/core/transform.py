@@ -94,6 +94,16 @@ class TransformedAlgorithm(StaticAlgorithm):
     def base(self) -> StaticAlgorithm:
         return self._base
 
+    def state_dict(self):
+        return {
+            "name": self.name,
+            "m": self._m,
+            "phi": self._phi,
+            "chi_scale": self._chi_scale,
+            "charge_reserved": self._charge_reserved,
+            "base": self._base.state_dict(),
+        }
+
     @property
     def chi(self) -> float:
         """The class-measure target ``chi``."""

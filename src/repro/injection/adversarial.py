@@ -105,6 +105,65 @@ class WindowAdversary(InjectionProcess):
     def _plan_window(self, index: int) -> Dict[int, List[Path]]:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _plan_to_state(plan: Dict[int, List[Path]]) -> Dict[str, list]:
+        return {
+            str(offset): [list(path) for path in paths]
+            for offset, paths in plan.items()
+        }
+
+    @staticmethod
+    def _plan_from_state(state: Dict[str, list]) -> Dict[int, List[Path]]:
+        return {
+            int(offset): [tuple(int(e) for e in path) for path in paths]
+            for offset, paths in state.items()
+        }
+
+    def state_dict(self) -> dict:
+        """Mutable state: the packing RNG plus every cached window plan.
+
+        Plans must be serialized, not recomputed — planning consumes the
+        RNG, so a resumed adversary that re-planned a window would
+        diverge from the uninterrupted run.
+        """
+        state = {
+            "rng": self._rng.bit_generator.state,
+            "plans": {
+                str(index): self._plan_to_state(plan)
+                for index, plan in self._plans.items()
+            },
+        }
+        if hasattr(self, "_periodic_plan"):
+            periodic = self._periodic_plan
+            state["periodic_plan"] = (
+                None if periodic is None else self._plan_to_state(periodic)
+            )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.utils.rng import restore_generator_state
+
+        try:
+            plans = {
+                int(index): self._plan_from_state(plan)
+                for index, plan in state["plans"].items()
+            }
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ConfigurationError(
+                f"invalid adversary plan state: {exc}"
+            ) from exc
+        restore_generator_state(self._rng, state["rng"])
+        self._plans = plans
+        if hasattr(self, "_periodic_plan"):
+            periodic = state.get("periodic_plan")
+            self._periodic_plan = (
+                None if periodic is None else self._plan_from_state(periodic)
+            )
+
     def _verify_budget(self, plan: Dict[int, List[Path]], index: int) -> None:
         all_links: List[int] = []
         for paths in plan.values():

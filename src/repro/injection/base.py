@@ -125,5 +125,33 @@ class InjectionProcess(ABC):
         for slot in range(horizon):
             yield self.packets_for_slot(slot)
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the process's mutable state.
+
+        The built-in processes override this (their state is RNG
+        streams plus, for the adversaries, cached window plans). The
+        base implementation refuses: a process without explicit
+        checkpoint support cannot guarantee resume parity.
+        """
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"{type(self).__name__} does not support checkpointing "
+            "(no state_dict)"
+        )
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"{type(self).__name__} does not support checkpointing "
+            "(no load_state_dict)"
+        )
+
 
 __all__ = ["InjectionProcess"]

@@ -111,6 +111,32 @@ class MarkovModulatedInjection(InjectionProcess):
     def generators(self) -> List[PathGenerator]:
         return list(self._generators)
 
+    def state_dict(self) -> dict:
+        """Mutable state: per-generator RNGs, chain states, slot cursor."""
+        return {
+            "rngs": [rng.bit_generator.state for rng in self._rngs],
+            "states": [bool(s) for s in self._states],
+            "next_slot": self._next_slot,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.utils.rng import restore_generator_state
+
+        states = state.get("rngs")
+        chain = state.get("states")
+        if not isinstance(states, list) or len(states) != len(self._rngs):
+            raise ConfigurationError(
+                "Markov injection state does not match the generator count"
+            )
+        if not isinstance(chain, list) or len(chain) != len(self._states):
+            raise ConfigurationError(
+                "Markov injection state has a mismatched chain-state vector"
+            )
+        for rng, rng_state in zip(self._rngs, states):
+            restore_generator_state(rng, rng_state)
+        self._states = [bool(s) for s in chain]
+        self._next_slot = int(state["next_slot"])
+
     def mean_usage(self, num_links: int) -> np.ndarray:
         """Stationary mean per-slot usage: ``pi_on`` times the ON usage."""
         usage = np.zeros(num_links, dtype=float)
@@ -198,6 +224,15 @@ class PoissonBatchInjection(InjectionProcess):
     @property
     def batch_mean(self) -> float:
         return self._batch_mean
+
+    def state_dict(self) -> dict:
+        """Mutable state: the single arrival RNG."""
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.utils.rng import restore_generator_state
+
+        restore_generator_state(self._rng, state["rng"])
 
     def mean_usage(self, num_links: int) -> np.ndarray:
         """``batch_mean`` times the per-packet expected link usage."""

@@ -150,6 +150,23 @@ class StochasticInjection(InjectionProcess):
     def generators(self) -> List[PathGenerator]:
         return list(self._generators)
 
+    def state_dict(self) -> dict:
+        """Mutable state: one RNG stream per generator."""
+        return {"rngs": [rng.bit_generator.state for rng in self._rngs]}
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.errors import ConfigurationError
+        from repro.utils.rng import restore_generator_state
+
+        states = state.get("rngs")
+        if not isinstance(states, list) or len(states) != len(self._rngs):
+            raise ConfigurationError(
+                f"injection state has {0 if not isinstance(states, list) else len(states)} "
+                f"RNG streams but this process has {len(self._rngs)} generators"
+            )
+        for rng, rng_state in zip(self._rngs, states):
+            restore_generator_state(rng, rng_state)
+
     def mean_usage(self, num_links: int) -> np.ndarray:
         """The exact mean per-slot path-usage vector ``F``."""
         usage = np.zeros(num_links, dtype=float)

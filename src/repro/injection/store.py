@@ -184,6 +184,92 @@ class PacketStore:
         return (self._min_link, self._max_link)
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def state_dict(self, copy: bool = True) -> dict:
+        """Copies of the live (trimmed) arrays plus the scalar counters.
+
+        ``copy=False`` returns the live trimmed views instead — cheaper
+        for a caller that serializes the snapshot immediately, but the
+        arrays alias the store and must not be kept across mutations.
+        """
+        arrays = {
+            "injected_at": self.injected_at,
+            "delivered_at": self.delivered_at,
+            "hops_done": self.hops_done,
+            "failed_at_frame": self.failed_at_frame,
+            "failed": self.failed,
+            "offsets": self.offsets,
+            "path_links": self.path_links,
+        }
+        if copy:
+            arrays = {key: value.copy() for key, value in arrays.items()}
+        return {
+            "n": self._n,
+            "path_used": self._path_used,
+            "min_link": self._min_link,
+            "max_link": self._max_link,
+            **arrays,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot, replacing all contents.
+
+        Raises :class:`repro.errors.ConfigurationError` when the
+        snapshot's arrays are inconsistent with its counters.
+        """
+        from repro.errors import ConfigurationError
+
+        try:
+            n = int(state["n"])
+            path_used = int(state["path_used"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"invalid store state: {exc}") from exc
+        specs = {
+            "injected_at": (np.int64, n),
+            "delivered_at": (np.int64, n),
+            "hops_done": (np.int64, n),
+            "failed_at_frame": (np.int64, n),
+            "failed": (np.bool_, n),
+            "offsets": (np.int64, n + 1),
+            "path_links": (np.int64, path_used),
+        }
+        arrays = {}
+        for key, (dtype, size) in specs.items():
+            if key not in state:
+                raise ConfigurationError(f"store state is missing '{key}'")
+            arr = np.asarray(state[key])
+            if arr.ndim != 1 or arr.size != size or arr.dtype != np.dtype(dtype):
+                raise ConfigurationError(
+                    f"store state '{key}' must be a 1-d {np.dtype(dtype)} "
+                    f"array of size {size}, got shape {arr.shape} dtype "
+                    f"{arr.dtype}"
+                )
+            arrays[key] = arr
+        capacity = max(1, n)
+        self._n = n
+        self._path_used = path_used
+        for key in ("injected_at", "delivered_at", "hops_done", "failed_at_frame"):
+            fill = _NOT_YET if key in ("delivered_at", "failed_at_frame") else 0
+            backing = np.full(capacity, fill, dtype=np.int64)
+            backing[:n] = arrays[key]
+            setattr(self, "_" + key, backing)
+        failed = np.zeros(capacity, dtype=bool)
+        failed[:n] = arrays["failed"]
+        self._failed = failed
+        offsets = np.zeros(capacity + 1, dtype=np.int64)
+        offsets[: n + 1] = arrays["offsets"]
+        self._offsets = offsets
+        path_links = np.zeros(max(1, path_used), dtype=np.int64)
+        path_links[:path_used] = arrays["path_links"]
+        self._path_links = path_links
+        min_link = state.get("min_link")
+        max_link = state.get("max_link")
+        self._min_link = None if min_link is None else int(min_link)
+        self._max_link = None if max_link is None else int(max_link)
+
+    # ------------------------------------------------------------------
     # Array access (trimmed live views — re-fetch after allocations,
     # growth may reallocate the backing buffers)
     # ------------------------------------------------------------------

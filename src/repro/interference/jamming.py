@@ -156,6 +156,27 @@ class RandomPattern(JammingPattern):
     def jam_fraction(self) -> float:
         return self._sigma
 
+    def state_dict(self) -> dict:
+        """Mutable state: the coin RNG plus the per-slot decision memo.
+
+        The memo must travel with the RNG — replaying a decided slot
+        after resume must neither flip the decision nor burn a coin.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "decided": {
+                str(slot): bool(v) for slot, v in self._decided.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.utils.rng import restore_generator_state
+
+        restore_generator_state(self._rng, state["rng"])
+        self._decided = {
+            int(slot): bool(v) for slot, v in state["decided"].items()
+        }
+
 
 class FrontLoadedPattern(JammingPattern):
     """A ``(window, sigma)``-bounded jammer spending its whole budget upfront.
@@ -245,6 +266,40 @@ class JammedModel(InterferenceModel):
     def reset(self) -> None:
         """Rewind the jammer clock to slot 0 (e.g. after probing)."""
         self._slot = 0
+
+    def state_dict(self) -> dict:
+        """Mutable state: the slot clock, plus pattern/base state if any."""
+        state: dict = {"slot": self._slot}
+        pattern_state = getattr(self._pattern, "state_dict", None)
+        state["pattern"] = (
+            pattern_state() if pattern_state is not None else None
+        )
+        base_state = getattr(self._base, "state_dict", None)
+        state["base"] = base_state() if base_state is not None else None
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.errors import ConfigurationError as _CfgError
+
+        self._slot = int(state["slot"])
+        pattern_state = state.get("pattern")
+        if pattern_state is not None:
+            loader = getattr(self._pattern, "load_state_dict", None)
+            if loader is None:
+                raise _CfgError(
+                    f"checkpoint carries jamming-pattern state but "
+                    f"{type(self._pattern).__name__} is stateless"
+                )
+            loader(pattern_state)
+        base_state = state.get("base")
+        if base_state is not None:
+            loader = getattr(self._base, "load_state_dict", None)
+            if loader is None:
+                raise _CfgError(
+                    f"checkpoint carries base-model state but "
+                    f"{type(self._base).__name__} is stateless"
+                )
+            loader(base_state)
 
     def _build_weight_matrix(self) -> np.ndarray:
         # Jamming is orthogonal to interference geometry.

@@ -95,6 +95,29 @@ class UnreliableModel(InterferenceModel):
     def loss_probability(self) -> float:
         return self._loss
 
+    def state_dict(self) -> dict:
+        """Mutable state: the loss-coin RNG (plus base-model state)."""
+        base_state = getattr(self._base, "state_dict", None)
+        return {
+            "rng": self._rng.bit_generator.state,
+            "base": base_state() if base_state is not None else None,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.errors import ConfigurationError
+        from repro.utils.rng import restore_generator_state
+
+        restore_generator_state(self._rng, state["rng"])
+        base_state = state.get("base")
+        if base_state is not None:
+            loader = getattr(self._base, "load_state_dict", None)
+            if loader is None:
+                raise ConfigurationError(
+                    f"checkpoint carries base-model state but "
+                    f"{type(self._base).__name__} is stateless"
+                )
+            loader(base_state)
+
     def _build_weight_matrix(self) -> np.ndarray:
         # Interference geometry is unchanged; only delivery is thinned.
         return np.array(self._base.weight_matrix())

@@ -34,15 +34,33 @@ would print as ``rows: 'int'``.)
 from typing import Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.injection.markov import PoissonBatchInjection
+from repro.injection.adversarial import (
+    BurstyAdversary,
+    SawtoothAdversary,
+    SmoothAdversary,
+    TargetedAdversary,
+)
+from repro.injection.markov import (
+    MarkovModulatedInjection,
+    PoissonBatchInjection,
+)
 from repro.injection.stochastic import PathGenerator, uniform_pair_injection
 from repro.interference.builders import (
     distance2_matching_conflicts,
     node_constraint_conflicts,
 )
 from repro.interference.conflict import ConflictGraphModel
+from repro.interference.jamming import (
+    FrontLoadedPattern,
+    JammedModel,
+    PeriodicBurstPattern,
+    RandomPattern,
+)
 from repro.interference.mac import MultipleAccessChannel
 from repro.interference.packet_routing import PacketRoutingModel
+from repro.interference.unreliable import UnreliableModel
+from repro.scenario.registry import resolve
+from repro.sinr.fading import RayleighFadingSinrModel
 from repro.network.topology import (
     figure1_instance,
     grid_network,
@@ -190,6 +208,60 @@ def model_conflict_distance2(network, connectivity_radius: float = 1.0):
     )
 
 
+@register("model", "fading-sinr")
+def model_fading_sinr(
+    network, alpha: float = 3.0, beta: float = 1.0, noise: float = 0.02,
+    seed: int = 0,
+):
+    """SINR with Rayleigh block fading; per-slot randomness from ``seed``.
+
+    Stateful-model seeds are offset by 2000 so the fading stream never
+    collides with the protocol stream (``seed``) or the injection
+    stream (``seed + 1000``).
+    """
+    return RayleighFadingSinrModel(
+        network, alpha=alpha, beta=beta, noise=noise, rng=seed + 2000
+    )
+
+
+@register("model", "unreliable")
+def model_unreliable(
+    network, loss_probability: float = 0.1, base: str = "packet-routing",
+    seed: int = 0,
+):
+    """Any registered base model thinned by iid per-transmission loss."""
+    base_model = resolve("model", base)(network)
+    return UnreliableModel(base_model, loss_probability, rng=seed + 2000)
+
+
+@register("model", "jammed")
+def model_jammed(
+    network, pattern: str = "periodic", base: str = "packet-routing",
+    period: int = 8, burst: int = 2, sigma: float = 0.25, window: int = 16,
+    seed: int = 0,
+):
+    """Any registered base model under a bounded jammer.
+
+    ``pattern`` selects the jamming schedule: ``periodic`` (first
+    ``burst`` slots of every ``period``), ``random`` (iid with
+    probability ``sigma``), or ``front-loaded`` (whole
+    ``(window, sigma)`` budget upfront).
+    """
+    base_model = resolve("model", base)(network)
+    if pattern == "periodic":
+        jam = PeriodicBurstPattern(period, burst)
+    elif pattern == "random":
+        jam = RandomPattern(sigma, rng=seed + 2000)
+    elif pattern == "front-loaded":
+        jam = FrontLoadedPattern(window, sigma)
+    else:
+        raise ConfigurationError(
+            f"unknown jamming pattern '{pattern}'; choose from periodic, "
+            "random, front-loaded"
+        )
+    return JammedModel(base_model, jam)
+
+
 # ----------------------------------------------------------------------
 # Schedulers — the classes themselves: constructor == parameter surface
 # ----------------------------------------------------------------------
@@ -263,15 +335,77 @@ def injection_poisson_batch(routing, model, rate, seed, pairs=None):
     )
 
 
+@register("injection", "markov")
+def injection_markov(
+    routing, model, rate, seed, p_on_off: float = 0.2,
+    p_off_on: float = 0.2, num_generators: int = 6, pairs=None,
+):
+    """Markov-modulated ON/OFF generators, long-run rate exactly ``rate``.
+
+    Each generator is uniform over the routed pairs while ON; the
+    conditional (ON) probabilities are scaled so the *stationary* rate
+    ``pi_on * ||W . F_on||_inf`` hits the target.
+    """
+    if num_generators < 1:
+        raise ConfigurationError(
+            f"num_generators must be >= 1, got {num_generators}"
+        )
+    paths = _routed_paths(routing, pairs)
+    probability = 1.0 / len(paths)
+    base = PathGenerator([(path, probability) for path in paths])
+    pi_on = p_off_on / (p_on_off + p_off_on)
+    stationary = pi_on * num_generators * model.injection_norm(
+        base.mean_usage(model.num_links)
+    )
+    if stationary <= 0:
+        raise ConfigurationError(
+            "stationary injection rate is zero; cannot scale to the target"
+        )
+    generators = [
+        base.scaled(rate / stationary) for _ in range(num_generators)
+    ]
+    return MarkovModulatedInjection(
+        generators, p_on_off, p_off_on, rng=seed + 1000
+    )
+
+
+_ADVERSARIES = {
+    "smooth": SmoothAdversary,
+    "bursty": BurstyAdversary,
+    "sawtooth": SawtoothAdversary,
+    "targeted": TargetedAdversary,
+}
+
+
+@register("injection", "adversarial")
+def injection_adversarial(
+    routing, model, rate, seed, kind: str = "smooth", window: int = 32,
+    pairs=None,
+):
+    """A ``(window, rate)``-bounded adversary over the routed paths."""
+    if kind not in _ADVERSARIES:
+        raise ConfigurationError(
+            f"unknown adversary kind '{kind}'; choose from "
+            f"{', '.join(sorted(_ADVERSARIES))}"
+        )
+    paths = _routed_paths(routing, pairs)
+    return _ADVERSARIES[kind](model, paths, window, rate, rng=seed + 1000)
+
+
 __all__ = [
+    "injection_adversarial",
+    "injection_markov",
     "injection_poisson_batch",
     "injection_uniform_pairs",
     "model_conflict_distance2",
     "model_conflict_node",
+    "model_fading_sinr",
+    "model_jammed",
     "model_linear_power",
     "model_mac",
     "model_packet_routing",
     "model_sqrt_power",
+    "model_unreliable",
     "topology_figure1",
     "topology_grid",
     "topology_line",

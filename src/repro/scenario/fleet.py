@@ -40,13 +40,34 @@ class FleetUnit:
     The position doubles as the record's ``rate_index`` so results keep
     their spec order through any executor (the aggregation relies on
     order-preserving maps, exactly like the sweep path).
+
+    With ``checkpoint_path`` set, the unit runs resumably: a crash or
+    interruption loses at most ``snapshot_interval`` frames, and a
+    retry (or a resumed fleet) picks up from the last snapshot.
     """
 
     spec: ScenarioSpec
     index: int
+    checkpoint_path: Optional[str] = None
+    snapshot_interval: Optional[int] = None
+
+    def with_checkpoint(
+        self, path: str, interval: Optional[int] = None
+    ) -> "FleetUnit":
+        """A copy of this unit that checkpoints to ``path``."""
+        return FleetUnit(
+            spec=self.spec,
+            index=self.index,
+            checkpoint_path=path,
+            snapshot_interval=interval,
+        )
 
     def run(self) -> CellResult:
-        return self.spec.run(rate_index=self.index)
+        return self.spec.run(
+            rate_index=self.index,
+            checkpoint_path=self.checkpoint_path,
+            snapshot_interval=self.snapshot_interval,
+        )
 
 
 @dataclass(frozen=True)

@@ -29,9 +29,11 @@ process from ``seed + 1000``.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import importlib
 import inspect
 import json
+import os
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -232,6 +234,21 @@ class ScenarioSpec:
         """A copy with ``changes`` applied (fields re-validated)."""
         return dataclasses.replace(self, **changes)
 
+    def fingerprint(self) -> str:
+        """Stable hash of the run-defining configuration.
+
+        Stored in checkpoints as a compatibility check: a checkpoint is
+        resumable only by a spec with the same fingerprint. ``frames``
+        is excluded (the horizon is exactly what resume extends) and so
+        is ``backend`` (all backends replay the same bit stream —
+        resuming under a different backend is supported and identical).
+        """
+        data = self.to_dict()
+        data.pop("frames", None)
+        data.pop("backend", None)
+        canonical = json.dumps(data, sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     # -- construction and execution ------------------------------------
 
     def build(self, with_protocol: bool = True) -> BuiltScenario:
@@ -252,7 +269,13 @@ class ScenarioSpec:
         if "seed" not in topology_kwargs and _accepts_seed(topology_builder):
             topology_kwargs["seed"] = self.seed
         network = topology_builder(**topology_kwargs)
-        model = resolve("model", self.model)(network, **self.model_kwargs)
+        model_builder = resolve("model", self.model)
+        model_kwargs = dict(self.model_kwargs)
+        if "seed" not in model_kwargs and _accepts_seed(model_builder):
+            # Stateful models (fading, unreliable, jammed) draw their
+            # own randomness; the spec's seed keeps them replayable.
+            model_kwargs["seed"] = self.seed
+        model = model_builder(network, **model_kwargs)
         algorithm = resolve("scheduler", self.scheduler)(
             **self.scheduler_kwargs
         )
@@ -296,6 +319,8 @@ class ScenarioSpec:
         self,
         rate_index: int = 0,
         load_per_frame: Optional[float] = None,
+        checkpoint_path: Optional[str] = None,
+        snapshot_interval: Optional[int] = None,
     ) -> CellResult:
         """Build and measure the scenario in whichever process this runs.
 
@@ -303,15 +328,63 @@ class ScenarioSpec:
         cell produces, so fleet results fold through the shared
         aggregation machinery. ``backend`` (when set) is pinned for the
         duration of the run only.
+
+        With ``checkpoint_path`` the run is resumable: a valid existing
+        checkpoint (matching this spec's :meth:`fingerprint`) is
+        restored and only the remaining frames run, with a snapshot
+        written every ``snapshot_interval`` frames and at the end. An
+        invalid, corrupt, or foreign checkpoint is discarded and the
+        run restarts from frame 0 — the run is deterministic, so the
+        result is bit-identical either way.
         """
         built = self.build()
         context = (
             use_backend(self.backend) if self.backend else nullcontext()
         )
         with context:
-            return measure_cell(
+            if checkpoint_path is None:
+                return measure_cell(
+                    built.protocol,
+                    built.injection,
+                    self.frames,
+                    rate=built.rate,
+                    seed=self.seed,
+                    rate_index=rate_index,
+                    load_per_frame=load_per_frame,
+                    load_from_injected=self.load_from_injected,
+                )
+            from repro.sim import checkpoint as ckpt
+            from repro.sim.engine import FrameSimulation
+            from repro.sim.runner import summarize_cell
+
+            fingerprint = self.fingerprint()
+            simulation = FrameSimulation(built.protocol, built.injection)
+            if os.path.exists(checkpoint_path):
+                try:
+                    ckpt.load_checkpoint_into(
+                        simulation, checkpoint_path, fingerprint=fingerprint
+                    )
+                    if simulation.frames_run > self.frames:
+                        raise ConfigurationError(
+                            "checkpoint is past the requested horizon"
+                        )
+                except ConfigurationError:
+                    # A restore can fail mid-way, leaving mixed state:
+                    # rebuild from scratch and start at frame 0.
+                    built = self.build()
+                    simulation = FrameSimulation(
+                        built.protocol, built.injection
+                    )
+            ckpt.run_with_checkpoints(
+                simulation,
+                self.frames,
+                checkpoint_path,
+                interval=snapshot_interval,
+                fingerprint=fingerprint,
+            )
+            return summarize_cell(
                 built.protocol,
-                built.injection,
+                simulation.metrics,
                 self.frames,
                 rate=built.rate,
                 seed=self.seed,

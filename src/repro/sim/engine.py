@@ -75,12 +75,87 @@ class FrameSimulation:
         return self._protocol
 
     @property
+    def injection(self) -> InjectionProcess:
+        return self._injection
+
+    @property
     def metrics(self) -> MetricsRecorder:
         return self._metrics
 
     @property
     def frames_run(self) -> int:
         return self._frame
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def state_dict(self, copy: bool = True) -> dict:
+        """Snapshot of the whole simulation at the current frame boundary.
+
+        The protocol runs each frame to completion, so between frames
+        every layer is quiescent and the boundary is a natural
+        checkpoint: restoring this snapshot and continuing is
+        bit-identical to never having stopped, on every backend.
+        Requires a store-mode protocol sharing the injection's store
+        and an injection process with checkpoint support. ``copy=False``
+        lets the big array leaves alias live buffers — only for callers
+        that serialize the snapshot before the simulation runs again.
+        """
+        store = getattr(self._protocol, "store", None)
+        if store is None:
+            raise ConfigurationError(
+                "checkpointing requires a store-mode protocol"
+            )
+        state = {
+            "frame": self._frame,
+            "protocol": self._protocol.state_dict(copy=copy),
+            "store": store.state_dict(copy=copy),
+            "injection": self._injection.state_dict(),
+            "metrics": self._metrics.state_dict(),
+        }
+        model = self._protocol.model
+        model_state = getattr(model, "state_dict", None)
+        state["model"] = model_state() if model_state is not None else None
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto this simulation.
+
+        The simulation must have been freshly built from the same
+        configuration (topology, scheduler, injection, seed) that
+        produced the snapshot; only mutable state is restored.
+        """
+        store = getattr(self._protocol, "store", None)
+        if store is None:
+            raise ConfigurationError(
+                "checkpointing requires a store-mode protocol"
+            )
+        for key in ("frame", "protocol", "store", "injection", "metrics"):
+            if key not in state:
+                raise ConfigurationError(
+                    f"simulation state is missing '{key}'"
+                )
+        model = self._protocol.model
+        model_state = state.get("model")
+        loader = getattr(model, "load_state_dict", None)
+        if model_state is not None and loader is None:
+            raise ConfigurationError(
+                f"checkpoint carries state for a stateful model but "
+                f"{type(model).__name__} has no load_state_dict()"
+            )
+        if model_state is None and getattr(model, "state_dict", None):
+            raise ConfigurationError(
+                f"checkpoint has no model state but {type(model).__name__} "
+                "is stateful"
+            )
+        self._protocol.load_state_dict(state["protocol"])
+        store.load_state_dict(state["store"])
+        self._injection.load_state_dict(state["injection"])
+        self._metrics.load_state_dict(state["metrics"])
+        if model_state is not None:
+            loader(model_state)
+        self._frame = int(state["frame"])
 
     def run(self, frames: int) -> MetricsRecorder:
         """Advance the simulation by ``frames`` frames."""

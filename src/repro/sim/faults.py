@@ -1,0 +1,178 @@
+"""Deterministic fault injection for exercising the resilient executor.
+
+Production code never imports this module's behaviour: faults only fire
+when the ``REPRO_FAULTS`` environment variable carries a JSON plan, so
+the default cost in every worker is one ``os.environ.get`` returning
+``None``. The tests (and the CI fault-injection lane) set the variable
+to drive worker crashes, exceptions, timeouts, checkpoint corruption
+and mid-fleet interrupts through the *real* recovery paths — no mocks,
+no monkeypatched executors.
+
+Plan format — a JSON object keyed by fault kind, each a list of match
+entries::
+
+    REPRO_FAULTS='{
+        "kill":      [{"index": 1, "attempt": 0}],
+        "raise":     [{"index": 2}],
+        "delay":     [{"index": 3, "attempt": 0, "seconds": 5.0}],
+        "corrupt":   [{"index": 0, "attempt": 1}],
+        "interrupt": [{"index": 4}]
+    }'
+
+An entry matches a (cell index, attempt) pair when each of its
+``index`` / ``attempt`` fields is absent or equal — so ``{"index": 2}``
+fires on every attempt of cell 2, and ``{}`` fires on everything.
+
+Kinds:
+
+``kill``
+    Hard-exit the worker process (``os._exit(1)``) — the harshest
+    failure: no exception propagates, no cleanup runs, the pool just
+    loses a process. Only honoured inside a child process; in-process
+    execution raises ``RuntimeError`` instead so a misconfigured test
+    cannot take down the test runner.
+``raise``
+    Raise ``RuntimeError`` from inside the cell — a deterministic
+    application error (the signature the quarantine logic keys on).
+``delay``
+    Sleep ``seconds`` before running — drives cells past the
+    executor's per-cell timeout.
+``corrupt``
+    Flip bytes in the cell's checkpoint file (when one exists) before
+    the run — exercises checksum detection and fresh-restart recovery.
+``interrupt``
+    Raise ``KeyboardInterrupt`` — simulates Ctrl-C for the
+    interrupt/resume soak. Fires in whichever process runs the cell.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+ENV_VAR = "REPRO_FAULTS"
+
+_KINDS = ("kill", "raise", "delay", "corrupt", "interrupt")
+
+
+def _matches(entry: Dict[str, Any], index: int, attempt: int) -> bool:
+    if "index" in entry and int(entry["index"]) != index:
+        return False
+    if "attempt" in entry and int(entry["attempt"]) != attempt:
+        return False
+    return True
+
+
+class FaultInjector:
+    """A parsed fault plan; ``on_cell`` fires matching faults in order.
+
+    ``corrupt`` is special: it needs the checkpoint path, so the
+    executor trampoline asks :meth:`should_corrupt` separately before
+    the cell builds.
+    """
+
+    def __init__(self, plan: Dict[str, List[Dict[str, Any]]]):
+        if not isinstance(plan, dict):
+            raise ConfigurationError(
+                f"{ENV_VAR} must be a JSON object keyed by fault kind"
+            )
+        unknown = sorted(set(plan) - set(_KINDS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault kind(s) {', '.join(unknown)}; choose from "
+                f"{', '.join(_KINDS)}"
+            )
+        for kind, entries in plan.items():
+            if not isinstance(entries, list) or not all(
+                isinstance(e, dict) for e in entries
+            ):
+                raise ConfigurationError(
+                    f"{ENV_VAR}[{kind!r}] must be a list of match objects"
+                )
+        self._plan = plan
+
+    def _entries(self, kind: str, index: int, attempt: int):
+        return [
+            entry
+            for entry in self._plan.get(kind, [])
+            if _matches(entry, index, attempt)
+        ]
+
+    def should_corrupt(self, index: int, attempt: int) -> bool:
+        return bool(self._entries("corrupt", index, attempt))
+
+    def on_cell(self, index: int, attempt: int) -> None:
+        """Fire kill/raise/delay/interrupt faults matching this cell."""
+        if self._entries("kill", index, attempt):
+            if multiprocessing.parent_process() is not None:
+                os._exit(1)
+            raise RuntimeError(
+                f"fault plan kills cell {index} attempt {attempt}, but it "
+                "is running in the main process (refusing to _exit)"
+            )
+        for entry in self._entries("delay", index, attempt):
+            time.sleep(float(entry.get("seconds", 1.0)))
+        if self._entries("interrupt", index, attempt):
+            raise KeyboardInterrupt(
+                f"injected interrupt at cell {index} attempt {attempt}"
+            )
+        if self._entries("raise", index, attempt):
+            # Deliberately attempt-independent: the executor's
+            # quarantine logic keys on the failure signature, and a
+            # deterministic bug raises the same message every retry.
+            raise RuntimeError(f"injected fault at cell {index}")
+
+
+def corrupt_file(path: str, offset: int = 64, count: int = 8) -> None:
+    """Flip ``count`` bytes of ``path`` starting at ``offset`` (clamped).
+
+    Used by the ``corrupt`` fault and directly by tests; a no-op when
+    the file does not exist yet (nothing to corrupt on attempt 0).
+    """
+    try:
+        size = os.path.getsize(path)
+    except OSError:
+        return
+    if size == 0:
+        return
+    offset = min(offset, size - 1)
+    count = min(count, size - offset)
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        chunk = handle.read(count)
+        handle.seek(offset)
+        handle.write(bytes(b ^ 0xFF for b in chunk))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def active_injector() -> Optional[FaultInjector]:
+    """The injector described by ``REPRO_FAULTS``, or ``None``.
+
+    Re-reads the environment on every call: workers inherit (or
+    receive, under spawn) the variable from the parent, and tests flip
+    it between cases without rebuilding executors.
+    """
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    try:
+        plan = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"{ENV_VAR} is not valid JSON: {exc}"
+        ) from exc
+    return FaultInjector(plan)
+
+
+__all__ = [
+    "ENV_VAR",
+    "FaultInjector",
+    "active_injector",
+    "corrupt_file",
+]

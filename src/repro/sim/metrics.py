@@ -103,6 +103,45 @@ class MetricsRecorder:
         self.delivered_series.append(delivered_total)
 
     # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    _SERIES = (
+        "queue_series",
+        "active_series",
+        "failed_series",
+        "potential_series",
+        "delivered_series",
+        "injected_series",
+    )
+
+    def state_dict(self) -> dict:
+        state = {"frames": self.frames, "injected_total": self.injected_total}
+        for name in self._SERIES:
+            state[name] = list(getattr(self, name))
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        try:
+            frames = int(state["frames"])
+            injected_total = int(state["injected_total"])
+            series = {
+                name: [int(v) for v in state[name]] for name in self._SERIES
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"invalid metrics state: {exc}") from exc
+        for name, values in series.items():
+            if len(values) != frames:
+                raise ConfigurationError(
+                    f"metrics state '{name}' has {len(values)} entries for "
+                    f"{frames} frames"
+                )
+        self.frames = frames
+        self.injected_total = injected_total
+        for name, values in series.items():
+            setattr(self, name, values)
+
+    # ------------------------------------------------------------------
     # Summaries
     # ------------------------------------------------------------------
 

@@ -91,7 +91,35 @@ def measure_cell(
     certified rates).
     """
     simulation = simulate_protocol(protocol, injection, frames)
-    metrics = simulation.metrics
+    return summarize_cell(
+        protocol,
+        simulation.metrics,
+        frames,
+        rate=rate,
+        seed=seed,
+        rate_index=rate_index,
+        load_per_frame=load_per_frame,
+        load_from_injected=load_from_injected,
+    )
+
+
+def summarize_cell(
+    protocol,
+    metrics,
+    frames: int,
+    *,
+    rate: float,
+    seed: int,
+    rate_index: int = 0,
+    load_per_frame: Optional[float] = None,
+    load_from_injected: bool = False,
+) -> CellResult:
+    """Reduce an already-run simulation to a :class:`CellResult`.
+
+    The tail half of :func:`measure_cell`, split out so resumable runs
+    (which drive the engine themselves, snapshotting between chunks)
+    produce records identical to the one-shot path.
+    """
     if load_from_injected:
         load = max(1.0, metrics.injected_total / max(1, frames))
     elif load_per_frame is not None:
@@ -295,5 +323,6 @@ __all__ = [
     "FactoryCell",
     "build_factory_cells",
     "measure_cell",
+    "summarize_cell",
     "aggregate_rate_sweep",
 ]

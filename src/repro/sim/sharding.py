@@ -381,19 +381,38 @@ class ProcessExecutor:
             return pool.map(_run_unit, cells, chunksize=1)
 
 
-EXECUTORS = ("serial", "process")
+EXECUTORS = ("serial", "process", "resilient")
 
 
 def executor_names() -> List[str]:
     return list(EXECUTORS)
 
 
-def make_executor(kind: str, workers: Optional[int] = None):
-    """Build an executor by CLI name ('serial' or 'process')."""
+def make_executor(kind: str, workers: Optional[int] = None, **kwargs):
+    """Build an executor by CLI name ('serial', 'process', 'resilient').
+
+    Extra keyword arguments are forwarded to the resilient executor
+    (``max_retries``, ``cell_timeout``, ``manifest``, ``resume``, ...);
+    the plain executors accept none.
+    """
     if kind == "serial":
+        if kwargs:
+            raise ConfigurationError(
+                "the serial executor takes no extra options"
+            )
         return SerialExecutor()
     if kind == "process":
+        if kwargs:
+            raise ConfigurationError(
+                "the process executor takes no extra options"
+            )
         return ProcessExecutor(workers=workers)
+    if kind == "resilient":
+        # Imported lazily: resilience pulls in the scenario layer, and
+        # the common serial/process paths should not pay for it.
+        from repro.sim.resilience import FaultTolerantExecutor
+
+        return FaultTolerantExecutor(workers=workers, **kwargs)
     raise ConfigurationError(
         f"unknown executor '{kind}'; choose from {', '.join(EXECUTORS)}"
     )

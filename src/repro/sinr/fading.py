@@ -77,6 +77,15 @@ class RayleighFadingSinrModel(SinrModel):
         )
         self._fading_rng = ensure_rng(rng)
 
+    def state_dict(self) -> dict:
+        """Mutable state: the fading RNG."""
+        return {"rng": self._fading_rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.utils.rng import restore_generator_state
+
+        restore_generator_state(self._fading_rng, state["rng"])
+
     def _evaluate(self, ids: np.ndarray, powers: np.ndarray) -> Set[int]:
         gains = self._gains[np.ix_(ids, ids)]
         fades = self._fading_rng.exponential(1.0, size=gains.shape)

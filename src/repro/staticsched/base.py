@@ -32,7 +32,7 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -427,6 +427,36 @@ class StaticAlgorithm(ABC):
             f"{self.name} has no network-size length bound; apply the "
             "Section-3 transformation first"
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable snapshot of the scheduler's configuration.
+
+        Static algorithms are stateless between ``run()`` calls — all
+        per-run state lives inside ``run()`` — so the snapshot is the
+        constructor configuration plus the algorithm name. Checkpoints
+        store it as a compatibility check: resuming a run under a
+        scheduler built with different parameters would silently diverge
+        from the uninterrupted run.
+        """
+        return {"name": self.name}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Verify ``state`` matches this scheduler's configuration.
+
+        Raises :class:`repro.errors.ConfigurationError` on mismatch.
+        """
+        from repro.errors import ConfigurationError
+
+        current = self.state_dict()
+        if dict(state) != current:
+            raise ConfigurationError(
+                f"scheduler state mismatch: checkpoint was written by "
+                f"{state!r} but this scheduler is {current!r}"
+            )
 
     # ------------------------------------------------------------------
     # Shared slot loop

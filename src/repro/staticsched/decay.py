@@ -67,6 +67,14 @@ class DecayScheduler(StaticAlgorithm):
         self._budget_scale = check_positive("budget_scale", budget_scale)
         self._measure_floor = check_positive("measure_floor", measure_floor)
 
+    def state_dict(self):
+        return {
+            "name": self.name,
+            "probability_scale": self._probability_scale,
+            "budget_scale": self._budget_scale,
+            "measure_floor": self._measure_floor,
+        }
+
     def budget_for(self, measure: float, n: int) -> int:
         """``O(I log n)`` slots: ``budget_scale * c * max(I, 1) * ln(n + 2)``."""
         measure = max(measure, self._measure_floor)

@@ -51,6 +51,13 @@ class FkvScheduler(StaticAlgorithm):
         )
         self._phase_scale = check_positive("phase_scale", phase_scale)
 
+    def state_dict(self):
+        return {
+            "name": self.name,
+            "probability_scale": self._probability_scale,
+            "phase_scale": self._phase_scale,
+        }
+
     def budget_for(self, measure: float, n: int) -> int:
         """``O(I + log^2 n)``: the summed phase lengths."""
         measure = max(measure, 1.0)

@@ -78,6 +78,14 @@ class HmScheduler(StaticAlgorithm):
         self._budget_scale = check_positive("budget_scale", budget_scale)
         self._polylog_scale = check_positive("polylog_scale", polylog_scale)
 
+    def state_dict(self):
+        return {
+            "name": self.name,
+            "chi": self._chi,
+            "budget_scale": self._budget_scale,
+            "polylog_scale": self._polylog_scale,
+        }
+
     def budget_for(self, measure: float, n: int) -> int:
         """``O(I) + O(log^2 m log n)`` — with ``m`` unknown, uses ``n``.
 

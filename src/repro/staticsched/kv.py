@@ -76,6 +76,16 @@ class KvScheduler(StaticAlgorithm):
         self._recovery_slots = max(1, int(recovery_slots))
         self._budget_scale = check_positive("budget_scale", budget_scale)
 
+    def state_dict(self):
+        return {
+            "name": self.name,
+            "initial_probability": self._p0,
+            "min_probability": self._p_min,
+            "backoff": self._backoff,
+            "recovery_slots": self._recovery_slots,
+            "budget_scale": self._budget_scale,
+        }
+
     def budget_for(self, measure: float, n: int) -> int:
         """``O(I log n)`` with the adaptation's slack constant."""
         measure = max(measure, 1.0)

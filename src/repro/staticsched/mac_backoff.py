@@ -71,6 +71,9 @@ class MacBackoffScheduler(StaticAlgorithm):
         self._phi = float(phi)
         self._delta = float(delta)
 
+    def state_dict(self):
+        return {"name": self.name, "phi": self._phi, "delta": self._delta}
+
     # ------------------------------------------------------------------
     # Parameters from the paper's proof
     # ------------------------------------------------------------------

@@ -16,7 +16,7 @@ The idiom used throughout:
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -44,6 +44,36 @@ def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:
         raise ValueError(f"count must be non-negative, got {count}")
     parent = ensure_rng(rng)
     return [np.random.default_rng(s) for s in parent.bit_generator.seed_seq.spawn(count)]
+
+
+def generator_state(rng: np.random.Generator) -> Dict[str, Any]:
+    """Snapshot a generator's bit-generator state as a JSON-able dict.
+
+    PCG64 (the library default) exposes its whole state as plain ints;
+    Python's arbitrary-precision integers round-trip through JSON, so
+    the snapshot can be serialized and restored bit-exactly.
+    """
+    return rng.bit_generator.state
+
+
+def restore_generator_state(
+    rng: np.random.Generator, state: Dict[str, Any]
+) -> None:
+    """Restore a snapshot taken with :func:`generator_state`.
+
+    Raises :class:`repro.errors.ConfigurationError` if the snapshot does
+    not match the generator's bit-generator type or shape.
+    """
+    from repro.errors import ConfigurationError
+
+    if not isinstance(state, dict):
+        raise ConfigurationError(
+            f"RNG state must be a dict, got {type(state).__name__}"
+        )
+    try:
+        rng.bit_generator.state = state
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"incompatible RNG state: {exc}") from exc
 
 
 class RngFactory:
@@ -92,6 +122,8 @@ def geometric_delay(rng: np.random.Generator, success_probability: float) -> int
 __all__ = [
     "RngLike",
     "ensure_rng",
+    "generator_state",
+    "restore_generator_state",
     "spawn_rngs",
     "RngFactory",
     "random_subset",
