@@ -119,6 +119,23 @@ def _run_p6(quick: bool, out_dir: Path) -> dict:
     )
 
 
+def _run_p7(quick: bool, out_dir: Path) -> dict:
+    import bench_p7_streaming
+
+    if quick:
+        return bench_p7_streaming.run_experiment(
+            base_frames=500,
+            long_factor=8,
+            repeats=2,
+            out_path=out_dir / "BENCH_p7.json",
+            tags={"quick_mode": True},
+        )
+    return bench_p7_streaming.run_experiment(
+        out_path=out_dir / "BENCH_p7.json",
+        tags={"quick_mode": False},
+    )
+
+
 #: Registry of perf benches: id -> (runner(quick, out_dir) -> payload,
 #: headline-speedup floor or None). The floor is per-bench: P1's
 #: acceptance criterion is >= 3x, P2's is >= 2x; future benches
@@ -130,6 +147,10 @@ def _run_p6(quick: bool, out_dir: Path) -> dict:
 #: P6 (checkpointed execution) inverts the convention: its "speedup"
 #: is plain/checkpointed wall-clock, so the 0.95 floor is an overhead
 #: ceiling (~5%) rather than a scaling target.
+#: P7 (streaming metrics) follows P6's convention: the headline is
+#: streaming/full wall-clock (floor 0.95 = overhead ceiling); its
+#: second floor — streaming peak RSS flat w.r.t. horizon — is asserted
+#: by the bench itself (``streaming_rss_flat`` in BENCH_p7.json).
 PERF_BENCHES = {
     "p1": (_run_p1, 3.0),
     "p2": (_run_p2, 2.0),
@@ -137,6 +158,7 @@ PERF_BENCHES = {
     "p4": (_run_p4, 1.5),
     "p5": (_run_p5, None),
     "p6": (_run_p6, 0.95),
+    "p7": (_run_p7, 0.95),
 }
 
 

@@ -76,10 +76,10 @@ def littles_law_check(
         raise ConfigurationError(
             f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
         )
-    series = np.asarray(list(queue_series), dtype=float)
+    series = np.asarray(queue_series, dtype=float)
     if series.size == 0:
         raise StabilityError("queue series is empty")
-    sojourns = np.asarray(list(sojourn_frames), dtype=float)
+    sojourns = np.asarray(sojourn_frames, dtype=float)
     if sojourns.size == 0:
         raise StabilityError("no delivered packets: Little's law undefined")
     start = int(series.size * warmup_fraction)
@@ -117,7 +117,7 @@ def drift_confidence_interval(
     standard rate-optimal compromise between preserving dependence
     (long blocks) and resampling diversity (many blocks).
     """
-    series = np.asarray(list(queue_series), dtype=float)
+    series = np.asarray(queue_series, dtype=float)
     if series.size < 8:
         raise StabilityError(
             f"series of length {series.size} is too short for a bootstrap CI"
@@ -173,7 +173,7 @@ def busy_period_stats(queue_series: Sequence[float]) -> BusyPeriodStats:
     observed (truncated) length — near instability that final period
     dominates, which is exactly the signal.
     """
-    series = np.asarray(list(queue_series), dtype=float)
+    series = np.asarray(queue_series, dtype=float)
     if series.size == 0:
         raise StabilityError("queue series is empty")
     lengths: List[int] = []
@@ -200,7 +200,7 @@ def busy_period_stats(queue_series: Sequence[float]) -> BusyPeriodStats:
 
 def utilisation(queue_series: Sequence[float]) -> float:
     """Fraction of frames with a non-empty system (empirical ``rho``)."""
-    series = np.asarray(list(queue_series), dtype=float)
+    series = np.asarray(queue_series, dtype=float)
     if series.size == 0:
         raise StabilityError("queue series is empty")
     return float((series > 0).mean())

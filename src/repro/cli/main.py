@@ -135,6 +135,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_backend_argument(simulate)
     simulate.add_argument(
+        "--metrics",
+        default="full",
+        choices=("full", "streaming"),
+        help="metrics retention: 'full' keeps per-frame history, "
+             "'streaming' runs in bounded memory (O(window) state)",
+    )
+    simulate.add_argument(
         "--trace",
         action="store_true",
         help="record per-packet events and print a summary",
@@ -164,6 +171,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--seeds", default="0,1", help="comma-separated seeds")
     sweep.add_argument("--t-scale", type=float, default=0.001)
+    sweep.add_argument(
+        "--metrics",
+        default="full",
+        choices=("full", "streaming"),
+        help="metrics retention for every cell (streaming = bounded "
+             "memory per cell)",
+    )
     _add_backend_argument(sweep)
     _add_executor_arguments(sweep)
 
@@ -227,6 +241,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         choices=BACKENDS,
         help="override every spec's run-loop backend "
+             "(default: respect the specs)",
+    )
+    fleet.add_argument(
+        "--metrics",
+        default=None,
+        choices=("full", "streaming"),
+        help="override every spec's metrics retention "
              "(default: respect the specs)",
     )
     _add_executor_arguments(fleet)
@@ -364,6 +385,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                   f"(seeds {args.seed}..{args.seed + args.networks - 1})")
     if args.backend is not None:
         specs = [spec.replace(backend=args.backend) for spec in specs]
+    if args.metrics is not None:
+        specs = [spec.replace(metrics=args.metrics) for spec in specs]
 
     resilient = any(
         value is not None
@@ -480,7 +503,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         tracer=tracer,
         store=injection.store,
     )
-    simulation = repro.FrameSimulation(protocol, injection)
+    if args.check and args.metrics == "streaming":
+        # The queueing cross-checks (Little's law, bootstrap drift CI)
+        # are whole-history computations by definition.
+        print("error: --check needs full history; drop --metrics "
+              "streaming", file=sys.stderr)
+        return 2
+    simulation = repro.FrameSimulation(
+        protocol, injection, metrics=args.metrics
+    )
     with use_backend(args.backend):
         simulation.run(args.frames)
     metrics = simulation.metrics
@@ -490,8 +521,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"certified rate {scenario.certified:.4g}, "
           f"running at {args.rate_fraction:.2f}x = {rate:.4g}")
     print()
-    verdict = repro.assess_stability(
-        metrics.queue_series,
+    verdict = metrics.stability_verdict(
         load_per_frame=max(1.0, metrics.injected_total / max(1, args.frames)),
     )
     summary = metrics.latency_summary(protocol.delivered)
@@ -508,7 +538,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     ]
     print(repro.format_table(["metric", "value"], rows))
     print()
-    print("queue series: " + repro.sparkline(metrics.queue_series))
+    # Full retention: the whole history. Streaming: the ring window
+    # (newest `window` frames) — labelled so the plot is honest.
+    series_label = (
+        "queue series" if args.metrics == "full" else "queue series (window)"
+    )
+    print(series_label + ": " + repro.sparkline(metrics.recent_queue_series()))
     if args.check:
         print()
         # Trim the warm-up ramp: the CI should judge steady state, not
@@ -575,6 +610,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         injection_kwargs={"model": args.model, "nodes": args.nodes},
         requires=("repro.cli.registry",),
         backend=args.backend,
+        metrics=args.metrics,
     )
     records = repro.run_sharded_sweep(
         specs, make_executor(args.executor, args.workers)

@@ -189,6 +189,13 @@ EXPERIMENTS: List[ExperimentEntry] = [
         "<= ~5% overhead at the default snapshot interval",
         "bench_p6_checkpoint.py",
     ),
+    ExperimentEntry(
+        "P7", "Performance",
+        "streaming metrics retention: horizon-independent peak RSS at "
+        "a 1e6-frame horizon, exact-field parity with full retention, "
+        ">= 0.95x throughput",
+        "bench_p7_streaming.py",
+    ),
 ]
 
 

@@ -159,6 +159,17 @@ class ShiftedDynamicProtocol:
     def delivered(self) -> Sequence[Packet]:
         return self._inner.delivered
 
+    @property
+    def delivered_total(self) -> int:
+        """Delivered count including any released packets.
+
+        The wrapper deliberately exposes no ``take_delivered`` /
+        ``compact_store`` — it holds store indices across frames in
+        ``_held``, which compaction would invalidate — so streaming
+        engines keep the delivered set whole here.
+        """
+        return self._inner.delivered_total
+
     def run_frame(self, injected: Sequence[Packet]) -> FrameReport:
         """Delay-shift the new packets, release the due ones, run a frame.
 

@@ -160,6 +160,11 @@ class DynamicProtocol:
         self._failed_buffers: Dict[int, Deque] = {}
         self._delivered: List[Packet] = []
         self._delivered_ids: List[int] = []
+        # Summarize-and-release bookkeeping (streaming metrics): count
+        # of delivered packets already handed out via take_delivered,
+        # and how many store rows are reclaimable by compact_store.
+        self._released_delivered = 0
+        self._pending_reclaim = 0
         self.potential = PotentialTracker()
 
     # ------------------------------------------------------------------
@@ -211,6 +216,81 @@ class DynamicProtocol:
         if self._store is not None:
             return PacketSequence(self._store, self._delivered_ids)
         return self._delivered
+
+    @property
+    def delivered_total(self) -> int:
+        """Count of every packet delivered so far, including packets
+        already summarised and released via :meth:`take_delivered`.
+
+        Equals ``len(self.delivered)`` unless a streaming-metrics
+        engine has been releasing delivered packets.
+        """
+        if self._store is not None:
+            return self._released_delivered + len(self._delivered_ids)
+        return self._released_delivered + len(self._delivered)
+
+    def take_delivered(self) -> np.ndarray:
+        """Hand out (and forget) the pending delivered packet indices.
+
+        Store mode only. The caller is expected to fold the packets'
+        latency statistics into a bounded summary; afterwards
+        :meth:`compact_store` may reclaim their store rows.
+        ``delivered_total`` keeps counting them; ``delivered`` no
+        longer contains them.
+        """
+        if self._store is None:
+            raise ConfigurationError(
+                "take_delivered requires store mode; object-mode "
+                "protocols keep their delivered list"
+            )
+        indices = np.asarray(self._delivered_ids, dtype=np.int64)
+        self._delivered_ids = []
+        self._released_delivered += int(indices.size)
+        self._pending_reclaim += int(indices.size)
+        return indices
+
+    def compact_store(self) -> None:
+        """Drop released packets' rows from the store.
+
+        Keeps exactly the live set — active packets, failed-buffer
+        contents, and delivered-but-not-yet-released packets — and
+        remaps every retained index. The remap is order-preserving
+        (``np.searchsorted`` against the sorted keep set is monotone),
+        so the (failed_at_frame, id) buffer keys, the phase-1 filing
+        argsort, and the RNG consumption pattern are all unchanged:
+        a compacted run's physics is bit-identical to an uncompacted
+        one. No-op when nothing was released, or when a tracer is
+        attached (trace events refer to packets by store index).
+        """
+        if self._store is None:
+            raise ConfigurationError(
+                "compact_store requires store mode"
+            )
+        if self._tracer is not None or self._pending_reclaim == 0:
+            return
+        parts = [self._active_idx]
+        for buffer in self._failed_buffers.values():
+            if buffer:
+                parts.append(
+                    np.fromiter(buffer, dtype=np.int64, count=len(buffer))
+                )
+        if self._delivered_ids:
+            parts.append(np.asarray(self._delivered_ids, dtype=np.int64))
+        keep = np.sort(np.concatenate(parts))
+        self._store.compact(keep)
+        self._active_idx = np.searchsorted(keep, self._active_idx).astype(
+            np.int64
+        )
+        for link, buffer in self._failed_buffers.items():
+            if buffer:
+                old = np.fromiter(buffer, dtype=np.int64, count=len(buffer))
+                self._failed_buffers[link] = deque(
+                    np.searchsorted(keep, old).tolist()
+                )
+        if self._delivered_ids:
+            old = np.asarray(self._delivered_ids, dtype=np.int64)
+            self._delivered_ids = np.searchsorted(keep, old).tolist()
+        self._pending_reclaim = 0
 
     def failed_buffer_sizes(self) -> Dict[int, int]:
         """Current per-link failed-buffer occupancy (non-empty links)."""
@@ -275,6 +355,7 @@ class DynamicProtocol:
             "failed_offsets": offsets,
             "failed_contents": contents,
             "delivered_ids": np.asarray(self._delivered_ids, dtype=np.int64),
+            "released_delivered": self._released_delivered,
             "potential": self.potential.state_dict(),
             "algorithm": self._algorithm.state_dict(),
         }
@@ -300,8 +381,15 @@ class DynamicProtocol:
             offsets = np.asarray(state["failed_offsets"], dtype=np.int64)
             contents = np.asarray(state["failed_contents"], dtype=np.int64)
             delivered = np.asarray(state["delivered_ids"], dtype=np.int64)
+            # Pre-streaming checkpoints carry no release counter.
+            released = int(state.get("released_delivered", 0))
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"invalid protocol state: {exc}") from exc
+        if released < 0:
+            raise ConfigurationError(
+                f"protocol state released_delivered must be >= 0, "
+                f"got {released}"
+            )
         if offsets.size != links.size + 1 or (
             offsets.size and offsets[-1] != contents.size
         ):
@@ -322,6 +410,10 @@ class DynamicProtocol:
         }
         self._delivered_ids = [int(p) for p in delivered]
         self._delivered = []
+        self._released_delivered = released
+        # Compaction is a memory optimisation with no physics effect;
+        # the next release cycle reclaims whatever is pending.
+        self._pending_reclaim = 0
         self.potential.load_state_dict(state["potential"])
 
     # ------------------------------------------------------------------
@@ -366,7 +458,7 @@ class DynamicProtocol:
             newly_failed=newly_failed,
             cleanup_offered=offered,
             cleanup_hops=cleanup_hops,
-            delivered_packets=len(self._delivered),
+            delivered_packets=self._released_delivered + len(self._delivered),
             active_in_system=self.active_count,
             failed_in_system=self.failed_count,
             potential=self.potential.value,
@@ -437,7 +529,9 @@ class DynamicProtocol:
             newly_failed=newly_failed,
             cleanup_offered=offered,
             cleanup_hops=cleanup_hops,
-            delivered_packets=len(self._delivered_ids),
+            delivered_packets=(
+                self._released_delivered + len(self._delivered_ids)
+            ),
             active_in_system=self.active_count,
             failed_in_system=self.failed_count,
             potential=self.potential.value,

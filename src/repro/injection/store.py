@@ -270,6 +270,72 @@ class PacketStore:
         self._max_link = None if max_link is None else int(max_link)
 
     # ------------------------------------------------------------------
+    # Compaction (summarize-and-release support)
+    # ------------------------------------------------------------------
+
+    def compact(self, keep: np.ndarray) -> None:
+        """Retain exactly the packets in ``keep``, dropping the rest.
+
+        ``keep`` must be a strictly increasing array of valid indices.
+        Retained packet ``keep[j]`` becomes index ``j`` — the mapping
+        is order-preserving, so callers can remap any held index arrays
+        with ``np.searchsorted(keep, old)``. Link-id bounds are kept
+        as-is (a conservative superset is fine for validation). The
+        next allocation gets index ``len(keep)``.
+        """
+        from repro.errors import ConfigurationError
+
+        keep = np.asarray(keep, dtype=np.int64)
+        if keep.ndim != 1:
+            raise ConfigurationError(
+                f"compact keep set must be 1-d, got shape {keep.shape}"
+            )
+        k = int(keep.size)
+        if k:
+            if int(keep[0]) < 0 or int(keep[-1]) >= self._n:
+                raise ConfigurationError(
+                    f"compact keep set falls outside 0..{self._n - 1}"
+                )
+            if k > 1 and (np.diff(keep) <= 0).any():
+                raise ConfigurationError(
+                    "compact keep set must be strictly increasing"
+                )
+        lengths = self._offsets[keep + 1] - self._offsets[keep]
+        total = int(lengths.sum())
+        new_offsets = np.zeros(k + 1, dtype=np.int64)
+        if k:
+            np.cumsum(lengths, out=new_offsets[1:])
+        capacity = max(1024, k)
+        for name in ("_injected_at", "_delivered_at", "_hops_done",
+                     "_failed_at_frame", "_failed"):
+            old = getattr(self, name)
+            fill = (
+                _NOT_YET
+                if name in ("_delivered_at", "_failed_at_frame")
+                else 0
+            )
+            backing = np.full(capacity, fill, dtype=old.dtype)
+            backing[:k] = old[keep]
+            setattr(self, name, backing)
+        offsets = np.zeros(capacity + 1, dtype=np.int64)
+        offsets[: k + 1] = new_offsets
+        path_capacity = max(4096, total)
+        paths = np.zeros(path_capacity, dtype=np.int64)
+        if total:
+            # Gather every kept CSR row in one shot: for row j the
+            # source positions are starts[j] + (0..lengths[j]-1).
+            starts = self._offsets[keep]
+            gather = (
+                np.repeat(starts - new_offsets[:-1], lengths)
+                + np.arange(total, dtype=np.int64)
+            )
+            paths[:total] = self._path_links[gather]
+        self._offsets = offsets
+        self._path_links = paths
+        self._n = k
+        self._path_used = total
+
+    # ------------------------------------------------------------------
     # Array access (trimmed live views — re-fetch after allocations,
     # growth may reallocate the backing buffers)
     # ------------------------------------------------------------------

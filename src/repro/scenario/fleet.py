@@ -122,19 +122,25 @@ def aggregate_fleet(results: Sequence[CellResult]) -> FleetResult:
 def run_scenario_fleet(
     specs: Sequence[ScenarioSpec],
     executor=None,
+    metrics: Optional[str] = None,
 ) -> FleetResult:
     """Run every spec and aggregate — the ROADMAP's per-network sharder.
 
     ``executor`` is anything with ``map(units) -> results`` over
     ``unit.run()`` work units (:class:`~repro.sim.sharding.SerialExecutor`
     by default; pass a :class:`~repro.sim.sharding.ProcessExecutor` for
-    one process per network). Any executor produces identical records.
+    one process per network). Any executor produces identical records —
+    as does either ``metrics`` retention policy: ``metrics`` (when
+    given) overrides every spec's retention, and ``"streaming"`` caps
+    each worker's memory at O(window) regardless of the horizon.
     """
     # Imported here, not at module top: sharding's registries live in
     # the unified component registry, so importing this package from
     # sharding must not re-enter sharding mid-import.
     from repro.sim.sharding import SerialExecutor
 
+    if metrics is not None:
+        specs = [spec.replace(metrics=metrics) for spec in specs]
     units = [
         FleetUnit(spec=spec, index=index) for index, spec in enumerate(specs)
     ]

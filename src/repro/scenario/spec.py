@@ -47,6 +47,7 @@ from repro.errors import ConfigurationError
 from repro.network.routing import build_routing_table
 import repro.scenario.components  # noqa: F401  (registers the built-ins)
 from repro.scenario.registry import resolve
+from repro.sim.metrics import RETENTIONS
 from repro.sim.runner import CellResult, measure_cell
 from repro.staticsched.runloop import BACKENDS, use_backend
 
@@ -147,6 +148,7 @@ class ScenarioSpec:
     seed: int = 0
     backend: Optional[str] = None
     load_from_injected: bool = False
+    metrics: str = "full"
     name: Optional[str] = None
     requires: Tuple[str, ...] = ()
 
@@ -191,6 +193,11 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"unknown run-loop backend '{self.backend}'; choose from "
                 f"{', '.join(sorted(_SPEC_BACKENDS))}"
+            )
+        if self.metrics not in RETENTIONS:
+            raise ConfigurationError(
+                f"scenario metrics must be one of {', '.join(RETENTIONS)}, "
+                f"got {self.metrics!r}"
             )
 
     # -- serialization -------------------------------------------------
@@ -242,10 +249,18 @@ class ScenarioSpec:
         is excluded (the horizon is exactly what resume extends) and so
         is ``backend`` (all backends replay the same bit stream —
         resuming under a different backend is supported and identical).
+        ``metrics`` stays *in* the fingerprint: the two retention
+        policies write different metrics/store snapshots, so cross-mode
+        resume is refused rather than half-restored.
         """
         data = self.to_dict()
         data.pop("frames", None)
         data.pop("backend", None)
+        if data.get("metrics") == "full":
+            # The default drops out so full-mode fingerprints (and the
+            # checkpoints carrying them) predating the metrics field
+            # remain valid.
+            data.pop("metrics")
         canonical = json.dumps(data, sort_keys=True)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -352,13 +367,16 @@ class ScenarioSpec:
                     rate_index=rate_index,
                     load_per_frame=load_per_frame,
                     load_from_injected=self.load_from_injected,
+                    metrics=self.metrics,
                 )
             from repro.sim import checkpoint as ckpt
             from repro.sim.engine import FrameSimulation
             from repro.sim.runner import summarize_cell
 
             fingerprint = self.fingerprint()
-            simulation = FrameSimulation(built.protocol, built.injection)
+            simulation = FrameSimulation(
+                built.protocol, built.injection, metrics=self.metrics
+            )
             if os.path.exists(checkpoint_path):
                 try:
                     ckpt.load_checkpoint_into(
@@ -373,7 +391,7 @@ class ScenarioSpec:
                     # rebuild from scratch and start at frame 0.
                     built = self.build()
                     simulation = FrameSimulation(
-                        built.protocol, built.injection
+                        built.protocol, built.injection, metrics=self.metrics
                     )
             ckpt.run_with_checkpoints(
                 simulation,

@@ -15,7 +15,19 @@ process pools (record-for-record identical to the serial path).
 
 from repro.sim.engine import FrameSimulation
 from repro.sim.metrics import LatencySummary, MetricsRecorder
-from repro.sim.stability import StabilityVerdict, assess_stability
+from repro.sim.stability import (
+    StabilityVerdict,
+    assess_stability,
+    assess_stability_streaming,
+    assess_stability_windowed,
+)
+from repro.sim.streaming import (
+    QuantileSketch,
+    RingBuffer,
+    StreamingLatency,
+    StreamingMoments,
+    StreamingSeries,
+)
 from repro.sim.runner import (
     CellResult,
     FactoryCell,
@@ -54,6 +66,13 @@ __all__ = [
     "LatencySummary",
     "StabilityVerdict",
     "assess_stability",
+    "assess_stability_streaming",
+    "assess_stability_windowed",
+    "QuantileSketch",
+    "RingBuffer",
+    "StreamingLatency",
+    "StreamingMoments",
+    "StreamingSeries",
     "run_rate_sweep",
     "RateSweepRecord",
     "simulate_protocol",

@@ -30,17 +30,28 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.injection.base import InjectionProcess
-from repro.sim.metrics import MetricsRecorder
+from repro.sim.metrics import RETENTIONS, MetricsRecorder
 
 
 class FrameSimulation:
-    """Drive a protocol with an injection process, frame by frame."""
+    """Drive a protocol with an injection process, frame by frame.
+
+    ``metrics`` selects the retention policy — ``"full"`` (default,
+    whole-history series, byte-identical to the historical engine) or
+    ``"streaming"`` (bounded memory: series fold into O(1) accumulators
+    and, for store-mode protocols, delivered packets are summarised and
+    released every ``release_interval`` frames so the store stays
+    bounded too). A pre-built :class:`MetricsRecorder` may be passed
+    instead of a policy name to control window / interval / sketch
+    parameters.
+    """
 
     def __init__(
         self,
         protocol,
         injection: InjectionProcess,
         audit=None,
+        metrics="full",
     ):
         if not hasattr(protocol, "run_frame"):
             raise ConfigurationError(
@@ -49,7 +60,15 @@ class FrameSimulation:
         self._protocol = protocol
         self._injection = injection
         self._audit = audit
-        self._metrics = MetricsRecorder()
+        if isinstance(metrics, MetricsRecorder):
+            self._metrics = metrics
+        elif metrics in RETENTIONS:
+            self._metrics = MetricsRecorder(retention=metrics)
+        else:
+            raise ConfigurationError(
+                f"metrics must be one of {', '.join(RETENTIONS)} or a "
+                f"MetricsRecorder, got {metrics!r}"
+            )
         self._frame = 0
         protocol_store = getattr(protocol, "store", None)
         if (
@@ -163,6 +182,12 @@ class FrameSimulation:
             raise ConfigurationError(f"frames must be >= 0, got {frames}")
         frame_length = int(self._protocol.frame_length)
         no_packets: tuple = ()
+        # Cadence is a pure function of the frame number, so a resumed
+        # run releases at exactly the frames the uninterrupted run did.
+        release_every = (
+            self._metrics.release_interval if self._metrics.streaming else 0
+        )
+        has_total = hasattr(self._protocol, "delivered_total")
         for _ in range(frames):
             start = self._frame * frame_length
             if self._use_indices:
@@ -206,10 +231,36 @@ class FrameSimulation:
                 active=report.active_in_system,
                 failed=report.failed_in_system,
                 potential=report.potential,
-                delivered_total=len(self._protocol.delivered),
+                delivered_total=(
+                    self._protocol.delivered_total
+                    if has_total
+                    else len(self._protocol.delivered)
+                ),
             )
             self._frame += 1
+            if release_every and self._frame % release_every == 0:
+                self._release_delivered()
         return self._metrics
+
+    def _release_delivered(self) -> None:
+        """Fold pending delivered packets into the latency accumulators
+        and reclaim their store rows.
+
+        Only store-mode protocols expose ``take_delivered`` /
+        ``compact_store``; object-mode protocols keep their delivered
+        list (the recorder is still bounded, the packet objects are
+        not — documented in PERFORMANCE.md).
+        """
+        take = getattr(self._protocol, "take_delivered", None)
+        if take is None or getattr(self._protocol, "store", None) is None:
+            return
+        indices = take()
+        if indices.size:
+            store = self._protocol.store
+            self._metrics.absorb_latencies(
+                store.latencies(indices), store.path_lengths(indices)
+            )
+        self._protocol.compact_store()
 
 
 __all__ = ["FrameSimulation"]

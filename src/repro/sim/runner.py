@@ -41,9 +41,10 @@ def simulate_protocol(
     protocol,
     injection: InjectionProcess,
     frames: int,
+    metrics="full",
 ) -> FrameSimulation:
     """Run one simulation to completion and return the engine."""
-    simulation = FrameSimulation(protocol, injection)
+    simulation = FrameSimulation(protocol, injection, metrics=metrics)
     simulation.run(frames)
     return simulation
 
@@ -81,6 +82,7 @@ def measure_cell(
     rate_index: int = 0,
     load_per_frame: Optional[float] = None,
     load_from_injected: bool = False,
+    metrics="full",
 ) -> CellResult:
     """Run one cell and reduce it to a :class:`CellResult`.
 
@@ -88,9 +90,10 @@ def measure_cell(
     ``rate * frame_length`` of the built protocol. With
     ``load_from_injected`` the realised injection rate is used instead
     (the ``compare`` CLI convention for protocols run at their own
-    certified rates).
+    certified rates). ``metrics`` selects the retention policy (see
+    :class:`~repro.sim.engine.FrameSimulation`).
     """
-    simulation = simulate_protocol(protocol, injection, frames)
+    simulation = simulate_protocol(protocol, injection, frames, metrics)
     return summarize_cell(
         protocol,
         simulation.metrics,
@@ -126,7 +129,11 @@ def summarize_cell(
         load = load_per_frame
     else:
         load = max(1.0, rate * float(protocol.frame_length))
-    verdict = assess_stability(metrics.queue_series, load_per_frame=load)
+    # The recorder dispatches on its own retention policy — the batch
+    # assessor on full history, the windowed streaming assessor on the
+    # bounded tracker. Byte-identical to the old direct
+    # assess_stability(metrics.queue_series, ...) call in full mode.
+    verdict = metrics.stability_verdict(load_per_frame=load)
     summary = metrics.latency_summary(protocol.delivered)
     potential = getattr(protocol, "potential", None)
     return CellResult(

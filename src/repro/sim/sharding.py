@@ -150,12 +150,21 @@ class CellSpec:
     load_from_injected: bool = False
     requires: Tuple[str, ...] = ()
     backend: Optional[str] = None
+    metrics: Optional[str] = None
 
     def __post_init__(self):
         if self.frames < 1:
             raise ConfigurationError(
                 f"cell frames must be >= 1, got {self.frames}"
             )
+        if self.metrics is not None:
+            from repro.sim.metrics import RETENTIONS
+
+            if self.metrics not in RETENTIONS:
+                raise ConfigurationError(
+                    f"cell metrics must be one of {', '.join(RETENTIONS)}, "
+                    f"got {self.metrics!r}"
+                )
         named = [
             kind
             for kind, value in (
@@ -213,6 +222,7 @@ def run_cell(spec: CellSpec) -> CellResult:
             load_from_injected=(
                 spec.load_from_injected or spec.scenario.load_from_injected
             ),
+            metrics=spec.metrics or spec.scenario.metrics,
         )
         return effective.run(
             rate_index=spec.rate_index, load_per_frame=spec.load_per_frame
@@ -241,6 +251,7 @@ def run_cell(spec: CellSpec) -> CellResult:
             rate_index=spec.rate_index,
             load_per_frame=spec.load_per_frame,
             load_from_injected=spec.load_from_injected,
+            metrics=spec.metrics or "full",
         )
 
 
@@ -260,6 +271,7 @@ def sweep_specs(
     load_from_injected: bool = False,
     requires: Tuple[str, ...] = (),
     backend: Optional[str] = None,
+    metrics: Optional[str] = None,
 ) -> List[CellSpec]:
     """Flatten a (rate, seed) grid into rate-major :class:`CellSpec` units.
 
@@ -297,6 +309,7 @@ def sweep_specs(
                     load_from_injected=load_from_injected,
                     requires=tuple(requires),
                     backend=backend,
+                    metrics=metrics,
                 )
             )
     return specs

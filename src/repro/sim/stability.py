@@ -78,7 +78,9 @@ def assess_stability(
         ... or when tail mean exceeds this multiple of the early mean
         (with an additive floor so tiny queues don't trip it).
     """
-    series = np.asarray(list(queue_series), dtype=float)
+    # No list() round-trip: an ndarray input is used as-is (float64
+    # arrays pass through without a copy).
+    series = np.asarray(queue_series, dtype=float)
     if len(series) < min_frames:
         raise StabilityError(
             f"need at least {min_frames} frames to assess stability, got "
@@ -86,16 +88,27 @@ def assess_stability(
         )
     tail_start = int(len(series) * (1.0 - tail_fraction))
     tail = series[tail_start:]
+    head = series[: max(2, len(series) // 4)]
+    head_mean = float(head.mean())
+    return _verdict_from_windows(
+        tail, head_mean, load_per_frame, slope_tolerance, blowup_tolerance
+    )
+
+
+def _verdict_from_windows(
+    tail: np.ndarray,
+    head_mean: float,
+    load_per_frame: float,
+    slope_tolerance: float,
+    blowup_tolerance: float,
+) -> StabilityVerdict:
+    """The drift/blow-up math shared by the batch and windowed paths."""
     slope = _linear_slope(tail)
     load = max(load_per_frame, 1e-9)
     normalised = slope / load
-
-    head = series[: max(2, len(series) // 4)]
-    head_mean = float(head.mean())
     tail_mean = float(tail.mean())
     floor = 5.0 * load + 10.0
     blowup = (tail_mean + 1.0) / (max(head_mean, floor) + 1.0)
-
     stable = normalised <= slope_tolerance and blowup <= blowup_tolerance
     return StabilityVerdict(
         stable=stable,
@@ -106,4 +119,95 @@ def assess_stability(
     )
 
 
-__all__ = ["assess_stability", "StabilityVerdict"]
+def assess_stability_windowed(
+    queue_series: Sequence[float],
+    window: int,
+    head_frames: int,
+    load_per_frame: float = 1.0,
+    tail_fraction: float = 0.6,
+    slope_tolerance: float = 0.02,
+    blowup_tolerance: float = 3.0,
+    min_frames: int = 20,
+) -> StabilityVerdict:
+    """The bounded-memory detector's semantics, on a full series.
+
+    This is the batch recompute of :func:`assess_stability_streaming`:
+    given the *whole* queue history it produces bit-identically the
+    verdict a streaming run with the same ``window`` / ``head_frames``
+    produces from O(window) state. For ``len(series) <= window`` it
+    delegates to :func:`assess_stability` (the streaming path holds the
+    entire series in its ring there); beyond that, the drift fit and
+    tail mean use the newest ``min(window, n - int(n * (1 -
+    tail_fraction)))`` frames and the blow-up baseline is the mean of
+    the first ``head_frames`` frames.
+    """
+    series = np.asarray(queue_series, dtype=float)
+    n = len(series)
+    if n <= window:
+        return assess_stability(
+            series,
+            load_per_frame=load_per_frame,
+            tail_fraction=tail_fraction,
+            slope_tolerance=slope_tolerance,
+            blowup_tolerance=blowup_tolerance,
+            min_frames=min_frames,
+        )
+    tail_target = n - int(n * (1.0 - tail_fraction))
+    tail = series[n - max(1, min(window, tail_target)) :]
+    head_mean = float(series[:head_frames].mean())
+    return _verdict_from_windows(
+        tail, head_mean, load_per_frame, slope_tolerance, blowup_tolerance
+    )
+
+
+def assess_stability_streaming(
+    queue,
+    load_per_frame: float = 1.0,
+    tail_fraction: float = 0.6,
+    slope_tolerance: float = 0.02,
+    blowup_tolerance: float = 3.0,
+    min_frames: int = 20,
+) -> StabilityVerdict:
+    """Classify a queue tracked as a
+    :class:`~repro.sim.streaming.StreamingSeries`, in O(window) space.
+
+    While the run still fits the ring (``count <= window``) the verdict
+    is *exactly* :func:`assess_stability` on the full series; beyond
+    that it is the windowed detector of
+    :func:`assess_stability_windowed` — drift over the newest frames,
+    blow-up against the exact mean of the first ``head_frames`` frames
+    (kept by the series' head accumulator). Either way the verdict is a
+    pure function of the series, so a batch recompute from full history
+    reproduces it bit for bit.
+    """
+    n = queue.count
+    if n < min_frames:
+        raise StabilityError(
+            f"need at least {min_frames} frames to assess stability, got {n}"
+        )
+    values = queue.values().astype(float)
+    if n <= queue.window:
+        return assess_stability(
+            values,
+            load_per_frame=load_per_frame,
+            tail_fraction=tail_fraction,
+            slope_tolerance=slope_tolerance,
+            blowup_tolerance=blowup_tolerance,
+            min_frames=min_frames,
+        )
+    tail_target = n - int(n * (1.0 - tail_fraction))
+    tail = values[len(values) - max(1, min(queue.window, tail_target)) :]
+    # The head accumulator's sum is exact (integer series), so this
+    # mean equals the batch np.mean over the same prefix bit for bit.
+    head_mean = queue.head.mean
+    return _verdict_from_windows(
+        tail, head_mean, load_per_frame, slope_tolerance, blowup_tolerance
+    )
+
+
+__all__ = [
+    "assess_stability",
+    "assess_stability_streaming",
+    "assess_stability_windowed",
+    "StabilityVerdict",
+]

@@ -1,0 +1,690 @@
+"""Bounded-memory streaming accumulators — the O(1) metrics core.
+
+Long-horizon stability runs (the ROADMAP's 1e7+-slot soak lanes) cannot
+afford per-frame Python lists or whole-history packet sets. This module
+provides the fixed-size state every streaming consumer shares:
+
+* :class:`StreamingMoments` — exact count/sum/min/max plus Welford
+  mean/variance. The running sum uses Neumaier compensation, so for
+  integer-valued inputs (every per-frame series and every slot latency
+  in this codebase is an integer) the sum — and therefore the mean —
+  is **bit-identical** to a batch ``np.mean`` recompute over the full
+  history as long as the true sum stays below 2**53. Variance comes
+  from Welford/Chan merges and is accurate to floating-point rounding,
+  not bit-pinned to a particular batch formula.
+* :class:`RingBuffer` — a fixed-capacity window over the newest values,
+  for tail statistics (drift fits, sparklines, windowed means).
+* :class:`QuantileSketch` — a deterministic DDSketch-style log-bucket
+  sketch. Bucket ``k`` covers ``(gamma**(k-1), gamma**k]`` with
+  ``gamma = (1 + alpha) / (1 - alpha)``; :meth:`QuantileSketch.quantile`
+  returns the midpoint estimate ``2 * gamma**k / (gamma + 1)``, which
+  lies within **relative error ``alpha``** of the exact nearest-rank
+  order statistic (the value at 0-based rank ``ceil(q * n) - 1`` of the
+  sorted data). Values below 1 are counted exactly as 0 (slot latencies
+  are non-negative integers, so only a literal 0 lands there). Memory
+  is one int per occupied bucket — ``O(log(max/min) / alpha)``,
+  ~1000 buckets for latencies spanning 1..1e9 at the default
+  ``alpha = 0.01`` — independent of how many values were pushed.
+* :class:`StreamingSeries` — one per-frame scalar series: full-history
+  moments, an exact head window (the blow-up detector's baseline), and
+  a ring over the newest frames.
+* :class:`StreamingLatency` — the delivered-packet summary: moments +
+  sketch overall and per path length, fed by the protocol layer's
+  summarize-and-release (delivered ids are folded here, then their
+  store rows are reclaimed).
+
+Everything is checkpointable: ``state_dict`` trees hold only plain
+scalars and numpy arrays (the PR 6 checkpoint format), ``json`` floats
+round-trip exactly, and restoring mid-stream continues bit-identically
+— the compensation terms and ring layout are part of the state.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Default ring capacity for windowed tail statistics.
+DEFAULT_WINDOW = 512
+
+#: Default quantile-sketch relative-error bound.
+DEFAULT_SKETCH_ALPHA = 0.01
+
+
+def _checked_int(value, field: str, minimum: int = 0) -> int:
+    """A non-negative (or ``minimum``-floored) integer, or a named error."""
+    if isinstance(value, (bool, np.bool_)):
+        raise ConfigurationError(
+            f"streaming state '{field}' must be an integer, got {value!r}"
+        )
+    try:
+        result = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"streaming state '{field}' must be an integer, got {value!r}"
+        ) from exc
+    if result != value or result < minimum:
+        raise ConfigurationError(
+            f"streaming state '{field}' must be an integer >= {minimum}, "
+            f"got {value!r}"
+        )
+    return result
+
+
+def _checked_float(value, field: str) -> float:
+    if isinstance(value, (bool, np.bool_)):
+        raise ConfigurationError(
+            f"streaming state '{field}' must be a number, got {value!r}"
+        )
+    try:
+        return float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"streaming state '{field}' must be a number, got {value!r}"
+        ) from exc
+
+
+class StreamingMoments:
+    """Exact count/sum/min/max plus Welford mean/variance, in O(1) space.
+
+    The sum is Neumaier-compensated: pushing values one at a time or in
+    numpy batches keeps an error term alongside the running sum, so
+    integer-valued streams (whose true sum fits in a double's 53-bit
+    mantissa) accumulate **exactly** — ``mean`` then equals the batch
+    ``np.sum(all) / n`` bit for bit. Welford/Chan state feeds
+    ``variance`` only.
+    """
+
+    __slots__ = ("count", "_sum", "_comp", "_min", "_max", "_wmean", "_m2")
+
+    def __init__(self):
+        self.count = 0
+        self._sum = 0.0
+        self._comp = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._wmean = 0.0
+        self._m2 = 0.0
+
+    def _add_compensated(self, value: float) -> None:
+        total = self._sum + value
+        if abs(self._sum) >= abs(value):
+            self._comp += (self._sum - total) + value
+        else:
+            self._comp += (value - total) + self._sum
+        self._sum = total
+
+    def push(self, value: float) -> None:
+        # This is the engine's per-frame hot path (four pushes per
+        # frame in streaming retention), so the Neumaier step from
+        # _add_compensated is inlined — identical arithmetic, one
+        # Python call less.
+        value = float(value)
+        count = self.count + 1
+        self.count = count
+        current = self._sum
+        total = current + value
+        if abs(current) >= abs(value):
+            self._comp += (current - total) + value
+        else:
+            self._comp += (value - total) + current
+        self._sum = total
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        delta = value - self._wmean
+        self._wmean += delta / count
+        self._m2 += delta * (value - self._wmean)
+
+    def push_many(self, values: np.ndarray) -> None:
+        """Fold a whole batch (Chan's parallel merge for the variance)."""
+        values = np.asarray(values)
+        batch = int(values.size)
+        if batch == 0:
+            return
+        if batch == 1:
+            self.push(values.reshape(-1)[0])
+            return
+        self._add_compensated(float(values.sum()))
+        low = float(values.min())
+        high = float(values.max())
+        if low < self._min:
+            self._min = low
+        if high > self._max:
+            self._max = high
+        batch_mean = float(np.mean(values, dtype=np.float64))
+        batch_m2 = float(
+            np.sum((values.astype(np.float64) - batch_mean) ** 2)
+        )
+        delta = batch_mean - self._wmean
+        total = self.count + batch
+        self._wmean += delta * batch / total
+        self._m2 += batch_m2 + delta * delta * self.count * batch / total
+        self.count = total
+
+    @property
+    def total(self) -> float:
+        """The compensated running sum (exact for integer streams)."""
+        return self._sum + self._comp
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return float("nan")
+        return self.total / self.count
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self.count else float("nan")
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self.count else float("nan")
+
+    @property
+    def variance(self) -> float:
+        """Population variance (Welford); NaN when empty."""
+        if self.count == 0:
+            return float("nan")
+        return self._m2 / self.count
+
+    def copy(self) -> "StreamingMoments":
+        clone = StreamingMoments()
+        clone.load_state_dict(self.state_dict())
+        return clone
+
+    def state_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self._sum,
+            "comp": self._comp,
+            "min": self._min,
+            "max": self._max,
+            "wmean": self._wmean,
+            "m2": self._m2,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        try:
+            count = _checked_int(state["count"], "moments.count")
+            fields = {
+                key: _checked_float(state[key], f"moments.{key}")
+                for key in ("sum", "comp", "min", "max", "wmean", "m2")
+            }
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"streaming moments state is missing {exc}"
+            ) from exc
+        self.count = count
+        self._sum = fields["sum"]
+        self._comp = fields["comp"]
+        self._min = fields["min"]
+        self._max = fields["max"]
+        self._wmean = fields["wmean"]
+        self._m2 = fields["m2"]
+
+
+class RingBuffer:
+    """A fixed-capacity window over the newest pushed values."""
+
+    __slots__ = ("capacity", "_data", "_count")
+
+    def __init__(self, capacity: int, dtype=np.int64):
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ConfigurationError(
+                f"ring capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._data = np.zeros(capacity, dtype=dtype)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return min(self._count, self.capacity)
+
+    @property
+    def count(self) -> int:
+        """Total values ever pushed (>= ``len`` once the ring wraps)."""
+        return self._count
+
+    def push(self, value) -> None:
+        self._data[self._count % self.capacity] = value
+        self._count += 1
+
+    def values(self) -> np.ndarray:
+        """The window contents, oldest to newest (a fresh array)."""
+        filled = len(self)
+        if filled < self.capacity:
+            return self._data[:filled].copy()
+        pos = self._count % self.capacity
+        return np.concatenate([self._data[pos:], self._data[:pos]])
+
+    def last(self):
+        if self._count == 0:
+            raise ConfigurationError("ring buffer is empty")
+        return self._data[(self._count - 1) % self.capacity]
+
+    def state_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "count": self._count,
+            "values": self.values(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        try:
+            capacity = _checked_int(state["capacity"], "ring.capacity", 1)
+            count = _checked_int(state["count"], "ring.count")
+            values = np.asarray(state["values"])
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"ring buffer state is missing {exc}"
+            ) from exc
+        if capacity != self.capacity:
+            raise ConfigurationError(
+                f"ring buffer state has capacity {capacity}; this recorder "
+                f"is configured for {self.capacity}"
+            )
+        filled = min(count, capacity)
+        if values.ndim != 1 or values.size != filled:
+            raise ConfigurationError(
+                f"ring buffer state holds {values.size} values for a count "
+                f"of {count} (expected {filled})"
+            )
+        self._count = count
+        self._data[:] = 0
+        if filled:
+            start = (count - filled) % capacity
+            positions = (start + np.arange(filled)) % capacity
+            self._data[positions] = values.astype(self._data.dtype)
+
+
+class QuantileSketch:
+    """Deterministic log-bucket quantile sketch (DDSketch-style).
+
+    Bucket ``k`` covers ``(gamma**(k-1), gamma**k]`` with
+    ``gamma = (1 + alpha) / (1 - alpha)``; the estimate for any value in
+    bucket ``k`` is the relative midpoint ``2 * gamma**k / (gamma + 1)``,
+    within relative error ``alpha`` of the true value. ``quantile(q)``
+    therefore approximates the exact **nearest-rank** order statistic
+    (0-based rank ``ceil(q * n) - 1``) to within relative ``alpha``
+    (plus at most one float-rounding bucket at exact bucket
+    boundaries). Values in ``[0, 1)`` are counted exactly as 0;
+    negative values are rejected.
+    """
+
+    __slots__ = ("alpha", "_gamma", "_inv_log_gamma", "_low", "_buckets")
+
+    def __init__(self, alpha: float = DEFAULT_SKETCH_ALPHA):
+        alpha = float(alpha)
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(
+                f"sketch alpha must be in (0, 1), got {alpha}"
+            )
+        self.alpha = alpha
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._inv_log_gamma = 1.0 / math.log(self._gamma)
+        self._low = 0  # values in [0, 1), reported as 0.0
+        self._buckets: Dict[int, int] = {}
+
+    @property
+    def count(self) -> int:
+        return self._low + sum(self._buckets.values())
+
+    def push(self, value: float) -> None:
+        value = float(value)
+        if value < 0.0:
+            raise ConfigurationError(
+                f"quantile sketch values must be >= 0, got {value}"
+            )
+        if value < 1.0:
+            self._low += 1
+            return
+        key = int(math.ceil(math.log(value) * self._inv_log_gamma))
+        self._buckets[key] = self._buckets.get(key, 0) + 1
+
+    def push_many(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        if (values < 0.0).any():
+            bad = float(values[values < 0.0][0])
+            raise ConfigurationError(
+                f"quantile sketch values must be >= 0, got {bad}"
+            )
+        low = values < 1.0
+        self._low += int(low.sum())
+        rest = values[~low]
+        if rest.size == 0:
+            return
+        keys = np.ceil(np.log(rest) * self._inv_log_gamma).astype(np.int64)
+        unique, counts = np.unique(keys, return_counts=True)
+        buckets = self._buckets
+        for key, n in zip(unique.tolist(), counts.tolist()):
+            buckets[key] = buckets.get(key, 0) + n
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate; NaN when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile q must be in [0, 1], got {q}")
+        n = self.count
+        if n == 0:
+            return float("nan")
+        rank = max(0, math.ceil(q * n) - 1)  # 0-based nearest rank
+        cumulative = self._low
+        if rank < cumulative:
+            return 0.0
+        estimate = 0.0
+        for key in sorted(self._buckets):
+            cumulative += self._buckets[key]
+            estimate = 2.0 * self._gamma**key / (self._gamma + 1.0)
+            if rank < cumulative:
+                return estimate
+        return estimate
+
+    def copy(self) -> "QuantileSketch":
+        clone = QuantileSketch(self.alpha)
+        clone._low = self._low
+        clone._buckets = dict(self._buckets)
+        return clone
+
+    def state_dict(self) -> dict:
+        keys = np.asarray(sorted(self._buckets), dtype=np.int64)
+        counts = np.asarray(
+            [self._buckets[int(k)] for k in keys], dtype=np.int64
+        )
+        return {
+            "alpha": self.alpha,
+            "low": self._low,
+            "keys": keys,
+            "counts": counts,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        try:
+            alpha = _checked_float(state["alpha"], "sketch.alpha")
+            low = _checked_int(state["low"], "sketch.low")
+            keys = np.asarray(state["keys"], dtype=np.int64)
+            counts = np.asarray(state["counts"], dtype=np.int64)
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"quantile sketch state is missing {exc}"
+            ) from exc
+        if alpha != self.alpha:
+            raise ConfigurationError(
+                f"quantile sketch state has alpha {alpha}; this recorder is "
+                f"configured for {self.alpha}"
+            )
+        if keys.size != counts.size or (counts < 0).any():
+            raise ConfigurationError(
+                "quantile sketch state keys/counts are inconsistent"
+            )
+        self._low = low
+        self._buckets = {
+            int(k): int(c) for k, c in zip(keys.tolist(), counts.tolist())
+        }
+
+
+class StreamingSeries:
+    """One per-frame scalar series in O(window) space.
+
+    Bundles full-history :class:`StreamingMoments`, an exact head
+    accumulator over the first ``head_frames`` values (the blow-up
+    detector's early baseline), and a :class:`RingBuffer` over the
+    newest ``window`` values (drift fits, windowed means, sparklines).
+    """
+
+    __slots__ = ("window", "head_frames", "moments", "head", "ring")
+
+    def __init__(
+        self, window: int = DEFAULT_WINDOW, head_frames: Optional[int] = None
+    ):
+        window = int(window)
+        if window < 8:
+            raise ConfigurationError(
+                f"streaming window must be >= 8, got {window}"
+            )
+        if head_frames is None:
+            head_frames = window // 4
+        head_frames = int(head_frames)
+        if not 2 <= head_frames <= window // 4:
+            # The windowed blow-up baseline must be a prefix the
+            # delegating exact path (n <= window) would also use:
+            # assess_stability's head is the first max(2, n // 4)
+            # frames, so once n > window the batch head has at least
+            # window // 4 frames and a head window no larger than that
+            # stays a faithful (shorter, earlier) baseline.
+            raise ConfigurationError(
+                f"head_frames must be in [2, window // 4], got {head_frames}"
+            )
+        self.window = window
+        self.head_frames = head_frames
+        self.moments = StreamingMoments()
+        self.head = StreamingMoments()
+        self.ring = RingBuffer(window, dtype=np.int64)
+
+    @property
+    def count(self) -> int:
+        return self.moments.count
+
+    @property
+    def last(self) -> int:
+        if self.count == 0:
+            return 0
+        return int(self.ring.last())
+
+    @property
+    def maximum(self) -> float:
+        return self.moments.maximum
+
+    def push(self, value: int) -> None:
+        self.moments.push(value)
+        if self.moments.count <= self.head_frames:
+            self.head.push(value)
+        self.ring.push(value)
+
+    def values(self) -> np.ndarray:
+        """The newest ``min(count, window)`` values, oldest first."""
+        return self.ring.values()
+
+    def tail_mean(self, tail_fraction: float) -> float:
+        """Mean over the trailing fraction, clipped to the window.
+
+        Equals the full-history tail mean exactly while the requested
+        tail still fits the ring (always true when ``count <= window``);
+        beyond that it is the mean of the newest
+        ``min(window, count - int(count * (1 - tail_fraction)))``
+        frames.
+        """
+        if self.count == 0:
+            return 0.0
+        target = self.count - int(self.count * (1.0 - tail_fraction))
+        filled = len(self.ring)
+        take = max(1, min(filled, target))
+        return float(np.mean(self.values()[filled - take :]))
+
+    def state_dict(self) -> dict:
+        return {
+            "window": self.window,
+            "head_frames": self.head_frames,
+            "moments": self.moments.state_dict(),
+            "head": self.head.state_dict(),
+            "ring": self.ring.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        try:
+            window = _checked_int(state["window"], "series.window", 1)
+            head_frames = _checked_int(
+                state["head_frames"], "series.head_frames", 2
+            )
+            moments = state["moments"]
+            head = state["head"]
+            ring = state["ring"]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"streaming series state is missing {exc}"
+            ) from exc
+        if window != self.window or head_frames != self.head_frames:
+            raise ConfigurationError(
+                f"streaming series state was written for window="
+                f"{window}/head_frames={head_frames}; this recorder is "
+                f"configured for window={self.window}/head_frames="
+                f"{self.head_frames}"
+            )
+        self.moments.load_state_dict(moments)
+        self.head.load_state_dict(head)
+        self.ring.load_state_dict(ring)
+
+
+class StreamingLatency:
+    """Delivered-latency summaries without retaining delivered packets.
+
+    The protocol layer folds released delivered packets here (see
+    ``DynamicProtocol.take_delivered``): exact moments plus a
+    :class:`QuantileSketch`, overall and per path length. ``summary``
+    merges the absorbed state with any still-pending (un-released)
+    latencies into a :class:`~repro.sim.metrics.LatencySummary`-shaped
+    result without mutating the accumulators, so it is idempotent.
+    """
+
+    __slots__ = ("alpha", "moments", "sketch", "_by_length")
+
+    def __init__(self, alpha: float = DEFAULT_SKETCH_ALPHA):
+        self.alpha = float(alpha)
+        self.moments = StreamingMoments()
+        self.sketch = QuantileSketch(self.alpha)
+        self._by_length: Dict[
+            int, Tuple[StreamingMoments, QuantileSketch]
+        ] = {}
+
+    @property
+    def count(self) -> int:
+        """Latencies absorbed so far (released delivered packets)."""
+        return self.moments.count
+
+    def absorb(self, latencies: np.ndarray, lengths: np.ndarray) -> None:
+        latencies = np.asarray(latencies)
+        lengths = np.asarray(lengths)
+        if latencies.size == 0:
+            return
+        self.moments.push_many(latencies)
+        self.sketch.push_many(latencies)
+        for length in np.unique(lengths).tolist():
+            bucket = self._by_length.get(int(length))
+            if bucket is None:
+                bucket = (StreamingMoments(), QuantileSketch(self.alpha))
+                self._by_length[int(length)] = bucket
+            subset = latencies[lengths == length]
+            bucket[0].push_many(subset)
+            bucket[1].push_many(subset)
+
+    @staticmethod
+    def _merged(moments, sketch, pending: np.ndarray):
+        """(count, mean, median, p95, max) over absorbed + pending."""
+        pending = np.asarray(pending)
+        count = moments.count + int(pending.size)
+        if count == 0:
+            return None
+        if pending.size:
+            moments = moments.copy()
+            moments.push_many(pending)
+            sketch = sketch.copy()
+            sketch.push_many(pending)
+        return (
+            count,
+            moments.mean,
+            sketch.quantile(0.5),
+            sketch.quantile(0.95),
+            moments.maximum,
+        )
+
+    def merged_stats(self, pending: np.ndarray):
+        """Overall (count, mean, median, p95, max); None when empty."""
+        return self._merged(self.moments, self.sketch, pending)
+
+    def merged_stats_by_length(
+        self, pending: np.ndarray, pending_lengths: np.ndarray
+    ) -> Dict[int, tuple]:
+        """Per-path-length merged stats (same tuple as merged_stats)."""
+        pending = np.asarray(pending)
+        pending_lengths = np.asarray(pending_lengths)
+        results: Dict[int, tuple] = {}
+        lengths = set(self._by_length)
+        lengths.update(int(d) for d in np.unique(pending_lengths).tolist())
+        for length in sorted(lengths):
+            bucket = self._by_length.get(length)
+            moments, sketch = bucket if bucket is not None else (
+                StreamingMoments(),
+                QuantileSketch(self.alpha),
+            )
+            subset = pending[pending_lengths == length]
+            merged = self._merged(moments, sketch, subset)
+            if merged is not None:
+                results[length] = merged
+        return results
+
+    def state_dict(self) -> dict:
+        return {
+            "alpha": self.alpha,
+            "moments": self.moments.state_dict(),
+            "sketch": self.sketch.state_dict(),
+            "by_length": {
+                str(length): {
+                    "moments": bucket[0].state_dict(),
+                    "sketch": bucket[1].state_dict(),
+                }
+                for length, bucket in sorted(self._by_length.items())
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        try:
+            alpha = _checked_float(state["alpha"], "latency.alpha")
+            moments = state["moments"]
+            sketch = state["sketch"]
+            by_length = state["by_length"]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"streaming latency state is missing {exc}"
+            ) from exc
+        if alpha != self.alpha:
+            raise ConfigurationError(
+                f"streaming latency state has alpha {alpha}; this recorder "
+                f"is configured for {self.alpha}"
+            )
+        if not isinstance(by_length, dict):
+            raise ConfigurationError(
+                "streaming latency state 'by_length' must be a mapping"
+            )
+        self.moments.load_state_dict(moments)
+        self.sketch.load_state_dict(sketch)
+        self._by_length = {}
+        for key, bucket_state in by_length.items():
+            try:
+                length = int(key)
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"streaming latency state has a non-integer path "
+                    f"length key {key!r}"
+                ) from exc
+            bucket = (StreamingMoments(), QuantileSketch(self.alpha))
+            bucket[0].load_state_dict(bucket_state["moments"])
+            bucket[1].load_state_dict(bucket_state["sketch"])
+            self._by_length[length] = bucket
+
+
+__all__ = [
+    "DEFAULT_SKETCH_ALPHA",
+    "DEFAULT_WINDOW",
+    "QuantileSketch",
+    "RingBuffer",
+    "StreamingLatency",
+    "StreamingMoments",
+    "StreamingSeries",
+]

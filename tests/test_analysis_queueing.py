@@ -200,3 +200,37 @@ class TestUtilisation:
         stats = busy_period_stats(values)
         assert 0.0 <= rho <= 1.0
         assert stats.total_busy_frames == pytest.approx(rho * len(values))
+
+
+class _NoIterArray(np.ndarray):
+    """Refuses Python-level iteration — guards the no-copy intake."""
+
+    def __iter__(self):  # pragma: no cover - the assertion is the test
+        raise AssertionError("series was iterated element-wise")
+
+
+def _guard(values) -> np.ndarray:
+    return np.asarray(values, dtype=float).view(_NoIterArray)
+
+
+class TestArrayIntakeNoCopy:
+    def test_littles_law_check_accepts_arrays_directly(self):
+        series = _guard([4.0] * 100)
+        sojourns = _guard([2.0] * 50)
+        report = littles_law_check(series, sojourns, warmup_fraction=0.0)
+        assert report.mean_in_system == 4.0
+
+    def test_drift_ci_accepts_arrays_directly(self):
+        rng = np.random.default_rng(0)
+        series = _guard(10.0 + rng.normal(0, 0.1, size=200))
+        point, lower, upper = drift_confidence_interval(series, rng=0)
+        assert lower <= point <= upper
+
+    def test_busy_period_stats_accepts_arrays_directly(self):
+        series = _guard([0.0, 1.0, 2.0, 0.0, 0.0, 3.0, 0.0])
+        stats = busy_period_stats(series)
+        assert stats.count == 2
+
+    def test_utilisation_accepts_arrays_directly(self):
+        series = _guard([0.0, 1.0, 0.0, 2.0])
+        assert utilisation(series) == 0.5

@@ -147,3 +147,97 @@ def test_draining_transient_is_stable(horizon):
     plateau = [max(spike[-1], 0.0)] * (horizon - len(spike))
     verdict = assess_stability(spike + plateau, load_per_frame=40.0)
     assert verdict.stable
+
+
+# ----------------------------------------------------------------------
+# No-copy array intake (the asarray(list(...)) cleanup)
+# ----------------------------------------------------------------------
+
+
+class _NoIter(np.ndarray):
+    """Float64 array that refuses Python-level iteration.
+
+    `np.asarray(series, dtype=float)` on a float64 ndarray neither
+    copies nor iterates; the old `list(queue_series)` round-trip did
+    both, and would trip this guard.
+    """
+
+    def __iter__(self):  # pragma: no cover - the assertion is the test
+        raise AssertionError("queue series was iterated element-wise")
+
+
+def _no_iter(values) -> np.ndarray:
+    return np.asarray(values, dtype=float).view(_NoIter)
+
+
+def test_assess_stability_takes_ndarray_without_copy_or_iteration():
+    base = np.linspace(10.0, 10.0, 200)
+    guarded = _no_iter(base)
+    verdict = assess_stability(guarded)
+    assert verdict.stable
+    # And no copy either: a plain float64 array passes straight through.
+    plain = np.asarray(base, dtype=float)
+    assert np.asarray(plain, dtype=float) is plain
+
+
+# ----------------------------------------------------------------------
+# Windowed / streaming variants
+# ----------------------------------------------------------------------
+
+
+def _streaming_series(values, window=64, head_frames=None):
+    from repro.sim.streaming import StreamingSeries
+
+    series = StreamingSeries(window=window, head_frames=head_frames)
+    for value in values:
+        series.push(int(value))
+    return series
+
+
+def test_streaming_verdict_delegates_exactly_within_window():
+    from repro.sim.stability import assess_stability_streaming
+
+    rng = np.random.default_rng(0)
+    values = (50 + rng.integers(0, 10, size=60)).tolist()
+    batch = assess_stability(values, load_per_frame=2.0)
+    stream = assess_stability_streaming(
+        _streaming_series(values, window=64), load_per_frame=2.0
+    )
+    assert repr(stream) == repr(batch)
+
+
+@pytest.mark.parametrize("n", [200, 500, 1333])
+def test_streaming_verdict_matches_windowed_batch_recompute(n):
+    from repro.sim.stability import (
+        assess_stability_streaming,
+        assess_stability_windowed,
+    )
+
+    rng = np.random.default_rng(n)
+    values = (100 + rng.integers(0, 20, size=n)).tolist()
+    window, head = 64, 16
+    stream = assess_stability_streaming(
+        _streaming_series(values, window=window, head_frames=head),
+        load_per_frame=3.0,
+    )
+    batch = assess_stability_windowed(
+        values, window=window, head_frames=head, load_per_frame=3.0
+    )
+    assert repr(stream) == repr(batch)
+
+
+def test_streaming_windowed_detector_flags_growth():
+    from repro.sim.stability import assess_stability_streaming
+
+    values = [int(5 * k) for k in range(2000)]
+    verdict = assess_stability_streaming(
+        _streaming_series(values, window=256), load_per_frame=1.0
+    )
+    assert not verdict.stable
+
+
+def test_streaming_too_short_raises():
+    from repro.sim.stability import assess_stability_streaming
+
+    with pytest.raises(StabilityError):
+        assess_stability_streaming(_streaming_series([1] * 5))

@@ -1,0 +1,308 @@
+"""Unit contracts for the O(1) streaming accumulators.
+
+The exactness claims the parity soak relies on are pinned here at the
+primitive level: compensated sums are bit-exact for integer-valued
+series, the ring buffer reproduces the newest-window slice, and the
+quantile sketch honours its documented relative-error bound against
+the nearest-rank order statistic.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.streaming import (
+    QuantileSketch,
+    RingBuffer,
+    StreamingLatency,
+    StreamingMoments,
+    StreamingSeries,
+)
+
+
+# ----------------------------------------------------------------------
+# StreamingMoments
+# ----------------------------------------------------------------------
+
+
+def test_moments_exact_on_integer_series():
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 10**9, size=5000)
+    moments = StreamingMoments()
+    for value in values.tolist():
+        moments.push(value)
+    assert moments.count == values.size
+    # Integer sums below 2**53 are exact under compensation, so the
+    # streaming mean bit-equals the batch recompute.
+    assert moments.total == float(values.sum())
+    assert moments.mean == float(values.sum()) / values.size
+    assert moments.minimum == float(values.min())
+    assert moments.maximum == float(values.max())
+    assert moments.variance == pytest.approx(float(np.var(values)), rel=1e-9)
+
+
+def test_moments_push_many_matches_push_loop():
+    rng = np.random.default_rng(1)
+    values = rng.integers(0, 1000, size=777)
+    one_by_one = StreamingMoments()
+    for value in values.tolist():
+        one_by_one.push(value)
+    batched = StreamingMoments()
+    for chunk in np.array_split(values, 13):
+        batched.push_many(chunk.astype(np.float64))
+    assert batched.count == one_by_one.count
+    assert batched.total == one_by_one.total
+    assert batched.minimum == one_by_one.minimum
+    assert batched.maximum == one_by_one.maximum
+    assert batched.variance == pytest.approx(one_by_one.variance, rel=1e-9)
+
+
+def test_moments_empty_and_roundtrip():
+    moments = StreamingMoments()
+    assert moments.count == 0
+    assert math.isnan(moments.mean)
+    moments.push(3.5)
+    moments.push(-1.5)
+    other = StreamingMoments()
+    other.load_state_dict(moments.state_dict())
+    assert other.count == 2
+    assert other.total == moments.total
+    assert other.minimum == -1.5 and other.maximum == 3.5
+
+
+def test_moments_state_rejects_bool_and_negative_count():
+    moments = StreamingMoments()
+    moments.push(1.0)
+    state = moments.state_dict()
+    for bad in (True, -1, 1.5):
+        broken = dict(state)
+        broken["count"] = bad
+        with pytest.raises(ConfigurationError, match="count"):
+            StreamingMoments().load_state_dict(broken)
+
+
+# ----------------------------------------------------------------------
+# RingBuffer
+# ----------------------------------------------------------------------
+
+
+def test_ring_keeps_newest_window():
+    ring = RingBuffer(8)
+    for value in range(20):
+        ring.push(value)
+    assert ring.count == 20
+    assert len(ring) == 8
+    assert ring.values().tolist() == list(range(12, 20))
+    assert ring.last() == 19
+
+
+def test_ring_partial_fill_and_roundtrip():
+    ring = RingBuffer(8)
+    for value in (5, 6, 7):
+        ring.push(value)
+    assert ring.values().tolist() == [5, 6, 7]
+    state = ring.state_dict()
+    other = RingBuffer(8)
+    other.load_state_dict(state)
+    assert other.values().tolist() == [5, 6, 7]
+    other.push(8)
+    assert other.values().tolist() == [5, 6, 7, 8]
+
+
+def test_ring_roundtrip_mid_wrap():
+    ring = RingBuffer(4)
+    for value in range(11):
+        ring.push(value)
+    other = RingBuffer(4)
+    other.load_state_dict(ring.state_dict())
+    assert other.values().tolist() == ring.values().tolist()
+    other.push(11)
+    ring.push(11)
+    assert other.values().tolist() == ring.values().tolist()
+
+
+def test_ring_capacity_mismatch_raises():
+    ring = RingBuffer(4)
+    ring.push(1)
+    with pytest.raises(ConfigurationError, match="capacity"):
+        RingBuffer(8).load_state_dict(ring.state_dict())
+
+
+# ----------------------------------------------------------------------
+# QuantileSketch
+# ----------------------------------------------------------------------
+
+
+def _nearest_rank(sorted_values, q):
+    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return float(sorted_values[rank])
+
+
+@pytest.mark.parametrize("q", [0.5, 0.9, 0.95, 0.99])
+def test_sketch_respects_relative_error_bound(q):
+    rng = np.random.default_rng(2)
+    values = np.exp(rng.normal(5.0, 2.0, size=20000))
+    alpha = 0.01
+    sketch = QuantileSketch(alpha)
+    sketch.push_many(values)
+    truth = _nearest_rank(np.sort(values), q)
+    estimate = sketch.quantile(q)
+    # Documented bound: relative error <= alpha against the
+    # nearest-rank order statistic (plus float slack at bucket edges).
+    assert abs(estimate - truth) <= alpha * truth * (1.0 + 1e-9)
+
+
+def test_sketch_counts_sub_one_values_exactly_as_zero():
+    sketch = QuantileSketch()
+    sketch.push_many(np.asarray([0.0, 0.5, 0.9, 10.0]))
+    assert sketch.quantile(0.5) == 0.0
+    assert sketch.quantile(1.0) == pytest.approx(10.0, rel=0.01)
+
+
+def test_sketch_rejects_negative_values():
+    with pytest.raises(ConfigurationError):
+        QuantileSketch().push(-1.0)
+
+
+def test_sketch_push_matches_push_many():
+    rng = np.random.default_rng(3)
+    values = rng.uniform(1.0, 1e6, size=500)
+    a = QuantileSketch()
+    b = QuantileSketch()
+    for value in values.tolist():
+        a.push(value)
+    b.push_many(values)
+    assert a.state_dict()["low"] == b.state_dict()["low"]
+    assert np.array_equal(a.state_dict()["keys"], b.state_dict()["keys"])
+    assert np.array_equal(a.state_dict()["counts"], b.state_dict()["counts"])
+
+
+def test_sketch_roundtrip_and_alpha_mismatch():
+    sketch = QuantileSketch(0.01)
+    sketch.push_many(np.asarray([1.0, 10.0, 100.0]))
+    other = QuantileSketch(0.01)
+    other.load_state_dict(sketch.state_dict())
+    assert other.quantile(0.5) == sketch.quantile(0.5)
+    with pytest.raises(ConfigurationError, match="alpha"):
+        QuantileSketch(0.02).load_state_dict(sketch.state_dict())
+
+
+# ----------------------------------------------------------------------
+# StreamingSeries
+# ----------------------------------------------------------------------
+
+
+def test_series_tail_mean_exact_within_window():
+    values = list(range(100))
+    series = StreamingSeries(window=128)
+    for value in values:
+        series.push(value)
+    start = int(len(values) * 0.5)
+    assert series.tail_mean(0.5) == float(np.mean(values[start:]))
+    assert series.values().tolist() == values
+    assert series.last == 99
+    assert series.maximum == 99
+
+
+def test_series_head_is_exact_prefix():
+    series = StreamingSeries(window=16, head_frames=4)
+    for value in (3, 1, 4, 1, 5, 9, 2, 6):
+        series.push(value)
+    assert series.head.count == 4
+    assert series.head.mean == (3 + 1 + 4 + 1) / 4
+
+
+def test_series_roundtrip_beyond_window():
+    series = StreamingSeries(window=16)
+    for value in range(50):
+        series.push(value)
+    other = StreamingSeries(window=16)
+    other.load_state_dict(series.state_dict())
+    assert other.count == 50
+    assert other.values().tolist() == series.values().tolist()
+    assert other.head.mean == series.head.mean
+    with pytest.raises(ConfigurationError, match="window"):
+        StreamingSeries(window=32).load_state_dict(series.state_dict())
+
+
+def test_series_validates_window_and_head():
+    with pytest.raises(ConfigurationError):
+        StreamingSeries(window=4)
+    with pytest.raises(ConfigurationError):
+        StreamingSeries(window=32, head_frames=1)
+    with pytest.raises(ConfigurationError):
+        StreamingSeries(window=32, head_frames=32)
+
+
+# ----------------------------------------------------------------------
+# StreamingLatency
+# ----------------------------------------------------------------------
+
+
+def test_latency_merged_stats_match_batch():
+    rng = np.random.default_rng(4)
+    latencies = rng.integers(1, 10**6, size=4000)
+    lengths = rng.integers(1, 4, size=4000)
+    tracker = StreamingLatency(alpha=0.01)
+    half = 2000
+    tracker.absorb(
+        latencies[:half].astype(np.int64), lengths[:half].astype(np.int64)
+    )
+    pending = latencies[half:].astype(np.int64)
+    stats = tracker.merged_stats(pending)
+    count, mean, median, p95, maximum = stats
+    assert count == 4000
+    assert mean == float(latencies.sum()) / 4000
+    assert maximum == float(latencies.max())
+    sorted_all = np.sort(latencies)
+    for q, estimate in ((0.5, median), (0.95, p95)):
+        truth = _nearest_rank(sorted_all, q)
+        assert abs(estimate - truth) <= 0.01 * truth * (1.0 + 1e-9)
+    # Merging must not mutate the absorbed state.
+    assert tracker.merged_stats(pending) == stats
+    assert tracker.count == half
+
+
+def test_latency_by_length_union_and_roundtrip():
+    tracker = StreamingLatency()
+    tracker.absorb(
+        np.asarray([10, 20], dtype=np.int64), np.asarray([1, 2], dtype=np.int64)
+    )
+    merged = tracker.merged_stats_by_length(
+        np.asarray([30], dtype=np.int64), np.asarray([3], dtype=np.int64)
+    )
+    assert sorted(merged) == [1, 2, 3]
+    assert merged[3][0] == 1 and merged[3][4] == 30.0
+    other = StreamingLatency()
+    other.load_state_dict(tracker.state_dict())
+    assert other.merged_stats(np.empty(0, dtype=np.int64)) == (
+        tracker.merged_stats(np.empty(0, dtype=np.int64))
+    )
+
+
+def test_latency_empty_merged_stats_is_none():
+    tracker = StreamingLatency()
+    assert tracker.merged_stats(np.empty(0, dtype=np.int64)) is None
+    assert tracker.merged_stats_by_length(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    ) == {}
+
+
+def test_latency_state_rejects_bad_length_keys():
+    tracker = StreamingLatency()
+    tracker.absorb(
+        np.asarray([10], dtype=np.int64), np.asarray([1], dtype=np.int64)
+    )
+    state = tracker.state_dict()
+    # Checkpoint JSON stringifies dict keys; integral strings load.
+    assert "1" in state["by_length"]
+    other = StreamingLatency()
+    other.load_state_dict(state)
+    assert 1 in other.merged_stats_by_length(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    )
+    state["by_length"]["not-a-length"] = state["by_length"]["1"]
+    with pytest.raises(ConfigurationError, match="path length"):
+        StreamingLatency().load_state_dict(state)

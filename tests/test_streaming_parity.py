@@ -1,0 +1,224 @@
+"""The streaming-vs-batch parity contract (the PR's correctness soak).
+
+Streaming retention must be *observationally identical* to full
+retention: every ``CellResult`` field bit-equal (count/mean/extreme
+statistics are exact under compensated summation and order-preserving
+compaction), and the only sanctioned divergence is the quantile
+sketch, whose median/p95 must sit within its documented relative-error
+bound of the nearest-rank batch recompute from the full history.
+
+Workload sizing: the transformed schedulers (kv/decay/fkv) run huge
+frames (~10^5 slots), so they get short horizons with a small
+``release_interval`` to still exercise the summarize-and-release path;
+the cheap single-hop/MAC workloads carry the long horizons — past the
+ring window, through many compaction cycles. The ``slow``-marked soak
+runs thousands of frames; everything else is PR-lane fast.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.scenario import ScenarioSpec
+from repro.sim.engine import FrameSimulation
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.stability import assess_stability_windowed
+from repro.staticsched.runloop import available_backends
+
+BACKENDS = [b for b in available_backends() if b != "auto"]
+
+# Cheap workloads (small frames): long horizons, spec-level runs where
+# the default release_interval=64 fires several times.
+FAST_SPECS = {
+    "single-hop-grid": ScenarioSpec(
+        topology="grid", topology_kwargs={"rows": 3, "cols": 3},
+        model="packet-routing", scheduler="single-hop",
+        frames=400, seed=5,
+    ),
+    "mac-roundrobin": ScenarioSpec(
+        topology="mac", topology_kwargs={"num_stations": 4},
+        model="mac", scheduler="round-robin", frames=400, seed=5,
+    ),
+}
+
+# Expensive transformed schedulers (huge frames): short horizons, run
+# at engine level with a small release_interval so the release path
+# still cycles.
+HEAVY_SPECS = {
+    "kv-routing": ScenarioSpec(
+        topology="random", topology_kwargs={"num_nodes": 8},
+        model="packet-routing", scheduler="kv", transform=True,
+        frames=24, seed=5,
+    ),
+    "decay-linear": ScenarioSpec(
+        topology="random", topology_kwargs={"num_nodes": 8},
+        model="linear-power", scheduler="decay", transform=True,
+        frames=24, seed=5,
+    ),
+    "fkv-grid": ScenarioSpec(
+        topology="grid", topology_kwargs={"rows": 3, "cols": 3},
+        model="packet-routing", scheduler="fkv", transform=True,
+        frames=24, seed=5,
+    ),
+}
+
+
+def _nearest_rank(sorted_values, q):
+    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return float(sorted_values[rank])
+
+
+def _run_pair(spec, release_interval=16):
+    """Run ``spec`` under both retentions and return the two sims."""
+    built_full = spec.build()
+    full = FrameSimulation(built_full.protocol, built_full.injection)
+    full.run(spec.frames)
+    built_s = spec.build()
+    streaming = FrameSimulation(
+        built_s.protocol,
+        built_s.injection,
+        metrics=MetricsRecorder(
+            retention="streaming", release_interval=release_interval
+        ),
+    )
+    streaming.run(spec.frames)
+    return full, streaming
+
+
+# ----------------------------------------------------------------------
+# Record-level parity: scheduler x backend
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(FAST_SPECS))
+def test_cell_records_match_across_retention(name):
+    full = FAST_SPECS[name].run()
+    streaming = FAST_SPECS[name].replace(metrics="streaming").run()
+    # repr round-trips floats exactly and treats NaN latency uniformly,
+    # so equal reprs mean bit-identical records.
+    assert repr(streaming) == repr(full)
+
+
+@pytest.mark.parametrize("name", sorted(HEAVY_SPECS))
+def test_transformed_scheduler_summaries_match(name):
+    full, streaming = _run_pair(HEAVY_SPECS[name], release_interval=8)
+    f, s = full.metrics, streaming.metrics
+    assert s.released_count > 0  # the release path actually cycled
+    assert s.injected_total == f.injected_total
+    assert s.final_queue == f.final_queue
+    assert s.max_queue == f.max_queue
+    batch = f.latency_summary(full.protocol.delivered)
+    merged = s.latency_summary(streaming.protocol.delivered)
+    assert merged.count == batch.count
+    assert merged.mean == batch.mean
+    assert merged.maximum == batch.maximum
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cell_records_match_across_retention_per_backend(backend):
+    spec = FAST_SPECS["single-hop-grid"].replace(seed=3, backend=backend)
+    full = spec.run()
+    streaming = spec.replace(metrics="streaming").run()
+    assert repr(streaming) == repr(full)
+
+
+# ----------------------------------------------------------------------
+# Summary-level parity: exact fields exact, sketch fields bounded
+# ----------------------------------------------------------------------
+
+
+def test_summaries_exact_and_quantiles_within_sketch_bound():
+    spec = FAST_SPECS["single-hop-grid"].replace(frames=600)
+    full, streaming = _run_pair(spec)
+    f, s = full.metrics, streaming.metrics
+    assert s.released_count > 0
+    delivered_full = full.protocol.delivered
+    delivered_stream = streaming.protocol.delivered
+    batch = f.latency_summary(delivered_full)
+    merged = s.latency_summary(delivered_stream)
+    # Exact contract: count, mean, max (compensated integer sums).
+    assert merged.count == batch.count
+    assert merged.mean == batch.mean
+    assert merged.maximum == batch.maximum
+    # Sketch contract: median/p95 within alpha of the nearest-rank
+    # order statistic recomputed from the full history.
+    latencies = np.sort(np.asarray([p.latency() for p in delivered_full]))
+    alpha = s.sketch_alpha
+    for q, estimate in ((0.5, merged.median), (0.95, merged.p95)):
+        truth = _nearest_rank(latencies, q)
+        assert abs(estimate - truth) <= alpha * truth * (1.0 + 1e-9)
+    # Queue statistics: exact.
+    assert s.frames == f.frames
+    assert s.injected_total == f.injected_total
+    assert s.final_queue == f.final_queue
+    assert s.max_queue == f.max_queue
+    assert s.delivered_count() == f.delivered_count()
+
+
+def test_by_path_length_summaries_match():
+    spec = FAST_SPECS["single-hop-grid"]
+    full, streaming = _run_pair(spec)
+    batch = full.metrics.latency_by_path_length(full.protocol.delivered)
+    merged = streaming.metrics.latency_by_path_length(
+        streaming.protocol.delivered
+    )
+    assert sorted(merged) == sorted(batch)
+    for length, summary in batch.items():
+        assert merged[length].count == summary.count
+        assert merged[length].mean == summary.mean
+        assert merged[length].maximum == summary.maximum
+
+
+# ----------------------------------------------------------------------
+# Compaction actually bounds the store
+# ----------------------------------------------------------------------
+
+
+def test_streaming_compaction_shrinks_store():
+    spec = FAST_SPECS["single-hop-grid"]
+    full, streaming = _run_pair(spec, release_interval=8)
+    assert len(streaming.protocol.store) < len(full.protocol.store)
+    # ...without losing accounting: totals agree exactly.
+    assert streaming.protocol.delivered_total == full.protocol.delivered_total
+    assert (
+        streaming.metrics.delivered_count() == full.metrics.delivered_count()
+    )
+
+
+# ----------------------------------------------------------------------
+# Long soak beyond the ring window
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_long_soak_windowed_verdict_matches_batch_recompute():
+    spec = FAST_SPECS["single-hop-grid"].replace(frames=3000)
+    full, streaming = _run_pair(spec, release_interval=8)
+    f, s = full.metrics, streaming.metrics
+    assert s.frames == 3000 and s.frames > s.window
+    # The full history is the ground truth; the streaming verdict must
+    # bit-match the windowed detector recomputed from it.
+    batch = assess_stability_windowed(
+        f.queue_series,
+        window=s.window,
+        head_frames=s._queue.head_frames,
+        load_per_frame=2.0,
+    )
+    stream = s.stability_verdict(load_per_frame=2.0)
+    assert repr(stream) == repr(batch)
+    # Exact statistics survive hundreds of release/compaction cycles.
+    assert s.injected_total == f.injected_total
+    assert s.max_queue == f.max_queue
+    assert s.final_queue == f.final_queue
+    series = np.asarray(f.queue_series, dtype=float)
+    n = series.size
+    start = n - max(1, min(s.window, n - int(n * 0.5)))
+    assert s.mean_queue(0.5) == float(series[start:].mean())
+    batch_summary = f.latency_summary(full.protocol.delivered)
+    merged = s.latency_summary(streaming.protocol.delivered)
+    assert merged.count == batch_summary.count
+    assert merged.mean == batch_summary.mean
+    assert merged.maximum == batch_summary.maximum
