@@ -136,6 +136,24 @@ def _run_p7(quick: bool, out_dir: Path) -> dict:
     )
 
 
+def _run_p8(quick: bool, out_dir: Path) -> dict:
+    import bench_p8_campaign
+
+    if quick:
+        return bench_p8_campaign.run_experiment(
+            frames=30,
+            seeds=(0,),
+            tolerance=0.25,
+            repeats=1,
+            out_path=out_dir / "BENCH_p8.json",
+            tags={"quick_mode": True},
+        )
+    return bench_p8_campaign.run_experiment(
+        out_path=out_dir / "BENCH_p8.json",
+        tags={"quick_mode": False},
+    )
+
+
 #: Registry of perf benches: id -> (runner(quick, out_dir) -> payload,
 #: headline-speedup floor or None). The floor is per-bench: P1's
 #: acceptance criterion is >= 3x, P2's is >= 2x; future benches
@@ -151,6 +169,10 @@ def _run_p7(quick: bool, out_dir: Path) -> dict:
 #: streaming/full wall-clock (floor 0.95 = overhead ceiling); its
 #: second floor — streaming peak RSS flat w.r.t. horizon — is asserted
 #: by the bench itself (``streaming_rss_flat`` in BENCH_p7.json).
+#: P8 (frontier bisection) counts simulations, not seconds: its 2x
+#: floor (bisection vs fixed grid at equal boundary resolution) is
+#: deterministic on any host, and the bench itself asserts the two
+#: instruments agree on the boundary within one tolerance.
 PERF_BENCHES = {
     "p1": (_run_p1, 3.0),
     "p2": (_run_p2, 2.0),
@@ -159,6 +181,7 @@ PERF_BENCHES = {
     "p5": (_run_p5, None),
     "p6": (_run_p6, 0.95),
     "p7": (_run_p7, 0.95),
+    "p8": (_run_p8, 2.0),
 }
 
 

@@ -21,11 +21,12 @@ from repro.analysis.queueing import (
     utilisation,
 )
 from repro.analysis.tables import format_table
-from repro.analysis.asciiplot import line_chart, sparkline
+from repro.analysis.asciiplot import line_chart, phase_diagram, sparkline
 
 __all__ = [
     "sparkline",
     "line_chart",
+    "phase_diagram",
     "FitResult",
     "fit_affine",
     "fit_power_law",

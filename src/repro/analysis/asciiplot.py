@@ -9,7 +9,7 @@ plots carry the shape.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 _SPARK_LEVELS = " .:-=+*#%@"
 
@@ -79,4 +79,72 @@ def line_chart(
     return "\n".join(lines)
 
 
-__all__ = ["sparkline", "line_chart"]
+def phase_diagram(
+    rows: Sequence[Tuple[str, Optional[float], Optional[float], str]],
+    low: float,
+    high: float,
+    width: int = 44,
+    title: str = "",
+) -> str:
+    """Render stable-rate frontiers as one bar per row over a rate axis.
+
+    Each row is ``(label, lower, upper, status)``: the frontier bracket
+    found for one campaign cell. ``#`` marks the certified-stable
+    region (rates at or below ``lower``), ``?`` the unresolved bracket
+    ``(lower, upper]``, ``.`` the unstable region beyond. ``status``
+    ``"below-range"`` (unstable already at ``low``) renders all-``.``
+    and ``"above-range"`` (still stable at ``high``) all-``#``, each
+    annotated with the one-sided bound, so an out-of-range search is
+    visible at a glance instead of masquerading as a frontier.
+    """
+    if width < 2:
+        raise ValueError(f"phase diagram width must be >= 2, got {width}")
+    if not high > low:
+        raise ValueError(
+            f"phase diagram axis needs high > low, got [{low}, {high}]"
+        )
+    label_width = max([len(str(r[0])) for r in rows] or [0])
+    label_width = max(label_width, 4)
+    span = high - low
+
+    def column(rate: float) -> int:
+        fraction = (rate - low) / span
+        return int(round(min(1.0, max(0.0, fraction)) * (width - 1)))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    left, right = f"{low:.3g}", f"{high:.3g}"
+    gap = max(1, width - len(left) - len(right))
+    lines.append(" " * (label_width + 2) + left + " " * gap + right)
+    lines.append(" " * (label_width + 2) + "+" + "-" * (width - 2) + "+")
+    for label, lower, upper, status in rows:
+        if status == "below-range":
+            bar = "." * width
+            note = f"< {low:.3g}"
+        elif status == "above-range":
+            bar = "#" * width
+            note = f"> {high:.3g}"
+        else:
+            lo_col = column(lower if lower is not None else low)
+            hi_col = column(upper if upper is not None else high)
+            cells = []
+            for index in range(width):
+                if index <= lo_col:
+                    cells.append("#")
+                elif index <= hi_col:
+                    cells.append("?")
+                else:
+                    cells.append(".")
+            bar = "".join(cells)
+            midpoint = 0.5 * (lower + upper)
+            note = f"{midpoint:.3g} +- {0.5 * (upper - lower):.2g}"
+        lines.append(f"{str(label):<{label_width}}  {bar}  {note}")
+    lines.append(
+        " " * (label_width + 2)
+        + "# stable   ? frontier bracket   . unstable"
+    )
+    return "\n".join(lines)
+
+
+__all__ = ["sparkline", "line_chart", "phase_diagram"]

@@ -9,6 +9,8 @@
 * ``sweep`` — rate sweep across the stability boundary.
 * ``compare`` — static algorithms side by side on one network.
 * ``fleet`` — a multi-network scenario fleet, one process per network.
+* ``campaign`` — cross-product scenario grid with a stability-frontier
+  bisection per cell; JSON document + ascii phase diagram.
 * ``experiments`` — the reproduced-claim inventory.
 
 Every command writes plain text to stdout and returns a process exit
@@ -294,6 +296,54 @@ def _build_parser() -> argparse.ArgumentParser:
              "(default: 50; needs --checkpoint-dir)",
     )
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="survey a cross-product scenario grid: bisect each cell's "
+             "stable-rate frontier, render an ascii phase diagram",
+    )
+    campaign.add_argument(
+        "--spec",
+        required=True,
+        help="JSON campaign file: axes (topology/model/scheduler/"
+             "injection), seeds, frames, search range — see "
+             "repro.scenario.CampaignSpec",
+    )
+    campaign.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON frontier document here "
+             "(deterministic: no timestamps, bit-identical across "
+             "executors and resume)",
+    )
+    campaign.add_argument(
+        "--backend",
+        default=None,
+        choices=BACKENDS,
+        help="override every probe's run-loop backend "
+             "(default: respect the campaign's base)",
+    )
+    campaign.add_argument(
+        "--metrics",
+        default=None,
+        choices=("full", "streaming"),
+        help="override every probe's metrics retention ('streaming' "
+             "caps per-probe memory at O(window) for long horizons)",
+    )
+    _add_executor_arguments(campaign)
+    campaign.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="journal every completed probe into a fleet manifest "
+             "here (enables --resume after an interruption)",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover probes already journalled in --checkpoint-dir's "
+             "manifest instead of re-simulating them",
+    )
+
     sub.add_parser("experiments", help="list the reproduced paper claims")
 
     return parser
@@ -358,6 +408,11 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
           "the choice only changes speed)")
     print("presets: " + ", ".join(scenario_names())
           + " (repro.scenario.preset_spec / `repro fleet --model`)")
+    print()
+    print("campaigns: cross-product grids over these components with a "
+          "stability-frontier\nbisection per cell — `repro campaign "
+          "--spec FILE` (see repro.scenario.CampaignSpec\nfor the file "
+          "shape; every axis entry names a component above)")
     return 0
 
 
@@ -689,6 +744,72 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Survey a scenario grid: frontier table + phase diagram."""
+    from repro.scenario.campaign import load_campaign, run_campaign
+
+    if args.resume and args.checkpoint_dir is None:
+        print("error: --resume needs --checkpoint-dir (the manifest to "
+              "resume from)", file=sys.stderr)
+        return 2
+    spec = load_campaign(args.spec)
+    result = run_campaign(
+        spec,
+        executor=make_executor(args.executor, args.workers),
+        manifest_dir=args.checkpoint_dir,
+        resume=args.resume,
+        metrics=args.metrics,
+        backend=args.backend,
+    )
+    search = spec.search
+    print(f"campaign: {spec.name or args.spec}, "
+          f"{len(result.cells)} cell(s) x {len(spec.seeds)} seed(s), "
+          f"executor '{args.executor}'")
+    print(f"search: rate in [{search.rate_low:g}, {search.rate_high:g}] "
+          f"({search.rate_mode}), tolerance {search.tolerance:g}, "
+          f"{spec.frames} frame(s) per probe")
+    print()
+
+    def fmt(value) -> str:
+        return "-" if value is None else f"{value:.4g}"
+
+    rows = []
+    for cell in result.cells:
+        labels = cell.labels
+        rows.append(
+            [
+                cell.index,
+                labels["topology"],
+                labels["model"],
+                labels["scheduler"],
+                labels["injection"],
+                cell.status if cell.converged else f"{cell.status}*",
+                fmt(cell.lower),
+                fmt(cell.upper),
+                fmt(cell.frontier),
+                cell.simulations,
+            ]
+        )
+    print(repro.format_table(
+        ["#", "topology", "model", "scheduler", "injection", "status",
+         "lower", "upper", "frontier", "sims"],
+        rows,
+    ))
+    if any(not cell.converged for cell in result.cells):
+        print("* bracket wider than tolerance (max_rounds hit)")
+    print()
+    print(result.phase_diagram())
+    print()
+    print(f"simulations: {result.total_simulations} "
+          f"(fixed grid at the same resolution: "
+          f"{result.grid_equivalent_simulations})")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json() + "\n")
+        print(f"frontier document written to {args.out}")
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     rows = [
         [entry.id, entry.paper_ref, entry.claim, entry.bench_file]
@@ -706,6 +827,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "compare": cmd_compare,
     "fleet": cmd_fleet,
+    "campaign": cmd_campaign,
     "experiments": cmd_experiments,
 }
 

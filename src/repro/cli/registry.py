@@ -196,6 +196,13 @@ EXPERIMENTS: List[ExperimentEntry] = [
         ">= 0.95x throughput",
         "bench_p7_streaming.py",
     ),
+    ExperimentEntry(
+        "P8", "Performance",
+        "campaign frontier bisection: locates a cell's stable-rate "
+        "boundary in >= 2x fewer simulations than a fixed rate grid "
+        "at equal resolution, agreeing within one tolerance",
+        "bench_p8_campaign.py",
+    ),
 ]
 
 

@@ -5,7 +5,10 @@ One serializable description — :class:`~repro.scenario.spec.ScenarioSpec`
 component registry (:mod:`repro.scenario.registry`), executable
 anywhere (:meth:`ScenarioSpec.run`), and runnable as multi-network
 fleets with one process per network
-(:func:`~repro.scenario.fleet.run_scenario_fleet`).
+(:func:`~repro.scenario.fleet.run_scenario_fleet`). On top of the
+fleet layer, :mod:`repro.scenario.campaign` surveys cross-product
+grids with a stability-frontier bisection per cell
+(:func:`~repro.scenario.campaign.run_campaign`).
 
 The CLI's historical presets live on as spec templates in
 :mod:`repro.scenario.presets`; ``cli/builders.py`` and the sharding
@@ -37,6 +40,16 @@ from repro.scenario.registry import (  # noqa: F401  (cycle-safe: registry has n
 _EXPORTS = {
     "BuiltScenario": "repro.scenario.spec",
     "ScenarioSpec": "repro.scenario.spec",
+    "AxisComponent": "repro.scenario.campaign",
+    "CampaignCell": "repro.scenario.campaign",
+    "CampaignResult": "repro.scenario.campaign",
+    "CampaignSpec": "repro.scenario.campaign",
+    "CellFrontier": "repro.scenario.campaign",
+    "FrontierSearch": "repro.scenario.campaign",
+    "ProbeOutcome": "repro.scenario.campaign",
+    "campaign_from_data": "repro.scenario.campaign",
+    "load_campaign": "repro.scenario.campaign",
+    "run_campaign": "repro.scenario.campaign",
     "PRESETS": "repro.scenario.presets",
     "preset_names": "repro.scenario.presets",
     "preset_spec": "repro.scenario.presets",

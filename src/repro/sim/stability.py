@@ -24,7 +24,29 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import StabilityError
+from repro.errors import ConfigurationError, StabilityError
+
+
+def _check_tail_fraction(tail_fraction: float) -> None:
+    """Reject out-of-range tail fractions before they slice.
+
+    ``tail_fraction`` outside ``(0, 1]`` used to produce an empty (or
+    wrong) tail slice whose ``mean()`` emitted a RuntimeWarning and
+    returned NaN — and every NaN comparison in the verdict is False, so
+    the run was *silently classified unstable*. Same contract (and
+    wording) as :meth:`repro.sim.metrics.MetricsRecorder.mean_queue`.
+    """
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ConfigurationError(
+            f"tail_fraction must be in (0, 1], got {tail_fraction}"
+        )
+
+
+def _check_head_frames(head_frames: int) -> None:
+    if head_frames < 1:
+        raise ConfigurationError(
+            f"head_frames must be >= 1, got {head_frames}"
+        )
 
 
 @dataclass(frozen=True)
@@ -78,6 +100,7 @@ def assess_stability(
         ... or when tail mean exceeds this multiple of the early mean
         (with an additive floor so tiny queues don't trip it).
     """
+    _check_tail_fraction(tail_fraction)
     # No list() round-trip: an ndarray input is used as-is (float64
     # arrays pass through without a copy).
     series = np.asarray(queue_series, dtype=float)
@@ -103,6 +126,14 @@ def _verdict_from_windows(
     blowup_tolerance: float,
 ) -> StabilityVerdict:
     """The drift/blow-up math shared by the batch and windowed paths."""
+    if len(tail) < 2:
+        # A one-point least-squares fit has slope 0.0 by construction,
+        # so the drift check would pass vacuously — exactly the kind of
+        # near-boundary probe a frontier bisection must not trust.
+        raise StabilityError(
+            f"need at least 2 tail frames for the drift fit, got "
+            f"{len(tail)}; lengthen the horizon or raise tail_fraction"
+        )
     slope = _linear_slope(tail)
     load = max(load_per_frame, 1e-9)
     normalised = slope / load
@@ -141,8 +172,19 @@ def assess_stability_windowed(
     tail_fraction)))`` frames and the blow-up baseline is the mean of
     the first ``head_frames`` frames.
     """
+    _check_tail_fraction(tail_fraction)
+    _check_head_frames(head_frames)
     series = np.asarray(queue_series, dtype=float)
     n = len(series)
+    if n < min_frames:
+        # Checked before the <= window delegation: with ``window <
+        # min_frames <= n`` the batch recompute used to skip the check
+        # and return a verdict the streaming assessor refuses for the
+        # same series — breaking the documented bit-parity contract.
+        raise StabilityError(
+            f"need at least {min_frames} frames to assess stability, "
+            f"got {n}"
+        )
     if n <= window:
         return assess_stability(
             series,
@@ -153,7 +195,9 @@ def assess_stability_windowed(
             min_frames=min_frames,
         )
     tail_target = n - int(n * (1.0 - tail_fraction))
-    tail = series[n - max(1, min(window, tail_target)) :]
+    # max(2, ...): a length-1 tail would pass the drift check on a
+    # vacuous fit (see _verdict_from_windows, which also guards).
+    tail = series[n - max(2, min(window, tail_target)) :]
     head_mean = float(series[:head_frames].mean())
     return _verdict_from_windows(
         tail, head_mean, load_per_frame, slope_tolerance, blowup_tolerance
@@ -180,6 +224,7 @@ def assess_stability_streaming(
     pure function of the series, so a batch recompute from full history
     reproduces it bit for bit.
     """
+    _check_tail_fraction(tail_fraction)
     n = queue.count
     if n < min_frames:
         raise StabilityError(
@@ -196,7 +241,9 @@ def assess_stability_streaming(
             min_frames=min_frames,
         )
     tail_target = n - int(n * (1.0 - tail_fraction))
-    tail = values[len(values) - max(1, min(queue.window, tail_target)) :]
+    # max(2, ...): mirrors the windowed batch recompute bit for bit
+    # (the ring always holds >= window >= 8 frames here).
+    tail = values[len(values) - max(2, min(queue.window, tail_target)) :]
     # The head accumulator's sum is exact (integer series), so this
     # mean equals the batch np.mean over the same prefix bit for bit.
     head_mean = queue.head.mean

@@ -1,6 +1,8 @@
 """ASCII plotting helpers."""
 
-from repro.analysis.asciiplot import line_chart, sparkline
+import pytest
+
+from repro.analysis.asciiplot import line_chart, phase_diagram, sparkline
 
 
 def test_sparkline_empty():
@@ -50,3 +52,44 @@ def test_line_chart_empty():
 def test_line_chart_flat_series_does_not_crash():
     chart = line_chart({"flat": [2, 2, 2]})
     assert "f" in chart
+
+
+def test_phase_diagram_bracketed_row_has_three_regions():
+    out = phase_diagram(
+        [("rr", 1.0, 1.25, "bracketed")], low=0.5, high=2.0, width=40
+    )
+    (row,) = [line for line in out.splitlines() if line.startswith("rr")]
+    bar = row.split()[1]
+    # Stable, bracket, unstable — in that order, all three present.
+    assert set(bar) == {"#", "?", "."}
+    assert bar == "".join(sorted(bar, key="#?.".index))
+    assert "1.12 +- 0.12" in row  # midpoint +- half-width annotation
+
+
+def test_phase_diagram_out_of_range_rows_are_one_sided():
+    out = phase_diagram(
+        [("below", None, 0.5, "below-range"),
+         ("above", 2.0, None, "above-range")],
+        low=0.5, high=2.0, width=30,
+    )
+    below = next(l for l in out.splitlines() if l.startswith("below"))
+    above = next(l for l in out.splitlines() if l.startswith("above"))
+    assert "." * 30 in below and "< 0.5" in below
+    assert "#" * 30 in above and "> 2" in above
+
+
+def test_phase_diagram_axis_and_legend():
+    out = phase_diagram(
+        [("cell", 1.0, 1.5, "bracketed")], low=0.5, high=2.0, title="t"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "t"
+    assert "0.5" in lines[1] and "2" in lines[1]
+    assert "frontier bracket" in lines[-1]
+
+
+def test_phase_diagram_validates_width_and_axis():
+    with pytest.raises(ValueError, match="width"):
+        phase_diagram([], low=0.0, high=1.0, width=1)
+    with pytest.raises(ValueError, match="high > low"):
+        phase_diagram([], low=1.0, high=1.0)

@@ -317,3 +317,104 @@ class TestFleetCommand:
     def test_fleet_rejects_zero_networks(self, capsys):
         assert main(["fleet", "--networks", "0"]) == 2
         assert "--networks" in capsys.readouterr().err
+
+
+CAMPAIGN_DATA = {
+    "name": "cli-frontier",
+    "axes": {
+        "topology": [{"name": "mac", "kwargs": {"num_stations": 8}}],
+        "model": ["mac"],
+        "scheduler": ["round-robin", "single-hop"],
+        "injection": ["uniform-pairs"],
+    },
+    "seeds": [0, 1],
+    "frames": 40,
+    "search": {"rate_low": 0.5, "rate_high": 2.0, "tolerance": 0.25},
+}
+
+
+class TestCampaignCommand:
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(CAMPAIGN_DATA))
+        return str(path)
+
+    def test_campaign_prints_table_and_diagram(self, spec_path, capsys):
+        assert main(["campaign", "--spec", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "campaign: cli-frontier" in out
+        assert "round-robin" in out and "single-hop" in out
+        assert "bracketed" in out and "below-range" in out
+        assert "# stable   ? frontier bracket   . unstable" in out
+        assert "fixed grid at the same resolution" in out
+
+    def test_campaign_writes_deterministic_document(
+        self, spec_path, tmp_path, capsys
+    ):
+        import json
+
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        assert main(
+            ["campaign", "--spec", spec_path, "--out", str(out_a)]
+        ) == 0
+        assert main(
+            ["campaign", "--spec", spec_path, "--out", str(out_b)]
+        ) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+        doc = json.loads(out_a.read_text())
+        assert doc["kind"] == "campaign-frontier"
+        assert len(doc["cells"]) == 2
+
+    @needs_fork
+    def test_campaign_stdout_identical_across_executors(
+        self, spec_path, capsys
+    ):
+        assert main(["campaign", "--spec", spec_path]) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["campaign", "--spec", spec_path,
+             "--executor", "process", "--workers", "2"]
+        ) == 0
+        process = capsys.readouterr().out
+        assert process.replace("'process'", "'serial'") == serial
+
+    def test_campaign_resume_reproduces_document(
+        self, spec_path, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        assert main(
+            ["campaign", "--spec", spec_path, "--out", str(base)]
+        ) == 0
+        capsys.readouterr()
+        ckpt = str(tmp_path / "ckpt")
+        first = tmp_path / "first.json"
+        assert main(
+            ["campaign", "--spec", spec_path, "--out", str(first),
+             "--checkpoint-dir", ckpt]
+        ) == 0
+        capsys.readouterr()
+        resumed = tmp_path / "resumed.json"
+        assert main(
+            ["campaign", "--spec", spec_path, "--out", str(resumed),
+             "--checkpoint-dir", ckpt, "--resume"]
+        ) == 0
+        assert base.read_bytes() == first.read_bytes()
+        assert base.read_bytes() == resumed.read_bytes()
+
+    def test_campaign_resume_needs_checkpoint_dir(self, spec_path, capsys):
+        assert main(["campaign", "--spec", spec_path, "--resume"]) == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_campaign_rejects_bad_spec_file(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["campaign", "--spec", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_scenarios_mentions_campaigns(self, capsys):
+        assert main(["scenarios"]) == 0
+        assert "campaign" in capsys.readouterr().out

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import StabilityError
+from repro.errors import ConfigurationError, StabilityError
 from repro.sim.stability import assess_stability
 
 
@@ -241,3 +241,100 @@ def test_streaming_too_short_raises():
 
     with pytest.raises(StabilityError):
         assess_stability_streaming(_streaming_series([1] * 5))
+
+
+# ----------------------------------------------------------------------
+# Parameter validation (the silent-NaN / vacuous-fit regressions)
+#
+# An out-of-range tail_fraction used to produce an empty tail whose
+# mean() emitted a RuntimeWarning and returned NaN — and every NaN
+# comparison in the verdict is False, so the run was silently
+# classified unstable. A frontier bisection sits directly on these
+# verdicts, so misconfiguration must raise, never misclassify.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("tail_fraction", [0.0, -0.5, 1.0001, 2.0])
+def test_out_of_range_tail_fraction_raises_not_nan(tail_fraction):
+    import warnings
+
+    with warnings.catch_warnings():
+        # The old path emitted "mean of empty slice"; any warning fails.
+        warnings.simplefilter("error")
+        with pytest.raises(ConfigurationError, match="tail_fraction"):
+            assess_stability([10] * 50, tail_fraction=tail_fraction)
+
+
+def test_tail_fraction_of_one_is_legal():
+    assert assess_stability([10.0] * 50, tail_fraction=1.0).stable
+
+
+def test_windowed_validates_tail_fraction_and_head_frames():
+    from repro.sim.stability import assess_stability_windowed
+
+    values = [10] * 200
+    with pytest.raises(ConfigurationError, match="tail_fraction"):
+        assess_stability_windowed(
+            values, window=64, head_frames=16, tail_fraction=0.0
+        )
+    with pytest.raises(ConfigurationError, match="head_frames"):
+        assess_stability_windowed(values, window=64, head_frames=0)
+
+
+def test_streaming_validates_tail_fraction():
+    from repro.sim.stability import assess_stability_streaming
+
+    with pytest.raises(ConfigurationError, match="tail_fraction"):
+        assess_stability_streaming(
+            _streaming_series([10] * 50), tail_fraction=1.5
+        )
+
+
+def test_windowed_min_frames_checked_beyond_window():
+    # window < min_frames <= n: the delegation to assess_stability is
+    # skipped, and the batch recompute used to return a verdict the
+    # streaming assessor refuses for the same series. Both paths must
+    # raise identically or the bit-parity contract is broken.
+    from repro.sim.stability import (
+        assess_stability_streaming,
+        assess_stability_windowed,
+    )
+
+    values = [10] * 15  # n=15 > window=8, but < min_frames=20
+    with pytest.raises(StabilityError, match="at least 20 frames"):
+        assess_stability_windowed(values, window=8, head_frames=2)
+    with pytest.raises(StabilityError, match="at least 20 frames"):
+        assess_stability_streaming(
+            _streaming_series(values, window=8, head_frames=2)
+        )
+
+
+def test_one_frame_tail_refused_not_vacuously_stable():
+    # A violently growing series whose tail slice is a single frame:
+    # the one-point least-squares fit has slope 0.0 by construction,
+    # so the old code passed the drift check vacuously.
+    series = [float(30 * k) for k in range(20)]
+    with pytest.raises(StabilityError, match="tail frames"):
+        assess_stability(series, tail_fraction=0.05)
+
+
+def test_windowed_tail_clamp_keeps_two_frames_and_parity():
+    # Beyond the window with a tiny tail_fraction the tail target is a
+    # single frame; the clamp must hand the fit two frames (not one),
+    # identically in the batch recompute and the streaming path.
+    from repro.sim.stability import (
+        assess_stability_streaming,
+        assess_stability_windowed,
+    )
+
+    values = [float(5 * k) for k in range(200)]
+    batch = assess_stability_windowed(
+        values, window=64, head_frames=16,
+        tail_fraction=0.004, load_per_frame=1.0,
+    )
+    assert not batch.stable  # a 2-frame tail of linear growth drifts
+    stream = assess_stability_streaming(
+        _streaming_series(values, window=64, head_frames=16),
+        tail_fraction=0.004, load_per_frame=1.0,
+    )
+    assert repr(stream) == repr(batch)
