@@ -1,0 +1,213 @@
+"""P9 — the batched fleet kernel vs serial and process execution.
+
+P5 measured the honest ceiling of process-per-network fleets: on the
+1-CPU bench container a worker pool adds IPC and import cost on top of
+a serial loop, and even with real cores each *small* network is too
+cheap to ship out. The batched executor is the single-core answer:
+every network in a compatible group becomes a step-generator over the
+fused run loop, and one in-process wave engine advances all of their
+static-algorithm sub-runs together — per-network chunked RNG streams,
+per-task threshold scans against a shared tiled-limits matrix, events
+peeled one at a time so every ``RunResult`` stays bit-identical to the
+unbatched serial run.
+
+Workload: 8 small ``sinr-linear`` networks (10–12 nodes, distinct
+seeds) under the HM scheduler at ``chi = 0.002`` with an absolute
+injection rate — the sparse-transmission regime the wave engine is
+built for: long runs (~1.5k slots per frame run) whose slots are
+almost all event-free, so whole windows of coins are cleared with one
+vectorised scan per network instead of ~40 numpy calls per slot each.
+Event-dense regimes (``chi`` at its 0.25 default, or transformed
+schedulers with thousands of tiny sub-runs) stay near 1x — that
+boundary is documented in PERFORMANCE.md and is why the fleet layer
+only routes *small* networks into batches.
+
+The benchmark runs the same fleet serially, through a 2-process pool,
+and batched; asserts all three produce identical per-network records;
+and reports fleet frames/sec. The headline is the batched speedup
+over serial; the acceptance floor is 2x, enforced *unconditionally* —
+batching needs no extra cores, so a 1-CPU container must deliver it.
+
+Results go to ``BENCH_p9.json`` (see ``benchmarks/run_perf.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import resource
+import time
+from pathlib import Path
+
+from _harness import once, print_experiment
+
+from repro.scenario import ScenarioSpec, preset_spec, run_scenario_fleet
+from repro.scenario.batched import BatchedExecutor
+from repro.sim.sharding import (
+    ProcessExecutor,
+    SerialExecutor,
+    default_worker_count,
+)
+
+PRESET = "sinr-linear"
+NODES = (10, 11, 12)
+FRAMES = 40
+NETWORKS = 8
+SCHEDULER = "hm"
+CHI = 0.002
+RATE = 0.2
+PROCESS_WORKERS = 2
+TIMING_REPEATS = 2
+SPEEDUP_FLOOR = 2.0
+
+
+def build_specs(
+    frames: int = FRAMES, networks: int = NETWORKS, nodes=NODES
+):
+    specs = [
+        preset_spec(
+            PRESET,
+            nodes=nodes[seed % len(nodes)],
+            seed=seed,
+            frames=frames,
+            scheduler=SCHEDULER,
+            scheduler_kwargs={"chi": CHI},
+            transform=False,
+            rate_mode="absolute",
+            rate=RATE,
+        )
+        for seed in range(networks)
+    ]
+    # Round-trip through JSON: batching must group and replay exactly
+    # the serialized form a spec file would carry.
+    return [ScenarioSpec.from_json(spec.to_json()) for spec in specs]
+
+
+def records_identical(left, right) -> bool:
+    """Per-network CellResult equality, NaN-aware on latency."""
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if (a.rate_index, a.rate, a.seed, a.verdict, a.tail_queue,
+                a.throughput, a.frame_length, a.injected, a.delivered,
+                a.failures) != (b.rate_index, b.rate, b.seed, b.verdict,
+                                b.tail_queue, b.throughput, b.frame_length,
+                                b.injected, b.delivered, b.failures):
+            return False
+        if not (
+            a.latency == b.latency
+            or (math.isnan(a.latency) and math.isnan(b.latency))
+        ):
+            return False
+    return True
+
+
+def run_experiment(
+    frames: int = FRAMES,
+    networks: int = NETWORKS,
+    repeats: int = TIMING_REPEATS,
+    out_path=None,
+    tags=None,
+):
+    specs = build_specs(frames, networks)
+    executors = [
+        ("serial", SerialExecutor()),
+        (f"process-{PROCESS_WORKERS}",
+         ProcessExecutor(workers=PROCESS_WORKERS)),
+        ("batched", BatchedExecutor(strict=True)),
+    ]
+    seconds = {name: float("inf") for name, _ in executors}
+    records = {}
+    # Interleaved min-of-N (the P1..P8 noise-robust estimator); every
+    # executor must reproduce the identical fleet records — parity is
+    # asserted inside the benchmark, not delegated to the test suite.
+    for _ in range(repeats):
+        for name, executor in executors:
+            start = time.perf_counter()
+            result = run_scenario_fleet(specs, executor)
+            seconds[name] = min(seconds[name], time.perf_counter() - start)
+            assert name not in records or records_identical(
+                records[name].records, result.records
+            ), f"{name} records diverged between repeats"
+            records[name] = result
+    baseline = records["serial"]
+    for name, _ in executors:
+        assert records_identical(
+            baseline.records, records[name].records
+        ), f"fleet '{name}' is not record-identical to serial"
+        assert records[name].summary == baseline.summary
+
+    fleet_frames = networks * frames
+    rows = {
+        name: {
+            "seconds": seconds[name],
+            "fleet_frames_per_sec": fleet_frames / seconds[name],
+            "speedup": seconds["serial"] / seconds[name],
+        }
+        for name, _ in executors
+    }
+    headline = rows["batched"]["speedup"]
+    payload = {
+        "benchmark": "p9_batched_fleet",
+        "created_unix": time.time(),
+        "cpu_count": default_worker_count(),
+        "workload": {
+            "name": f"batched-fleet-{PRESET}-{SCHEDULER}",
+            "preset": PRESET,
+            "scheduler": SCHEDULER,
+            "chi": CHI,
+            "rate": RATE,
+            "rate_mode": "absolute",
+            "nodes": list(NODES),
+            "frames": frames,
+            "networks": networks,
+            "distinct_topologies": True,
+        },
+        "parity": "identical",
+        "seconds_serial": seconds["serial"],
+        "executors": rows,
+        "headline_executor": "batched",
+        "headline_speedup": headline,
+        "speedup_floor": SPEEDUP_FLOOR,
+        "stable_fraction": baseline.summary.stable_fraction,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    if tags:
+        payload.update(tags)
+    if out_path is None:
+        out_path = Path(__file__).resolve().parents[1] / "BENCH_p9.json"
+    Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    table = []
+    for name, _ in executors:
+        row = rows[name]
+        table.append(
+            [
+                name,
+                f"{row['seconds']:.2f}",
+                f"{row['fleet_frames_per_sec']:.1f}",
+                f"{row['speedup']:.2f}x",
+            ]
+        )
+    print_experiment(
+        "P9",
+        f"Batched fleet kernel: {networks} small networks fused in one "
+        f"wave loop on {default_worker_count()} CPU(s), bit-identical "
+        "to serial",
+        ["executor", "seconds", "fleet frames/sec", "speedup"],
+        table,
+    )
+    return payload
+
+
+def test_p9_batched_fleet(benchmark):
+    payload = once(benchmark, run_experiment)
+    # Parity is unconditional: every executor reproduced the serial
+    # records network for network (asserted inside run_experiment).
+    assert payload["parity"] == "identical"
+    # So is the speedup floor: batching spends no extra cores, so the
+    # 1-CPU container has no excuse.
+    assert payload["headline_speedup"] >= SPEEDUP_FLOOR, (
+        f"batched fleet speedup below the {SPEEDUP_FLOOR}x acceptance "
+        f"floor: {payload['headline_speedup']:.2f}x"
+    )

@@ -406,6 +406,10 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     print("backend: " + ", ".join(BACKENDS)
           + " (spec field 'backend'; every backend is bit-identical, "
           "the choice only changes speed)")
+    print("executors: " + ", ".join(executor_names())
+          + " (`--executor` on sweep/fleet/campaign; 'batched' advances "
+          "many small\nnetworks through one in-process wave engine — "
+          "records stay bit-identical)")
     print("presets: " + ", ".join(scenario_names())
           + " (repro.scenario.preset_spec / `repro fleet --model`)")
     print()

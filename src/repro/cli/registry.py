@@ -203,6 +203,13 @@ EXPERIMENTS: List[ExperimentEntry] = [
         "at equal resolution, agreeing within one tolerance",
         "bench_p8_campaign.py",
     ),
+    ExperimentEntry(
+        "P9", "Performance",
+        "batched fleet kernel: many small networks advanced in one "
+        "fused wave loop, bit-identical to serial; >= 2x fleet "
+        "frames/sec over serial on a single core",
+        "bench_p9_batched_fleet.py",
+    ),
 ]
 
 

@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.core.frames import FrameParameters, compute_frame_parameters
 from repro.core.potential import PotentialTracker
+from repro.core.steps import AlgorithmCall, drive_steps
 from repro.errors import ConfigurationError, SchedulingError
 from repro.injection.packet import Packet
 from repro.injection.store import PacketSequence, PacketStore, PacketView
@@ -429,7 +430,7 @@ class DynamicProtocol:
         indices (an int array, or views over the protocol's store).
         """
         if self._store is not None:
-            return self._run_frame_store(injected)
+            return drive_steps(self._run_frame_store_steps(injected))
         frame = self._frame_index
         frame_end_slot = (frame + 1) * self._params.frame_length
 
@@ -492,13 +493,34 @@ class DynamicProtocol:
             )
         return indices
 
-    def _run_frame_store(self, injected) -> FrameReport:
+    def run_frame_steps(self, injected):
+        """Generator form of :meth:`run_frame` (see :mod:`repro.core.steps`).
+
+        Store mode yields the frame's algorithm invocations (phase 1,
+        then — after the clean-up lottery draws — the clean-up run) as
+        :class:`~repro.core.steps.AlgorithmCall` items, receiving each
+        ``RunResult`` back via ``send``; the generator's return value
+        is the :class:`FrameReport`. All protocol-level randomness (the
+        lottery) stays in here, in the exact stream position the
+        synchronous path draws it. Object mode has no batchable calls
+        and runs the frame synchronously.
+        """
+        if self._store is None:
+            # Object mode: per-packet bookkeeping, nothing to intercept.
+            return self.run_frame(injected)
+        return (yield from self._run_frame_store_steps(injected))
+
+    def _run_frame_store_steps(self, injected):
         frame = self._frame_index
         frame_end_slot = (frame + 1) * self._params.frame_length
 
-        phase1_hops, newly_failed = self._phase1_store(frame, frame_end_slot)
+        phase1_hops, newly_failed = yield from self._phase1_store(
+            frame, frame_end_slot
+        )
         if self._cleanup_enabled:
-            offered, cleanup_hops = self._cleanup_store(frame, frame_end_slot)
+            offered, cleanup_hops = yield from self._cleanup_store(
+                frame, frame_end_slot
+            )
         else:
             offered, cleanup_hops = 0, 0
 
@@ -544,11 +566,12 @@ class DynamicProtocol:
         store = self._store
         # Phase-1 request vector: one CSR gather over the active set.
         requests = store.current_links(active)
-        result = self._algorithm.run(
+        result = yield AlgorithmCall(
+            self._algorithm,
             self._model,
             requests,
             self._params.phase1_budget,
-            rng=self._rng,
+            self._rng,
         )
         served_mask = np.zeros(active.size, dtype=bool)
         if result.delivered:
@@ -629,11 +652,12 @@ class DynamicProtocol:
         if not offered:
             return 0, 0
         requests = store.current_links(np.asarray(offered, dtype=np.int64))
-        result = self._algorithm.run(
+        result = yield AlgorithmCall(
+            self._algorithm,
             self._model,
             requests,
             self._params.cleanup_budget,
-            rng=self._rng,
+            self._rng,
         )
         served = [(offered[k], int(requests[k])) for k in result.delivered]
         # Pop every served packet before any advances (see _cleanup).

@@ -33,6 +33,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.steps import AlgorithmCall, drive_steps
 from repro.errors import ConfigurationError, SchedulingError
 from repro.interference.base import InterferenceModel
 from repro.staticsched.base import (
@@ -185,9 +186,31 @@ class TransformedAlgorithm(StaticAlgorithm):
         rng: RngLike = None,
         record_history: bool = False,
     ) -> RunResult:
+        return drive_steps(
+            self.run_steps(
+                model, requests, budget, ensure_rng(rng), record_history
+            )
+        )
+
+    def run_steps(
+        self,
+        model: InterferenceModel,
+        requests: Sequence[int],
+        budget: int,
+        gen,
+        record_history: bool = False,
+    ):
+        """Generator form of :meth:`run` (see :mod:`repro.core.steps`).
+
+        Yields one :class:`~repro.core.steps.AlgorithmCall` per base
+        sub-execution and receives its ``RunResult`` back; all
+        transformation randomness (the per-round delay draws) stays in
+        here, interleaved with the sub-runs exactly as the synchronous
+        path draws it. The batched fleet kernel drives this to advance
+        many networks' sub-runs inside one fused call.
+        """
         if budget < 0:
             raise SchedulingError(f"budget must be >= 0, got {budget}")
-        gen = ensure_rng(rng)
         requests = [int(e) for e in requests]
         n = len(requests)
         if n == 0:
@@ -202,18 +225,19 @@ class TransformedAlgorithm(StaticAlgorithm):
         remaining = list(range(n))
         slots_used = 0
 
-        def sub_run(indices: List[int], sub_budget: int) -> List[int]:
+        def sub_run(indices: List[int], sub_budget: int):
             """Run the base algorithm on a subset; return surviving indices."""
             nonlocal slots_used
             if not indices:
                 return []
             sub_requests = [requests[k] for k in indices]
-            result = self._base.run(
+            result = yield AlgorithmCall(
+                self._base,
                 model,
                 sub_requests,
                 sub_budget,
-                rng=gen,
-                record_history=record_history,
+                gen,
+                record_history,
             )
             slots_used += result.slots_used
             if self._charge_reserved:
@@ -244,7 +268,9 @@ class TransformedAlgorithm(StaticAlgorithm):
                 class_members = [
                     idx for idx, d in zip(remaining, delays) if d == j
                 ]
-                survivors.extend(sub_run(class_members, class_budget))
+                survivors.extend((yield from sub_run(
+                    class_members, class_budget
+                )))
             remaining = survivors
 
         # Stage 2: mop-up executions of the base algorithm.
@@ -252,7 +278,7 @@ class TransformedAlgorithm(StaticAlgorithm):
         for _ in range(math.ceil(self._phi) + 1):
             if slots_used >= budget or not remaining:
                 break
-            remaining = sub_run(remaining, mopup_budget)
+            remaining = yield from sub_run(remaining, mopup_budget)
 
         return RunResult(
             delivered=delivered,

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.steps import drive_steps
 from repro.errors import ConfigurationError
 from repro.injection.base import InjectionProcess
 from repro.sim.metrics import RETENTIONS, MetricsRecorder
@@ -178,9 +179,21 @@ class FrameSimulation:
 
     def run(self, frames: int) -> MetricsRecorder:
         """Advance the simulation by ``frames`` frames."""
+        return drive_steps(self.run_steps(frames))
+
+    def run_steps(self, frames: int):
+        """Generator form of :meth:`run` (see :mod:`repro.core.steps`).
+
+        Yields the frame loop's :class:`~repro.core.steps.AlgorithmCall`
+        items (via the protocol's ``run_frame_steps``) and returns the
+        metrics recorder. Injection, auditing and metrics accounting all
+        happen in here, so driving this generator — serially or from
+        the batched fleet kernel — is bit-identical to :meth:`run`.
+        """
         if frames < 0:
             raise ConfigurationError(f"frames must be >= 0, got {frames}")
         frame_length = int(self._protocol.frame_length)
+        frame_steps = getattr(self._protocol, "run_frame_steps", None)
         no_packets: tuple = ()
         # Cadence is a pure function of the frame number, so a resumed
         # run releases at exactly the frames the uninterrupted run did.
@@ -224,7 +237,10 @@ class FrameSimulation:
                             )
                 for slot in range(start, start + frame_length):
                     self._audit.observe(slot, by_slot.get(slot, no_packets))
-            report = self._protocol.run_frame(packets)
+            if frame_steps is not None:
+                report = yield from frame_steps(packets)
+            else:
+                report = self._protocol.run_frame(packets)
             self._metrics.record_frame(
                 injected=injected,
                 in_system=self._protocol.packets_in_system,

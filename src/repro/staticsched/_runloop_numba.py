@@ -28,10 +28,15 @@ ingredients make that work:
   then the compiled loop resumes. The conflict evaluator is pure
   boolean algebra and needs no band.
 
-The HM scheduler is deliberately *not* compiled: its transmission
-probabilities are computed from incrementally maintained row sums, so
-a last-ulp summation difference would change coin comparisons, not
-just a band-guarded decision. It stays on the fused numpy backend.
+The HM scheduler's transmission probabilities divide by incrementally
+maintained contention row sums — a place no guard band can help,
+because a last-ulp summation difference changes coin comparisons
+directly, not a band-guarded success decision. Its lane therefore
+maintains contention with :func:`_pairwise_sum`, a replay of numpy's
+own pairwise reduction (8-lane blocks, tree merge, halved recursion),
+and :func:`supported` admits HM only after a one-time runtime
+self-check that the replay matches ``np.add.reduce`` bit for bit on
+the numpy build at hand.
 """
 
 from __future__ import annotations
@@ -59,7 +64,7 @@ from repro.interference.matrix_model import AffectanceThresholdModel
 from repro.staticsched.base import LazySlotHistory, LinkQueues, RunResult
 
 # Policy / evaluator codes shared between wrapper and driver.
-_KV, _DECAY, _FKV, _SINGLE_HOP = 0, 1, 2, 3
+_KV, _DECAY, _FKV, _SINGLE_HOP, _HM = 0, 1, 2, 3, 4
 _AFFECTANCE, _CONFLICT = 0, 1
 # Driver exit statuses.
 _DONE, _NEED_UNIFORMS, _HIST_FULL, _BORDERLINE = 0, 1, 2, 3
@@ -78,20 +83,88 @@ def supported(policy, model, budget: int = 0,
     from repro.staticsched.runloop import (
         DecayPolicy,
         FkvPolicy,
+        HmPolicy,
         KvPolicy,
         SingleHopPolicy,
     )
 
     if type(policy) not in (KvPolicy, DecayPolicy, FkvPolicy,
-                            SingleHopPolicy):
+                            SingleHopPolicy, HmPolicy):
         return False
     if type(model) not in (AffectanceThresholdModel, ConflictGraphModel):
+        return False
+    if type(policy) is HmPolicy and not _pairwise_self_check():
+        # HM's coin probabilities have no guard band; only admit it
+        # when the pairwise replay is proven exact on this build.
         return False
     if record_history and budget > 2_000_000:
         # History offsets are preallocated per slot; decline absurd
         # recording budgets rather than over-allocate.
         return False
     return True
+
+
+@njit(cache=False)
+def _pairwise_sum(a, lo, n):
+    """``np.add.reduce`` over ``a[lo:lo + n]``, replayed bit for bit.
+
+    This is numpy's pairwise reduction verbatim: sequential below 8
+    elements; up to 128, eight accumulator lanes over blocks of 8
+    merged as ``((r0+r1)+(r2+r3))+((r4+r5)+(r6+r7))`` with a
+    sequential tail; above that, recursion on halves rounded down to
+    a multiple of 8. :func:`_pairwise_self_check` proves the match at
+    runtime before HM is admitted to the compiled lane.
+    """
+    if n < 8:
+        acc = 0.0
+        for i in range(n):
+            acc += a[lo + i]
+        return acc
+    if n <= 128:
+        r0 = a[lo]
+        r1 = a[lo + 1]
+        r2 = a[lo + 2]
+        r3 = a[lo + 3]
+        r4 = a[lo + 4]
+        r5 = a[lo + 5]
+        r6 = a[lo + 6]
+        r7 = a[lo + 7]
+        i = 8
+        while i + 8 <= n:
+            r0 += a[lo + i]
+            r1 += a[lo + i + 1]
+            r2 += a[lo + i + 2]
+            r3 += a[lo + i + 3]
+            r4 += a[lo + i + 4]
+            r5 += a[lo + i + 5]
+            r6 += a[lo + i + 6]
+            r7 += a[lo + i + 7]
+            i += 8
+        acc = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        while i < n:
+            acc += a[lo + i]
+            i += 1
+        return acc
+    n2 = (n // 2) - ((n // 2) % 8)
+    return _pairwise_sum(a, lo, n2) + _pairwise_sum(a, lo + n2, n - n2)
+
+
+_PAIRWISE_OK: Optional[bool] = None
+
+
+def _pairwise_self_check() -> bool:
+    """One-time gate: the pairwise replay must equal ``np.add.reduce``
+    exactly on magnitude-adversarial probes (every size class of the
+    algorithm: sequential, single block, blocked + tail, recursive)."""
+    global _PAIRWISE_OK
+    if _PAIRWISE_OK is None:
+        probe = np.random.default_rng(0x5EED)
+        ok = True
+        for n in (1, 5, 8, 9, 64, 127, 128, 129, 500, 4096):
+            a = probe.random(n) * 10.0 ** probe.integers(-12, 12, size=n)
+            ok = ok and (_pairwise_sum(a, 0, n) == np.add.reduce(a))
+        _PAIRWISE_OK = bool(ok)
+    return _PAIRWISE_OK
 
 
 @njit(cache=False)
@@ -111,13 +184,13 @@ def _pow_int(base, exponent):
 @njit(cache=False)
 def _drive(policy, evalk, budget, rec, record_history,
            p0, p_min, backoff, threshold, dec_prob, dec_comp,
-           fkv_prob, fkv_comp, fkv_len,
+           fkv_prob, fkv_comp, fkv_len, hm_chi,
            uniforms, S,
            busy, head_ptr, end_ptr, order,
-           probability, last_reset, lp,
+           probability, last_reset, lp, contention,
            sub_flat, n0, row_sums, diag, adj_flat, cols,
            delivered, att_ids, att_off, succ_off,
-           att_loc, ok):
+           att_loc, ok, fscratch):
     slots = S[_S_SLOTS]
     pending = S[_S_PENDING]
     k = S[_S_K]
@@ -173,9 +246,19 @@ def _drive(policy, evalk, budget, rec, record_history,
             t = k
         else:
             if lp_dirty == 1:
-                for i in range(k):
-                    depth = np.float64(end_ptr[i] - head_ptr[i])
-                    lp[i] = 1.0 - _pow_int(comp_scalar, depth)
+                if policy == _HM:
+                    # min(1, chi / max(contention, 1)) — scalar IEEE
+                    # ops identical to the numpy ufunc elements.
+                    for i in range(k):
+                        c = contention[i]
+                        if c < 1.0:
+                            c = 1.0
+                        p = hm_chi / c
+                        lp[i] = p if p < 1.0 else 1.0
+                else:
+                    for i in range(k):
+                        depth = np.float64(end_ptr[i] - head_ptr[i])
+                        lp[i] = 1.0 - _pow_int(comp_scalar, depth)
                 lp_dirty = 0
             for i in range(k):
                 if uniforms[cur + i] < lp[i]:
@@ -287,6 +370,17 @@ def _drive(policy, evalk, budget, rec, record_history,
                         for g in range(n_gone):
                             acc -= sub_flat[base + att_loc[g]]
                         row_sums[w] = acc
+                        if policy == _HM:
+                            # Contention feeds coin probabilities with
+                            # no guard band: gather the gone columns
+                            # and reduce them pairwise, bit-identical
+                            # to the numpy backend's
+                            # sub[keep, gone].sum(axis=1).
+                            for g in range(n_gone):
+                                fscratch[g] = sub_flat[base + att_loc[g]]
+                            contention[w] = contention[i] - _pairwise_sum(
+                                fscratch, 0, n_gone
+                            )
                         diag[w] = diag[i]
                         busy[w] = busy[i]
                         head_ptr[w] = head_ptr[i]
@@ -298,9 +392,25 @@ def _drive(policy, evalk, budget, rec, record_history,
                         w += 1
                 k = w
             else:
+                n_gone = 0
+                if policy == _HM:
+                    # HM tracks contention over the *weight* matrix
+                    # even under the conflict evaluator.
+                    for i in range(k):
+                        if head_ptr[i] >= end_ptr[i]:
+                            att_loc[n_gone] = cols[i]  # scratch reuse
+                            n_gone += 1
                 w = 0
                 for i in range(k):
                     if head_ptr[i] < end_ptr[i]:
+                        if policy == _HM:
+                            base = cols[i] * n0
+                            for g in range(n_gone):
+                                fscratch[g] = sub_flat[base + att_loc[g]]
+                            contention[w] = (
+                                contention[i]
+                                - _pairwise_sum(fscratch, 0, n_gone)
+                            )
                         busy[w] = busy[i]
                         head_ptr[w] = head_ptr[i]
                         end_ptr[w] = end_ptr[i]
@@ -363,7 +473,7 @@ def _fkv_phase_tables(policy, model, requests):
 def _exact_python_slot(policy_code, rec, p0, p_min, backoff, threshold,
                        record_history, uniforms, S,
                        busy, head_ptr, end_ptr, order,
-                       probability, last_reset, lp,
+                       probability, last_reset, lp, contention,
                        sub, row_sums, diag, cols,
                        delivered, att_ids, att_off, succ_off):
     """Execute one borderline slot with the reference's exact numpy
@@ -444,10 +554,11 @@ def _exact_python_slot(policy_code, rec, p0, p_min, backoff, threshold,
         gone_cols = cols[:k][~live]
         kept_cols = cols[:k][surv]
         ns = surv.size
-        row_sums[:ns] = (
-            row_sums[:k][surv]
-            - sub[kept_cols[:, None], gone_cols].sum(axis=1)
-        )
+        gone_impact = sub[kept_cols[:, None], gone_cols].sum(axis=1)
+        row_sums[:ns] = row_sums[:k][surv] - gone_impact
+        if policy_code == _HM:
+            # Same pairwise row reduction HmPolicy.compact performs.
+            contention[:ns] = contention[:k][surv] - gone_impact
         for arr in (busy, head_ptr, end_ptr, cols, diag, probability,
                     last_reset, lp):
             arr[:ns] = arr[:k][surv]
@@ -466,6 +577,7 @@ def run_compiled(policy, model, requests, budget, gen,
         ChunkedUniforms,
         DecayPolicy,
         FkvPolicy,
+        HmPolicy,
         KvPolicy,
         SingleHopPolicy,
     )
@@ -483,6 +595,7 @@ def run_compiled(policy, model, requests, budget, gen,
         DecayPolicy: _DECAY,
         FkvPolicy: _FKV,
         SingleHopPolicy: _SINGLE_HOP,
+        HmPolicy: _HM,
     }[type(policy)]
     eval_code = (
         _AFFECTANCE if type(model) is AffectanceThresholdModel
@@ -510,6 +623,7 @@ def run_compiled(policy, model, requests, budget, gen,
         fkv_prob, fkv_comp, fkv_len = _fkv_phase_tables(
             policy, model, requests
         )
+    hm_chi = policy.chi if policy_code == _HM else 0.0
 
     # Evaluator caches (typed consistently across all calls).
     threshold = 0.0
@@ -527,6 +641,11 @@ def run_compiled(policy, model, requests, budget, gen,
     else:
         adj = model.adjacency_matrix()[np.ix_(busy, busy)]
         adj_flat = adj.astype(np.uint8).reshape(-1)
+    if policy_code == _HM and sub_flat.size == 0 and k0 > 0:
+        # Conflict evaluator: HM still needs the weight submatrix for
+        # its contention bookkeeping (HmPolicy.bind does the same).
+        sub = model.weight_matrix()[np.ix_(busy, busy)]
+        sub_flat = np.ascontiguousarray(sub).reshape(-1)
     cols = np.arange(k0)
 
     # Full-size state for every policy: the driver's compaction loop
@@ -535,6 +654,10 @@ def run_compiled(policy, model, requests, budget, gen,
     probability = np.full(k0, p0)
     last_reset = np.full(k0, -1, dtype=np.int64)
     lp = np.zeros(k0)
+    # HM contention: the exact numpy row sums HmPolicy.bind computes
+    # (the driver's pairwise updates keep them bit-identical).
+    contention = sub.sum(axis=1) if policy_code == _HM else np.zeros(0)
+    fscratch = np.empty(k0 if policy_code == _HM else 0)
 
     delivered = np.empty(n_pending, dtype=np.int64)
     if record_history:
@@ -569,13 +692,13 @@ def run_compiled(policy, model, requests, budget, gen,
         status = _drive(
             policy_code, eval_code, budget, rec, record_history,
             p0, p_min, backoff, threshold, dec_prob, dec_comp,
-            fkv_prob, fkv_comp, fkv_len,
+            fkv_prob, fkv_comp, fkv_len, hm_chi,
             uniforms, S,
             busy, head_ptr, end_ptr, order,
-            probability, last_reset, lp,
+            probability, last_reset, lp, contention,
             sub_flat, k0, row_sums, diag, adj_flat, cols,
             delivered, att_ids, att_off, succ_off,
-            att_loc, ok,
+            att_loc, ok, fscratch,
         )
         if chunk is not None:
             chunk._cursor = int(S[_S_CUR])
@@ -602,7 +725,7 @@ def run_compiled(policy, model, requests, budget, gen,
                 policy_code, rec, p0, p_min, backoff, threshold,
                 record_history, uniforms, S,
                 busy, head_ptr, end_ptr, order,
-                probability, last_reset, lp,
+                probability, last_reset, lp, contention,
                 sub, row_sums, diag, cols,
                 delivered, att_ids, att_off, succ_off,
             )

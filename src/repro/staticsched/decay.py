@@ -88,6 +88,11 @@ class DecayScheduler(StaticAlgorithm):
             ),
         )
 
+    def fused_policy(self) -> DecayPolicy:
+        """A fresh fused-loop policy mirroring :meth:`run`'s dispatch
+        (the batched fleet kernel builds its per-network tasks here)."""
+        return DecayPolicy(self._probability_scale, self._measure_floor)
+
     def run(
         self,
         model: InterferenceModel,
@@ -102,7 +107,7 @@ class DecayScheduler(StaticAlgorithm):
         backend = resolve_backend()
         if backend in ("numpy", "numba"):
             return run_fused(
-                DecayPolicy(self._probability_scale, self._measure_floor),
+                self.fused_policy(),
                 model, requests, budget, gen, record_history,
                 backend=backend,
             )

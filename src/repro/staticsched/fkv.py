@@ -72,6 +72,11 @@ class FkvScheduler(StaticAlgorithm):
         )
         return max(1, math.ceil(geometric + floor_phases))
 
+    def fused_policy(self) -> FkvPolicy:
+        """A fresh fused-loop policy mirroring :meth:`run`'s dispatch
+        (the batched fleet kernel builds its per-network tasks here)."""
+        return FkvPolicy(self._probability_scale, self._phase_scale)
+
     def run(
         self,
         model: InterferenceModel,
@@ -86,7 +91,7 @@ class FkvScheduler(StaticAlgorithm):
         backend = resolve_backend()
         if backend in ("numpy", "numba"):
             return run_fused(
-                FkvPolicy(self._probability_scale, self._phase_scale),
+                self.fused_policy(),
                 model, requests, budget, gen, record_history,
                 backend=backend,
             )

@@ -127,6 +127,11 @@ class HmScheduler(StaticAlgorithm):
             ),
         )
 
+    def fused_policy(self) -> HmPolicy:
+        """A fresh fused-loop policy mirroring :meth:`run`'s dispatch
+        (the batched fleet kernel builds its per-network tasks here)."""
+        return HmPolicy(self._chi)
+
     def run(
         self,
         model: InterferenceModel,
@@ -141,12 +146,12 @@ class HmScheduler(StaticAlgorithm):
         backend = resolve_backend()
         if backend in ("numpy", "numba"):
             # The HM recurrence divides by incrementally maintained
-            # row sums, so it is numpy-fused only: the compiled
-            # backend would need bit-exact pairwise summation to keep
-            # the transmission probabilities identical (see
-            # _runloop_numba.supported).
+            # row sums; the compiled backend keeps the transmission
+            # probabilities identical by maintaining them with a
+            # bit-exact replay of numpy's pairwise summation (see
+            # _runloop_numba._pairwise_sum and its self-check gate).
             return run_fused(
-                HmPolicy(self._chi),
+                self.fused_policy(),
                 model, requests, budget, gen, record_history,
                 backend=backend,
             )

@@ -93,6 +93,13 @@ class KvScheduler(StaticAlgorithm):
             1, math.ceil(self._budget_scale * measure * math.log(n + 2))
         )
 
+    def fused_policy(self) -> KvPolicy:
+        """A fresh fused-loop policy mirroring :meth:`run`'s dispatch
+        (the batched fleet kernel builds its per-network tasks here)."""
+        return KvPolicy(
+            self._p0, self._p_min, self._backoff, self._recovery_slots
+        )
+
     def run(
         self,
         model: InterferenceModel,
@@ -107,10 +114,7 @@ class KvScheduler(StaticAlgorithm):
         backend = resolve_backend()
         if backend in ("numpy", "numba"):
             return run_fused(
-                KvPolicy(
-                    self._p0, self._p_min, self._backoff,
-                    self._recovery_slots,
-                ),
+                self.fused_policy(),
                 model, requests, budget, gen, record_history,
                 backend=backend,
             )

@@ -49,6 +49,11 @@ class SingleHopScheduler(StaticAlgorithm):
             description="I exact [trivial single-hop]",
         )
 
+    def fused_policy(self) -> SingleHopPolicy:
+        """A fresh fused-loop policy mirroring :meth:`run`'s dispatch
+        (the batched fleet kernel builds its per-network tasks here)."""
+        return SingleHopPolicy()
+
     def run(
         self,
         model: InterferenceModel,
@@ -62,7 +67,7 @@ class SingleHopScheduler(StaticAlgorithm):
         backend = resolve_backend()
         if backend in ("numpy", "numba"):
             return run_fused(
-                SingleHopPolicy(),
+                self.fused_policy(),
                 model, requests, budget, ensure_rng(rng), record_history,
                 backend=backend,
             )

@@ -34,6 +34,7 @@ from repro.network.topology import grid_network, mac_network
 from repro.staticsched import (
     DecayScheduler,
     FkvScheduler,
+    HmScheduler,
     KvScheduler,
     SingleHopScheduler,
 )
@@ -45,6 +46,7 @@ from repro.staticsched.runloop import (
     ChunkedUniforms,
     DecayPolicy,
     FkvPolicy,
+    HmPolicy,
     KvPolicy,
     SingleHopPolicy,
     available_backends,
@@ -365,6 +367,7 @@ _COMPILED_POLICIES = {
         FkvScheduler,
         lambda s: FkvPolicy(s._probability_scale, s._phase_scale),
     ),
+    "hm": (HmScheduler, lambda s: HmPolicy(s._chi)),
     "single-hop": (SingleHopScheduler, lambda s: SingleHopPolicy()),
 }
 
@@ -415,19 +418,43 @@ def test_compiled_wrapper_replays_reference(
 
 
 def test_compiled_supported_matrix():
-    """The compiled set is exactly {kv, decay, fkv, single-hop} ×
-    {affectance, conflict} — and empty without numba."""
+    """The compiled set is exactly {kv, decay, fkv, hm, single-hop} ×
+    {affectance, conflict} — hm additionally gated on the pairwise
+    self-check — and empty without numba."""
     kv = KvPolicy(0.125, 1e-4, 0.5, 8)
     aff = _affectance_model()
     assert _runloop_numba.supported(kv, aff) == numba_available()
-    from repro.staticsched.runloop import HmPolicy
-
-    assert not _runloop_numba.supported(HmPolicy(0.25), aff)
+    assert _runloop_numba.supported(HmPolicy(0.25), aff) == (
+        numba_available() and _runloop_numba._pairwise_self_check()
+    )
     from repro.interference.mac import MultipleAccessChannel
 
     assert not _runloop_numba.supported(
         kv, MultipleAccessChannel(mac_network(4))
     )
+
+
+def test_pairwise_sum_replays_numpy_reduce():
+    """``_pairwise_sum`` must equal ``np.add.reduce`` bit for bit on
+    every size class of the algorithm (sequential, one block, blocked
+    with tail, recursive splits) under adversarial magnitude spreads —
+    the property that admits HM to the compiled lane."""
+    rng = np.random.default_rng(97)
+    for n in (0, 1, 2, 7, 8, 9, 15, 16, 17, 64, 127, 128, 129,
+              255, 256, 500, 1024, 4097):
+        for _ in range(3):
+            a = rng.random(n) * 10.0 ** rng.integers(-15, 15, size=n)
+            a *= np.where(rng.random(n) < 0.5, -1.0, 1.0)
+            assert _runloop_numba._pairwise_sum(a, 0, n) == np.add.reduce(a)
+    # Offset starts (the driver sums scratch prefixes, always lo=0,
+    # but the contract should hold for any window).
+    a = rng.random(300) * 10.0 ** rng.integers(-12, 12, size=300)
+    for lo, n in ((0, 300), (3, 128), (10, 9), (200, 100)):
+        assert (
+            _runloop_numba._pairwise_sum(a, lo, n)
+            == np.add.reduce(a[lo:lo + n])
+        )
+    assert _runloop_numba._pairwise_self_check()
 
 
 # ----------------------------------------------------------------------
