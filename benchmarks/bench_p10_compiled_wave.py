@@ -1,0 +1,365 @@
+"""P10 — the compiled wave engine: SINR numba lane + batch-JIT driver.
+
+Two halves, one lane (PR 10):
+
+* **Compiled SINR evaluator** — the paper's gain-table SINR model
+  joins the numba run loop. Headline: a ~500-link ``sinr-linear``
+  stability run under the KV scheduler, timed per backend. The
+  acceptance floor is **2x** compiled over the fused numpy lane,
+  enforced whenever numba is importable (the CI numba lane); the
+  container without numba records ``numba_present: false`` honestly
+  and skips the compiled timing, like BENCH_p4 does for its 3x floor.
+* **Batch-JIT wave driver** — the BENCH_p9 fleet shape (8 small
+  ``sinr-linear`` networks under HM at ``chi = 0.002``) routed through
+  :mod:`repro.staticsched._batchloop_numba`: one compiled call per
+  wave round instead of numpy calls per event slot. Floor: **1.3x**
+  over the numpy wave engine, numba-conditional for the same reason.
+  (P9's unconditional 2x numpy-wave-over-serial floor is unchanged
+  and stays enforced by bench_p9.)
+
+Parity is asserted *inside* the bench, unconditionally, with or
+without numba: the timed runs must produce identical outcomes across
+backends/executors, and both compiled halves additionally replay a
+reduced workload through the interpreted (stub) driver against the
+scalar-reference / serial-executor ground truth — so the exact code
+the JIT compiles is parity-checked on every host.
+
+Results go to ``BENCH_p10.json`` (see ``benchmarks/run_perf.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import time
+from pathlib import Path
+
+import numpy as np
+
+from _harness import once, print_experiment, sinr_instance
+from bench_p9_batched_fleet import build_specs, records_identical
+
+import repro
+from repro.core.frames import FrameParameters
+from repro.scenario import run_scenario_fleet
+from repro.scenario.batched import BatchedExecutor
+from repro.sim.sharding import SerialExecutor
+from repro.staticsched import KvScheduler
+from repro.staticsched.runloop import (
+    available_backends,
+    numba_available,
+    use_backend,
+)
+
+SINR_NODES = 40  # ~560 links on the fixed seed: the 500-link class
+SINR_SEED = 7
+SINR_RATE = 0.3
+SINR_FRAMES = 30
+FLEET_FRAMES = 40
+FLEET_NETWORKS = 8
+TIMING_REPEATS = 2
+
+#: Floors enforced by the pytest wrapper whenever numba is importable
+#: (the CI numba lane runs this bench; the plain container records
+#: ``numba_present: false`` and skips them honestly).
+SINR_FLOOR = 2.0
+JIT_FLOOR = 1.3
+
+
+# ----------------------------------------------------------------------
+# Half 1: compiled SINR lane
+# ----------------------------------------------------------------------
+
+
+def _sinr_frame(links: int) -> FrameParameters:
+    """BENCH_p1-shaped frame parameters sized to the SINR instance
+    (bare KV has no network-size bound, so frames are explicit)."""
+    return FrameParameters(
+        frame_length=1000,
+        phase1_budget=900,
+        cleanup_budget=80,
+        measure_budget=30.0,
+        epsilon=0.5,
+        rate=SINR_RATE,
+        f_m=1.0,
+        m=links,
+    )
+
+
+def _sinr_stability(backend: str, frames: int):
+    """One ~500-link SINR stability run; only the frame loop is timed."""
+    net, model = sinr_instance(SINR_NODES, SINR_SEED)
+    frame = _sinr_frame(int(model.num_links))
+    routing = repro.build_routing_table(net)
+    injection = repro.uniform_pair_injection(
+        routing, model, SINR_RATE, num_generators=8, rng=1017
+    )
+    protocol = repro.DynamicProtocol(
+        model, KvScheduler(), SINR_RATE, params=frame, rng=17,
+        store=injection.store,
+    )
+    simulation = repro.FrameSimulation(protocol, injection)
+    with use_backend(backend):
+        start = time.perf_counter()
+        simulation.run(frames)
+        seconds = time.perf_counter() - start
+    outcome = {
+        "delivered": len(protocol.delivered),
+        "in_system": protocol.packets_in_system,
+        "failures": protocol.potential.total_failures,
+    }
+    return outcome, seconds
+
+
+def _compiled_stub_parity() -> str:
+    """Replay the compiled SINR driver interpreted (stub mode) against
+    the scalar reference on a small instance — run on every host, so
+    the exact code numba compiles is parity-checked even without
+    numba. Returns "identical" or raises."""
+    from repro.staticsched import _runloop_numba as rn
+    from repro.staticsched.kernel import scalar_reference
+    from repro.staticsched.runloop import HmPolicy, KvPolicy
+    from repro.staticsched.hm import HmScheduler
+
+    net, model = sinr_instance(14, 3)
+    rng = np.random.default_rng(5)
+    requests = list(rng.integers(0, model.num_links, size=25))
+    cases = [
+        (KvScheduler, lambda s: KvPolicy(
+            s._p0, s._p_min, s._backoff, s._recovery_slots
+        )),
+        (HmScheduler, lambda s: HmPolicy(s._chi)),
+    ]
+    for scheduler_cls, policy_factory in cases:
+        scheduler = scheduler_cls()
+        budget = min(
+            scheduler.budget_for(
+                model.interference_measure(requests), len(requests)
+            ),
+            300,
+        )
+        gen_ref = np.random.default_rng(6)
+        with scalar_reference():
+            reference = scheduler_cls().run(
+                model, requests, budget, rng=gen_ref
+            )
+        gen = np.random.default_rng(6)
+        got = rn.run_compiled(
+            policy_factory(scheduler), model, requests, budget, gen,
+            False,
+        )
+        assert got.delivered == reference.delivered
+        assert got.remaining == reference.remaining
+        assert got.slots_used == reference.slots_used
+        assert gen.bit_generator.state == gen_ref.bit_generator.state
+    return "identical"
+
+
+# ----------------------------------------------------------------------
+# Half 2: batch-JIT wave driver on the BENCH_p9 fleet shape
+# ----------------------------------------------------------------------
+
+
+def _fleet_run(specs, mode: str):
+    """One fleet pass: 'serial', 'wave' (numpy engine) or 'jit'."""
+    import repro.scenario.batched as batched_mod
+
+    if mode == "serial":
+        start = time.perf_counter()
+        result = run_scenario_fleet(specs, SerialExecutor())
+        return result, time.perf_counter() - start
+    if mode == "wave":
+        # Suppress the JIT route so the numpy wave engine is timed
+        # even where numba is installed.
+        original = batched_mod.jit_group_supported
+        batched_mod.jit_group_supported = lambda *a, **k: False
+        try:
+            start = time.perf_counter()
+            result = run_scenario_fleet(specs, BatchedExecutor(strict=True))
+            return result, time.perf_counter() - start
+        finally:
+            batched_mod.jit_group_supported = original
+    # 'jit': the production route — backend auto resolves numba, so
+    # eligible groups take the compiled wave driver on their own.
+    start = time.perf_counter()
+    result = run_scenario_fleet(specs, BatchedExecutor(strict=True))
+    return result, time.perf_counter() - start
+
+
+def _jit_stub_parity() -> str:
+    """Force a reduced fleet through the batch-JIT driver interpreted
+    (stub mode) and require serial-identical records. Returns
+    "identical" or raises."""
+    import repro.scenario.batched as batched_mod
+    from repro.staticsched import _runloop_numba as rn
+    from repro.staticsched._batchloop_numba import run_batched_streams_jit
+
+    specs = build_specs(frames=20, networks=3)
+    serial = run_scenario_fleet(specs, SerialExecutor())
+    saved_flag = rn.NUMBA_AVAILABLE
+    saved_engine = batched_mod.run_batched_streams
+    rn.NUMBA_AVAILABLE = True  # let supported() admit the stub driver
+    batched_mod.run_batched_streams = run_batched_streams_jit
+    try:
+        batched = run_scenario_fleet(specs, BatchedExecutor(strict=True))
+    finally:
+        rn.NUMBA_AVAILABLE = saved_flag
+        batched_mod.run_batched_streams = saved_engine
+    assert records_identical(serial.records, batched.records), (
+        "batch-JIT (stub) fleet records diverged from serial"
+    )
+    assert serial.summary == batched.summary
+    return "identical"
+
+
+# ----------------------------------------------------------------------
+# The experiment
+# ----------------------------------------------------------------------
+
+
+def run_experiment(
+    sinr_frames: int = SINR_FRAMES,
+    fleet_frames: int = FLEET_FRAMES,
+    fleet_networks: int = FLEET_NETWORKS,
+    repeats: int = TIMING_REPEATS,
+    out_path=None,
+    tags=None,
+):
+    numba_present = numba_available()
+
+    # -- half 1: SINR stability, per backend (interleaved min-of-N) --
+    backends = [
+        name for name in available_backends()
+        if name not in ("scalar", "kernel")
+    ]
+    sinr_secs = {name: float("inf") for name in backends}
+    sinr_outcomes = {}
+    for _ in range(repeats):
+        for backend in backends:
+            outcome, seconds = _sinr_stability(backend, sinr_frames)
+            reference = sinr_outcomes.setdefault(backend, outcome)
+            assert reference == outcome, (
+                f"{backend}: SINR outcome diverged across repetitions"
+            )
+            sinr_secs[backend] = min(sinr_secs[backend], seconds)
+    first = next(iter(sinr_outcomes))
+    for backend, outcome in sinr_outcomes.items():
+        assert outcome == sinr_outcomes[first], (
+            f"SINR backends diverged: {first} vs {backend}"
+        )
+    sinr_speedup = (
+        sinr_secs["numpy"] / sinr_secs["numba"]
+        if "numba" in sinr_secs else None
+    )
+    compiled_stub_parity = _compiled_stub_parity()
+
+    # -- half 2: fleet wave vs batch-JIT (interleaved min-of-N) ------
+    specs = build_specs(fleet_frames, fleet_networks)
+    fleet_modes = ["serial", "wave"] + (["jit"] if numba_present else [])
+    fleet_secs = {mode: float("inf") for mode in fleet_modes}
+    fleet_results = {}
+    for _ in range(repeats):
+        for mode in fleet_modes:
+            result, seconds = _fleet_run(specs, mode)
+            fleet_secs[mode] = min(fleet_secs[mode], seconds)
+            previous = fleet_results.setdefault(mode, result)
+            assert records_identical(
+                previous.records, result.records
+            ), f"fleet '{mode}' records diverged across repetitions"
+            fleet_results[mode] = result
+    baseline = fleet_results["serial"]
+    for mode in fleet_modes:
+        assert records_identical(
+            baseline.records, fleet_results[mode].records
+        ), f"fleet '{mode}' is not record-identical to serial"
+        assert fleet_results[mode].summary == baseline.summary
+    jit_speedup = (
+        fleet_secs["wave"] / fleet_secs["jit"]
+        if "jit" in fleet_secs else None
+    )
+    jit_stub_parity = _jit_stub_parity()
+
+    net, model = sinr_instance(SINR_NODES, SINR_SEED)
+    payload = {
+        "benchmark": "p10_compiled_wave",
+        "created_unix": time.time(),
+        "numba_present": numba_present,
+        "sinr_workload": {
+            "name": f"sinr-stability-{model.num_links}link-kv",
+            "nodes": SINR_NODES,
+            "links": int(model.num_links),
+            "frames": sinr_frames,
+            "rate": SINR_RATE,
+            "seconds": sinr_secs,
+            **sinr_outcomes[first],
+        },
+        "fleet_workload": {
+            "name": "batched-fleet-sinr-linear-hm (BENCH_p9 shape)",
+            "frames": fleet_frames,
+            "networks": fleet_networks,
+            "seconds": fleet_secs,
+        },
+        "sinr_parity": "identical",
+        "fleet_parity": "identical",
+        "compiled_stub_parity": compiled_stub_parity,
+        "jit_stub_parity": jit_stub_parity,
+        "sinr_speedup": sinr_speedup,
+        "jit_speedup": jit_speedup,
+        "headline_speedup": sinr_speedup,
+        "sinr_floor": SINR_FLOOR,
+        "jit_floor": JIT_FLOOR,
+        "floors_conditional_on_numba": True,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    if tags:
+        payload.update(tags)
+    if out_path is None:
+        out_path = Path(__file__).resolve().parents[1] / "BENCH_p10.json"
+    Path(out_path).write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        [
+            payload["sinr_workload"]["name"],
+            f"{sinr_secs['numpy']:.2f}",
+            f"{sinr_secs['numba']:.2f}" if "numba" in sinr_secs else "-",
+            f"{sinr_speedup:.2f}x" if sinr_speedup else "n/a (no numba)",
+            compiled_stub_parity,
+        ],
+        [
+            payload["fleet_workload"]["name"],
+            f"{fleet_secs['wave']:.2f}",
+            f"{fleet_secs['jit']:.2f}" if "jit" in fleet_secs else "-",
+            f"{jit_speedup:.2f}x" if jit_speedup else "n/a (no numba)",
+            jit_stub_parity,
+        ],
+    ]
+    print_experiment(
+        "P10",
+        "Compiled wave engine: SINR gain-table numba lane + batch-JIT "
+        "fleet driver, bit-identical to serial "
+        f"(numba {'present' if numba_present else 'absent'})",
+        ["workload", "numpy secs", "numba secs", "speedup",
+         "stub parity"],
+        rows,
+    )
+    return payload
+
+
+def test_p10_compiled_wave(benchmark):
+    payload = once(benchmark, run_experiment)
+    # Parity is unconditional: timed runs agreed across lanes, and the
+    # stub replays matched the scalar reference / serial executor.
+    assert payload["sinr_parity"] == "identical"
+    assert payload["fleet_parity"] == "identical"
+    assert payload["compiled_stub_parity"] == "identical"
+    assert payload["jit_stub_parity"] == "identical"
+    # The floors bind wherever numba is importable (the CI numba lane).
+    if payload["numba_present"]:
+        assert payload["sinr_speedup"] >= SINR_FLOOR, (
+            f"compiled SINR lane below the {SINR_FLOOR}x floor: "
+            f"{payload['sinr_speedup']:.2f}x"
+        )
+        assert payload["jit_speedup"] >= JIT_FLOOR, (
+            f"batch-JIT wave driver below the {JIT_FLOOR}x floor: "
+            f"{payload['jit_speedup']:.2f}x"
+        )

@@ -210,6 +210,14 @@ EXPERIMENTS: List[ExperimentEntry] = [
         "frames/sec over serial on a single core",
         "bench_p9_batched_fleet.py",
     ),
+    ExperimentEntry(
+        "P10", "Performance",
+        "compiled wave engine: SINR gain-table evaluator in the numba "
+        "lane (>= 2x over fused numpy on the 500-link stability run) "
+        "and a batch-JIT fleet driver (>= 1.3x over the numpy wave "
+        "engine), both bit-identical to serial",
+        "bench_p10_compiled_wave.py",
+    ),
 ]
 
 

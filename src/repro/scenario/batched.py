@@ -18,9 +18,10 @@ Eligibility and grouping
 A unit batches when its spec resolves to a fused run-loop backend
 (``numpy``/``numba`` — both replay the same bit stream), its scheduler
 has a fused policy, and it is not checkpointed (resume runs through
-its own serial machinery). Ineligible units fall back *loudly* — a
-:class:`BatchFallbackWarning` (or an error under ``strict``) — and run
-serially. Eligible units are grouped by compatible signature
+its own serial machinery). Ineligible units fall back *loudly* — one
+aggregated :class:`BatchFallbackWarning` per run summarising every
+fallback (reason → count), or an immediate error under ``strict`` —
+and run serially. Eligible units are grouped by compatible signature
 (scheduler, model, kwargs, transform, backend, metrics) and, within a
 group, by a padding-waste bound: units are sorted by link count and
 split greedily so no member has more than ``padding_ratio`` times the
@@ -34,6 +35,12 @@ Mixed ``frames`` counts batch fine (a retired network simply stops
 contributing tasks; its RNG streams are private so survivors are
 unperturbed), as do batches of one and zero-link networks (their tasks
 are born finished and execute inline).
+
+Where numba is installed and a group's ``backend`` resolves to
+``numba``, the group routes to the batch-JIT wave driver
+(:mod:`repro.staticsched._batchloop_numba`) — one compiled call per
+wave round instead of numpy calls per event slot — under the same
+bit-exactness contract. Everything else takes the numpy wave engine.
 """
 
 from __future__ import annotations
@@ -46,6 +53,10 @@ from repro.errors import ConfigurationError
 from repro.scenario.fleet import FleetUnit
 from repro.sim.engine import FrameSimulation
 from repro.sim.runner import summarize_cell
+from repro.staticsched._batchloop_numba import (
+    jit_group_supported,
+    run_batched_streams_jit,
+)
 from repro.staticsched.batchloop import run_batched_streams
 from repro.staticsched.runloop import resolve_backend
 
@@ -184,16 +195,20 @@ def run_fleet_batched(
     results: List = [None] * len(units)
     serial_positions: List[int] = []
     groups: Dict[Tuple, List[Tuple[int, FleetUnit, Any, int]]] = {}
+    # reason -> positions, in first-seen order; emitted as ONE summary
+    # warning after the loop so a large fleet with many fallbacks does
+    # not flood the warning stream (strict still raises immediately,
+    # per unit, with the precise position).
+    fallbacks: Dict[str, List[int]] = {}
     for position, unit in enumerate(units):
         reason = _ineligible_reason(unit)
         if reason is not None:
-            message = (
-                f"fleet unit {position} cannot batch ({reason}); "
-                "running it serially"
-            )
             if strict:
-                raise ConfigurationError(message)
-            warnings.warn(message, BatchFallbackWarning, stacklevel=2)
+                raise ConfigurationError(
+                    f"fleet unit {position} cannot batch ({reason}); "
+                    "running it serially"
+                )
+            fallbacks.setdefault(reason, []).append(position)
             serial_positions.append(position)
             continue
         built = unit.spec.build()
@@ -207,7 +222,20 @@ def run_fleet_batched(
             (position, unit, built, links)
         )
 
-    for members in groups.values():
+    if fallbacks:
+        total = sum(len(positions) for positions in fallbacks.values())
+        details = "; ".join(
+            f"{reason} [x{len(positions)}]"
+            for reason, positions in fallbacks.items()
+        )
+        warnings.warn(
+            f"{total} of {len(units)} fleet unit(s) cannot batch; "
+            f"running them serially ({details})",
+            BatchFallbackWarning,
+            stacklevel=2,
+        )
+
+    for key, members in groups.items():
         # Padding-waste bound: greedy split over ascending link counts
         # so no batch member pads beyond ratio x its smallest peer.
         members.sort(key=lambda member: (member[3], member[0]))
@@ -221,11 +249,23 @@ def run_fleet_batched(
             batch.append(member)
         if batch:
             batches.append(batch)
+        # The group key pins (scheduler, model, backend) per group, so
+        # one member answers for all: backend "numba" routes the batch
+        # to the compiled wave driver when its (scheduler, evaluator)
+        # pair is compiled, everything else to the numpy wave engine.
+        # Both drivers are bit-identical to serial, so routing is pure
+        # performance policy.
+        use_jit = key[6] == "numba" and jit_group_supported(
+            members[0][2].model, scheduler=key[0]
+        )
         for batch in batches:
             streams = [
                 _unit_stream(unit, built) for _, unit, built, _ in batch
             ]
-            outputs = run_batched_streams(streams)
+            if use_jit:
+                outputs = run_batched_streams_jit(streams)
+            else:
+                outputs = run_batched_streams(streams)
             for (position, _, _, _), output in zip(batch, outputs):
                 results[position] = output
 

@@ -1,0 +1,419 @@
+"""Batch-JIT wave driver: a fleet group advanced per compiled call.
+
+:mod:`repro.staticsched.batchloop` pools N small networks in one numpy
+wave engine, but still crosses the Python/numpy boundary a few times
+per *event slot* per network. Where numba is installed the compiled
+driver (:func:`repro.staticsched._runloop_numba._advance`) already runs
+whole runs — window scan, event slots, compaction — inside one JIT
+function, so the batched analogue is simpler than the numpy one: park
+every network's run state in padded pool rows and let **one compiled
+call** (:func:`_drive_group`) advance every active row to its next
+Python service point (chunk refill, borderline slot, or completion).
+Python then touches each network once per ~``WINDOW``-slot coin chunk
+instead of once per event slot.
+
+Bit-exactness contract — identical to the numpy wave engine's: every
+stream's :class:`RunResult` sequence, return value, and generator end
+state match driving that stream alone. The ingredients are all
+inherited: coins come from each network's own
+:class:`~repro.staticsched.runloop.ChunkedUniforms` (whose finalize
+rewind makes the end state depend only on the handed-out count, so the
+``WINDOW``-slot chunking is legal), the driver consumes them with the
+serial loop's own scan/slot code (`_advance` takes its sizes as
+scalars precisely so padded pool rows and exact-size serial arrays run
+the same kernel), and borderline slots replay through the same exact
+numpy path on row views. Per-task parameters all live in per-row
+tables (``TB``/``FB``), so a group may mix policies and evaluators
+freely — grouping is a routing heuristic, not a correctness
+requirement.
+
+Calls the compiled lane cannot take (no fused policy, history
+recording, an unsupported (policy, model) pair) are executed
+synchronously in stream order via ``call.execute()``, exactly like the
+numpy wave driver's relay — correct because each stream owns its
+generator and its calls are served strictly in order either way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.staticsched import _runloop_numba as _rn
+from repro.staticsched._runloop_numba import (
+    _BORDERLINE,
+    _DONE,
+    _NEED_UNIFORMS,
+    _S_CUR,
+    _S_K,
+    CompiledSetup,
+    _advance,
+    njit,
+    supported,
+)
+from repro.staticsched.batchloop import WINDOW
+from repro.staticsched.runloop import ChunkedUniforms
+
+# Per-row parameter table columns: int64 ...
+_T_POLICY, _T_EVALK, _T_BUDGET, _T_REC, _T_FKVN, _T_ULEN, _T_N0 = range(7)
+# ... and float64.
+(_F_P0, _F_PMIN, _F_BACKOFF, _F_THRESH, _F_BETA, _F_NOISE,
+ _F_DECP, _F_DECC, _F_HMCHI) = range(9)
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_OFF1 = np.zeros(1, dtype=np.int64)
+
+
+def jit_group_supported(model, scheduler: Optional[str] = None) -> bool:
+    """Routing heuristic: can this group go batch-JIT?
+
+    Group keys pin (scheduler, model) types per group, so checking one
+    member's model covers the group. The per-call :func:`supported`
+    gate inside the driver stays authoritative — a call it declines is
+    executed serially in place, bit-identically — so this check only
+    steers groups the JIT driver could not accelerate at all back to
+    the numpy wave engine.
+    """
+    if not _rn.NUMBA_AVAILABLE:
+        return False
+    if scheduler == "hm" and not _rn._pairwise_self_check():
+        return False
+    from repro.interference.conflict import ConflictGraphModel
+    from repro.interference.matrix_model import AffectanceThresholdModel
+    from repro.sinr.model import SinrModel
+
+    return type(model) in (
+        AffectanceThresholdModel, ConflictGraphModel, SinrModel
+    )
+
+
+@njit(cache=False)
+def _drive_group(rows, statuses, TB, FB, FKVP, FKVC, FKVL,
+                 U, S2, BUSY, HEAD, END, ORDER, PROB, LASTR, LP, CONT,
+                 EVALF, SUBF, ROWSUM, DIAG, ADJ, COLS, DLV, ATTL, OKB,
+                 FSC):
+    """Advance every listed row to its next Python service point.
+
+    One compiled call per wave round: each row runs the full serial
+    driver (window scan, event slots, compaction) on its pool-row
+    views until it needs Python (coins, a borderline slot) or is done.
+    Rows are independent — order cannot affect any row's outcome.
+    """
+    att_dummy = np.empty(0, dtype=np.int64)
+    off_dummy = np.zeros(1, dtype=np.int64)
+    for idx in range(rows.size):
+        r = rows[idx]
+        statuses[r] = _advance(
+            TB[r, _T_POLICY], TB[r, _T_EVALK], TB[r, _T_BUDGET],
+            TB[r, _T_REC], False,
+            FB[r, _F_P0], FB[r, _F_PMIN], FB[r, _F_BACKOFF],
+            FB[r, _F_THRESH], FB[r, _F_BETA], FB[r, _F_NOISE],
+            FB[r, _F_DECP], FB[r, _F_DECC],
+            FKVP[r], FKVC[r], FKVL[r], TB[r, _T_FKVN],
+            FB[r, _F_HMCHI],
+            U[r], TB[r, _T_ULEN], S2[r],
+            BUSY[r], HEAD[r], END[r], ORDER[r],
+            PROB[r], LASTR[r], LP[r], CONT[r],
+            EVALF[r], SUBF[r], TB[r, _T_N0], ROWSUM[r], DIAG[r],
+            ADJ[r], COLS[r],
+            DLV[r], att_dummy, off_dummy, off_dummy,
+            ATTL[r], OKB[r], FSC[r],
+        )
+
+
+class _JitStreamDriver:
+    """Drive N step generators through pooled compiled runs.
+
+    Row ``i`` belongs to stream ``i`` (at most one parked task per
+    stream). Pools are padded 2-D arrays grown geometrically; a
+    parked task's :class:`CompiledSetup` is re-pointed at its row
+    views, so the serial exact-slot replay and result assembly run
+    unchanged on pool storage.
+    """
+
+    def __init__(self, streams):
+        self.streams = list(streams)
+        n = len(self.streams)
+        self.n = n
+        self.results: List = [None] * n
+        self.setups: List[Optional[CompiledSetup]] = [None] * n
+        self.chunks: List[Optional[ChunkedUniforms]] = [None] * n
+        self.consumed_base = np.zeros(n, dtype=np.int64)
+        self.statuses = np.zeros(n, dtype=np.int64)
+        self.active = np.zeros(n, dtype=bool)
+        self.lmax = 0
+        self.ucap = 0
+        self.ncap = 0
+        self.dcap = 0
+        self.fcap = 0
+        self.TB = np.zeros((n, 7), dtype=np.int64)
+        self.FB = np.zeros((n, 9))
+        self.FKVP = np.zeros((n, 0))
+        self.FKVC = np.zeros((n, 0))
+        self.FKVL = np.zeros((n, 0), dtype=np.int64)
+        self.U = np.zeros((n, 0))
+        self.S2 = np.zeros((n, 16), dtype=np.int64)
+        self.BUSY = np.zeros((n, 0), dtype=np.int64)
+        self.HEAD = np.zeros((n, 0), dtype=np.int64)
+        self.END = np.zeros((n, 0), dtype=np.int64)
+        self.ORDER = np.zeros((n, 0), dtype=np.int64)
+        self.PROB = np.zeros((n, 0))
+        self.LASTR = np.zeros((n, 0), dtype=np.int64)
+        self.LP = np.zeros((n, 0))
+        self.CONT = np.zeros((n, 0))
+        self.EVALF = np.zeros((n, 0))
+        self.SUBF = np.zeros((n, 0))
+        self.ROWSUM = np.zeros((n, 0))
+        self.DIAG = np.zeros((n, 0))
+        self.ADJ = np.zeros((n, 0), dtype=np.uint8)
+        self.COLS = np.zeros((n, 0), dtype=np.int64)
+        self.DLV = np.zeros((n, 0), dtype=np.int64)
+        self.ATTL = np.zeros((n, 0), dtype=np.int64)
+        self.OKB = np.zeros((n, 0), dtype=bool)
+        self.FSC = np.zeros((n, 0))
+
+    # -- pool storage --------------------------------------------------
+
+    @staticmethod
+    def _regrow(arr, cap):
+        new = np.zeros((arr.shape[0], cap), dtype=arr.dtype)
+        new[:, :arr.shape[1]] = arr
+        return new
+
+    def _ensure(self, lmax=0, ucap=0, ncap=0, dcap=0, fcap=0) -> None:
+        grew = False
+        if lmax > self.lmax:
+            cap = max(lmax, 2 * self.lmax, 8)
+            for name in ("BUSY", "HEAD", "END", "PROB", "LASTR", "LP",
+                         "CONT", "ROWSUM", "DIAG", "COLS", "ATTL",
+                         "OKB", "FSC"):
+                setattr(self, name, self._regrow(getattr(self, name),
+                                                 cap))
+            # Flat matrix rows keep each task's own n0 stride, so a
+            # plain prefix copy preserves every parked layout.
+            for name in ("EVALF", "SUBF", "ADJ"):
+                setattr(self, name, self._regrow(getattr(self, name),
+                                                 cap * cap))
+            self.lmax = cap
+            grew = True
+        if ucap > self.ucap:
+            cap = max(ucap, 2 * self.ucap)
+            self.U = self._regrow(self.U, cap)
+            self.ucap = cap
+            grew = True
+        if ncap > self.ncap:
+            cap = max(ncap, 2 * self.ncap)
+            self.ORDER = self._regrow(self.ORDER, cap)
+            self.ncap = cap
+            grew = True
+        if dcap > self.dcap:
+            cap = max(dcap, 2 * self.dcap)
+            self.DLV = self._regrow(self.DLV, cap)
+            self.dcap = cap
+            grew = True
+        if fcap > self.fcap:
+            cap = max(fcap, 2 * self.fcap)
+            self.FKVP = self._regrow(self.FKVP, cap)
+            self.FKVC = self._regrow(self.FKVC, cap)
+            self.FKVL = self._regrow(self.FKVL, cap)
+            self.fcap = cap
+            grew = True
+        if grew:
+            for r in np.nonzero(self.active)[0]:
+                self._rebind(int(r))
+
+    def _rebind(self, r: int) -> None:
+        """Point a parked setup's arrays at its (possibly reallocated)
+        pool row views, so exact_slot/assemble mutate pool storage."""
+        st = self.setups[r]
+        st.S = self.S2[r]
+        st.busy = self.BUSY[r]
+        st.head_ptr = self.HEAD[r]
+        st.end_ptr = self.END[r]
+        st.order = self.ORDER[r]
+        st.cols = self.COLS[r]
+        st.probability = self.PROB[r]
+        st.last_reset = self.LASTR[r]
+        st.lp = self.LP[r]
+        st.contention = self.CONT[r]
+        st.row_sums = self.ROWSUM[r]
+        st.diag = self.DIAG[r]
+        st.delivered = self.DLV[r]
+
+    def _park(self, i: int, setup: CompiledSetup,
+              chunk: Optional[ChunkedUniforms], budget: int) -> None:
+        k0 = setup.k0
+        self._ensure(
+            lmax=k0,
+            ncap=setup.order.size,
+            dcap=max(setup.n_pending, 1),
+            fcap=max(setup.fkv_prob.size, 1),
+        )
+        r = i
+        TB, FB = self.TB, self.FB
+        TB[r, _T_POLICY] = setup.policy_code
+        TB[r, _T_EVALK] = setup.eval_code
+        TB[r, _T_BUDGET] = budget
+        TB[r, _T_REC] = setup.rec
+        TB[r, _T_FKVN] = setup.fkv_prob.size
+        TB[r, _T_ULEN] = 0
+        TB[r, _T_N0] = k0
+        FB[r, _F_P0] = setup.p0
+        FB[r, _F_PMIN] = setup.p_min
+        FB[r, _F_BACKOFF] = setup.backoff
+        FB[r, _F_THRESH] = setup.threshold
+        FB[r, _F_BETA] = setup.beta
+        FB[r, _F_NOISE] = setup.noise
+        FB[r, _F_DECP] = setup.dec_prob
+        FB[r, _F_DECC] = setup.dec_comp
+        FB[r, _F_HMCHI] = setup.hm_chi
+        fn = setup.fkv_prob.size
+        self.FKVP[r, :fn] = setup.fkv_prob
+        self.FKVC[r, :fn] = setup.fkv_comp
+        self.FKVL[r, :fn] = setup.fkv_len
+        self.BUSY[r, :k0] = setup.busy
+        self.HEAD[r, :k0] = setup.head_ptr
+        self.END[r, :k0] = setup.end_ptr
+        self.ORDER[r, :setup.order.size] = setup.order
+        self.COLS[r, :k0] = setup.cols
+        self.PROB[r, :k0] = setup.probability
+        self.LASTR[r, :k0] = setup.last_reset
+        self.LP[r, :k0] = setup.lp
+        if setup.contention.size:
+            self.CONT[r, :k0] = setup.contention
+        self.ROWSUM[r, :k0] = setup.row_sums
+        self.DIAG[r, :k0] = setup.diag
+        self.EVALF[r, :setup.eval_flat.size] = setup.eval_flat
+        self.SUBF[r, :setup.sub_flat.size] = setup.sub_flat
+        self.ADJ[r, :setup.adj_flat.size] = setup.adj_flat
+        self.S2[r] = setup.S
+        self.setups[i] = setup
+        self.chunks[i] = chunk
+        self.active[i] = True
+        self._rebind(r)
+        if chunk is not None:
+            self._refill(r)
+
+    # -- service points ------------------------------------------------
+
+    def _refill(self, r: int) -> None:
+        chunk = self.chunks[r]
+        chunk.refill(int(self.S2[r, _S_K]))
+        buf = chunk._buf
+        if buf.size > self.ucap:
+            self._ensure(ucap=buf.size)
+        self.U[r, :buf.size] = buf
+        self.TB[r, _T_ULEN] = buf.size
+        self.S2[r, _S_CUR] = 0
+        self.consumed_base[r] = chunk._consumed
+
+    def _finish(self, r: int) -> None:
+        setup = self.setups[r]
+        chunk = self.chunks[r]
+        if chunk is not None:
+            chunk.finalize()
+        result = setup.assemble(False, None, _EMPTY_IDS, _OFF1, _OFF1)
+        self.active[r] = False
+        self.setups[r] = None
+        self.chunks[r] = None
+        self._drive(r, result)
+
+    def _drive(self, i: int, value, start: bool = False) -> None:
+        """Push a result into stream ``i``; park its next compiled run.
+
+        Mirrors the numpy wave driver's relay: calls the compiled lane
+        cannot take are executed synchronously in place; runs born
+        finished (zero budget or nothing pending) are assembled
+        without consuming coins, exactly as the serial wrapper would.
+        """
+        stream = self.streams[i]
+        try:
+            call = next(stream) if start else stream.send(value)
+            while True:
+                fused = getattr(call.algorithm, "fused_policy", None)
+                if fused is None or call.record_history:
+                    call = stream.send(call.execute())
+                    continue
+                policy = fused()
+                if not supported(policy, call.model, call.budget,
+                                 False):
+                    call = stream.send(call.execute())
+                    continue
+                if call.budget < 0:
+                    raise SchedulingError(
+                        f"budget must be >= 0, got {call.budget}"
+                    )
+                setup = CompiledSetup.prepare(
+                    policy, call.model, call.requests
+                )
+                chunk = (
+                    ChunkedUniforms(call.rng, chunk_slots=WINDOW)
+                    if setup.uses_rng else None
+                )
+                if call.budget == 0 or setup.n_pending == 0:
+                    if chunk is not None:
+                        chunk.finalize()
+                    call = stream.send(setup.assemble(
+                        False, None, _EMPTY_IDS, _OFF1, _OFF1
+                    ))
+                    continue
+                self._park(i, setup, chunk, call.budget)
+                return
+        except StopIteration as stop:
+            self.results[i] = stop.value
+
+    # -- main loop -----------------------------------------------------
+
+    def run(self) -> List:
+        for i in range(self.n):
+            self._drive(i, None, start=True)
+        while self.active.any():
+            rows = np.nonzero(self.active)[0]
+            _drive_group(
+                rows, self.statuses, self.TB, self.FB,
+                self.FKVP, self.FKVC, self.FKVL,
+                self.U, self.S2, self.BUSY, self.HEAD, self.END,
+                self.ORDER, self.PROB, self.LASTR, self.LP, self.CONT,
+                self.EVALF, self.SUBF, self.ROWSUM, self.DIAG,
+                self.ADJ, self.COLS, self.DLV, self.ATTL, self.OKB,
+                self.FSC,
+            )
+            for r in rows:
+                r = int(r)
+                status = int(self.statuses[r])
+                chunk = self.chunks[r]
+                if chunk is not None:
+                    cur = int(self.S2[r, _S_CUR])
+                    chunk._cursor = cur
+                    chunk._consumed = int(self.consumed_base[r]) + cur
+                if status == _DONE:
+                    self._finish(r)
+                elif status == _NEED_UNIFORMS:
+                    self._refill(r)
+                elif status == _BORDERLINE:
+                    self.setups[r].exact_slot(
+                        self.U[r], _EMPTY_IDS, _OFF1, _OFF1, False
+                    )
+                    cur = int(self.S2[r, _S_CUR])
+                    chunk._cursor = cur
+                    chunk._consumed = (
+                        int(self.consumed_base[r]) + cur
+                    )
+        return self.results
+
+
+def run_batched_streams_jit(streams) -> List:
+    """Drive step generators to completion through the batch-JIT
+    driver. Same contract as
+    :func:`repro.staticsched.batchloop.run_batched_streams`: every
+    result and every stream's RNG end state are bit-identical to
+    driving that stream alone."""
+    return _JitStreamDriver(streams).run()
+
+
+__all__ = [
+    "jit_group_supported",
+    "run_batched_streams_jit",
+]

@@ -1,24 +1,37 @@
 """The optional numba-compiled run-loop backend.
 
 One JIT "driver" runs a (policy, evaluator) slot loop to completion:
-the kv / decay / fkv / single-hop recurrences over the affectance and
-conflict evaluators, with delivery, history and compaction done by
-scalar loops inside the compiled function. The Python wrapper owns
-everything the driver cannot: uniform chunks (drawn from the caller's
-generator, bit-identical to per-slot draws), history-array growth, and
-the rare slots that need *exact* numpy arithmetic.
+the kv / decay / fkv / hm / single-hop recurrences over the
+affectance, conflict and SINR gain-table evaluators, with delivery,
+history and compaction done by scalar loops inside the compiled
+function. The Python wrapper owns everything the driver cannot:
+uniform chunks (drawn from the caller's generator, bit-identical to
+per-slot draws), history-array growth, and the rare slots that need
+*exact* numpy arithmetic. The driver also retires event-free slots in
+closed form: between events every policy's per-link thresholds are
+frozen (decay/HM change only on queue drains, FKV only at phase
+boundaries, KV only on attempts or idle recovery), so a window of
+upcoming slots is scanned for its first coin hit and the miss prefix
+is skipped wholesale — the same wave trick
+:mod:`repro.staticsched.batchloop` plays in numpy, here at compiled
+speed. :mod:`repro.staticsched._batchloop_numba` stacks many of these
+drivers into one JIT call per fleet group.
 
 Parity contract
 ---------------
-The compiled loop must replay the scalar reference bit for bit. Three
-ingredients make that work:
+The compiled loop must replay the scalar reference bit for bit. The
+ingredients:
 
 * **Coins** come pre-drawn from the caller's PCG64 stream via
   :class:`~repro.staticsched.runloop.ChunkedUniforms` (same values,
   same order as per-slot draws, generator rewound exactly at run end).
+  Skipped slots consume exactly the coins the serial loop would have
+  drawn for them; the scan compares the same coins against the same
+  thresholds the serial slot body would, so the first event slot — and
+  every attempt set — is identical by construction.
 * **Recurrences** (backoff, clamps, phase probabilities) are scalar
   IEEE operations identical to the numpy ufunc element operations.
-* **Affectance row sums** are the one place compiled arithmetic can
+* **Affectance row sums** are one place compiled arithmetic can
   diverge: numpy reduces pairwise, the compiled loop sequentially, and
   the two can differ in the last ulps. Both are within ~1e-11 of the
   exact value on admissible instances, so outside a ±1e-9 band around
@@ -27,6 +40,19 @@ ingredients make that work:
   executed once in Python with the reference's own pairwise reduction,
   then the compiled loop resumes. The conflict evaluator is pure
   boolean algebra and needs no band.
+* **SINR interference sums** get the same treatment with a *relative*
+  band: the compiled loop gathers received powers fresh each slot
+  (``power * gain`` products are single exact multiplies, identical to
+  numpy's elementwise ``received`` array) and sums them sequentially;
+  numpy's ``received.sum(axis=0)`` reduction order differs in the last
+  ulps. Gain tables span orders of magnitude, so the band scales with
+  ``max(1, signal, |beta * (interference + noise) - 1e-12|)`` — a slot
+  whose signal-vs-threshold margin lands inside ±1e-9 of that scale is
+  replayed in Python with the reference's exact expression. There is
+  deliberately *no* maintained-row-sum fast path for SINR: incremental
+  updates would accumulate compaction drift relative to the subtracted
+  magnitudes, which adversarial gain tables could push past any fixed
+  band, while fresh gathers keep the divergence reduction-order-sized.
 
 The HM scheduler's transmission probabilities divide by incrementally
 maintained contention row sums — a place no guard band can help,
@@ -41,7 +67,7 @@ the numpy build at hand.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -65,7 +91,7 @@ from repro.staticsched.base import LazySlotHistory, LinkQueues, RunResult
 
 # Policy / evaluator codes shared between wrapper and driver.
 _KV, _DECAY, _FKV, _SINGLE_HOP, _HM = 0, 1, 2, 3, 4
-_AFFECTANCE, _CONFLICT = 0, 1
+_AFFECTANCE, _CONFLICT, _SINR = 0, 1, 2
 # Driver exit statuses.
 _DONE, _NEED_UNIFORMS, _HIST_FULL, _BORDERLINE = 0, 1, 2, 3
 # State-vector slots.
@@ -74,12 +100,18 @@ _S_ATT_LEN, _S_HSLOTS, _S_PHASE, _S_PHASE_LEFT, _S_LP_DIRTY = 5, 6, 7, 8, 9
 
 _GUARD = 1e-9
 
+#: The compiled support matrix's axes, for diagnostics (see
+#: :func:`lane_matrix` and the ``repro backends`` CLI command).
+COMPILED_SCHEDULERS = ("kv", "decay", "fkv", "hm", "single-hop")
+COMPILED_EVALUATORS = ("affectance", "conflict", "sinr")
+
 
 def supported(policy, model, budget: int = 0,
               record_history: bool = False) -> bool:
     """Whether this (policy, model) run can go through the driver."""
     if not NUMBA_AVAILABLE:
         return False
+    from repro.sinr.model import SinrModel
     from repro.staticsched.runloop import (
         DecayPolicy,
         FkvPolicy,
@@ -91,7 +123,8 @@ def supported(policy, model, budget: int = 0,
     if type(policy) not in (KvPolicy, DecayPolicy, FkvPolicy,
                             SingleHopPolicy, HmPolicy):
         return False
-    if type(model) not in (AffectanceThresholdModel, ConflictGraphModel):
+    if type(model) not in (AffectanceThresholdModel, ConflictGraphModel,
+                           SinrModel):
         return False
     if type(policy) is HmPolicy and not _pairwise_self_check():
         # HM's coin probabilities have no guard band; only admit it
@@ -102,6 +135,25 @@ def supported(policy, model, budget: int = 0,
         # recording budgets rather than over-allocate.
         return False
     return True
+
+
+def lane_matrix() -> Dict[Tuple[str, str], str]:
+    """Live (scheduler, evaluator) -> lane map, as gated *right now*.
+
+    ``"numba"`` means the pair would run through the compiled driver in
+    this process (numba importable; for HM, the pairwise self-check
+    passed); ``"numpy"`` means it falls back to the fused numpy lane.
+    """
+    out: Dict[Tuple[str, str], str] = {}
+    for sched in COMPILED_SCHEDULERS:
+        lane = "numpy"
+        if NUMBA_AVAILABLE and (
+            sched != "hm" or _pairwise_self_check()
+        ):
+            lane = "numba"
+        for ev in COMPILED_EVALUATORS:
+            out[(sched, ev)] = lane
+    return out
 
 
 @njit(cache=False)
@@ -182,15 +234,24 @@ def _pow_int(base, exponent):
 
 
 @njit(cache=False)
-def _drive(policy, evalk, budget, rec, record_history,
-           p0, p_min, backoff, threshold, dec_prob, dec_comp,
-           fkv_prob, fkv_comp, fkv_len, hm_chi,
-           uniforms, S,
-           busy, head_ptr, end_ptr, order,
-           probability, last_reset, lp, contention,
-           sub_flat, n0, row_sums, diag, adj_flat, cols,
-           delivered, att_ids, att_off, succ_off,
-           att_loc, ok, fscratch):
+def _advance(policy, evalk, budget, rec, record_history,
+             p0, p_min, backoff, threshold, beta, noise,
+             dec_prob, dec_comp,
+             fkv_prob, fkv_comp, fkv_len, fkv_n, hm_chi,
+             uniforms, ulen, S,
+             busy, head_ptr, end_ptr, order,
+             probability, last_reset, lp, contention,
+             eval_flat, sub_flat, n0, row_sums, diag, adj_flat, cols,
+             delivered, att_ids, att_off, succ_off,
+             att_loc, ok, fscratch):
+    """Advance one run until done or a Python service point.
+
+    All sizes the driver must respect arrive as scalars (``ulen`` for
+    the valid uniforms prefix, ``fkv_n`` for the phase-table length,
+    ``n0`` for the flat-matrix stride) rather than through ``.size``,
+    so the same kernel runs on exact-size arrays (serial) and on
+    padded pool rows (:mod:`repro.staticsched._batchloop_numba`).
+    """
     slots = S[_S_SLOTS]
     pending = S[_S_PENDING]
     k = S[_S_K]
@@ -205,14 +266,14 @@ def _drive(policy, evalk, budget, rec, record_history,
     prob_scalar = dec_prob
     comp_scalar = dec_comp
     if policy == _FKV and phase >= 0:
-        idx = phase if phase < fkv_prob.size else fkv_prob.size - 1
+        idx = phase if phase < fkv_n else fkv_n - 1
         prob_scalar = fkv_prob[idx]
         comp_scalar = fkv_comp[idx]
 
     status = _DONE
     while slots < budget and pending > 0:
         uses_rng = policy != _SINGLE_HOP
-        if uses_rng and cur + k > uniforms.size:
+        if uses_rng and cur + k > ulen:
             status = _NEED_UNIFORMS
             break
         if record_history and (
@@ -222,14 +283,95 @@ def _drive(policy, evalk, budget, rec, record_history,
             break
 
         # -- phase bookkeeping (fkv) -------------------------------
+        if policy == _FKV and phase_left == 0:
+            phase += 1
+            idx = phase if phase < fkv_n else fkv_n - 1
+            prob_scalar = fkv_prob[idx]
+            comp_scalar = fkv_comp[idx]
+            phase_left = fkv_len[idx]
+            lp_dirty = 1
+
+        # -- threshold refresh --------------------------------------
+        # The same lazy recompute the slot body used to run, hoisted
+        # so the window scan below compares against fresh thresholds
+        # (identical inputs, identical scalar ops, identical bits).
+        if uses_rng and policy != _KV and lp_dirty == 1:
+            if policy == _HM:
+                # min(1, chi / max(contention, 1)) — scalar IEEE ops
+                # identical to the numpy ufunc elements.
+                for i in range(k):
+                    c = contention[i]
+                    if c < 1.0:
+                        c = 1.0
+                    p = hm_chi / c
+                    lp[i] = p if p < 1.0 else 1.0
+            else:
+                for i in range(k):
+                    depth = np.float64(end_ptr[i] - head_ptr[i])
+                    lp[i] = 1.0 - _pow_int(comp_scalar, depth)
+            lp_dirty = 0
+
+        # -- window scan: retire event-free slots in closed form ----
+        # Thresholds are frozen between events, so scanning coins at
+        # the current state finds exactly the slots the serial body
+        # would find attempt-free. The horizon caps guarantee nothing
+        # but coin consumption happens inside the skipped prefix:
+        # KV's idle recovery cannot fire before min(last_reset) + rec,
+        # FKV's phase cannot expire before phase_left runs out, and
+        # decay/HM thresholds only move on deliveries (events).
+        if uses_rng:
+            w = budget - slots
+            if policy == _KV:
+                mn = last_reset[0]
+                for i in range(1, k):
+                    if last_reset[i] < mn:
+                        mn = last_reset[i]
+                h = mn + rec - slots
+                if h < w:
+                    w = h
+            elif policy == _FKV:
+                if phase_left < w:
+                    w = phase_left
+            avail = (ulen - cur) // k
+            if avail < w:
+                w = avail
+            if record_history:
+                hcap = att_off.size - 1 - hslots
+                if hcap < w:
+                    w = hcap
+            if w > 1:
+                skip = 0
+                base = cur
+                while skip < w:
+                    hit = False
+                    if policy == _KV:
+                        for i in range(k):
+                            if uniforms[base + i] < probability[i]:
+                                hit = True
+                                break
+                    else:
+                        for i in range(k):
+                            if uniforms[base + i] < lp[i]:
+                                hit = True
+                                break
+                    if hit:
+                        break
+                    skip += 1
+                    base += k
+                if skip > 0:
+                    cur += skip * k
+                    slots += skip
+                    if policy == _FKV:
+                        phase_left -= skip
+                    if record_history:
+                        for s in range(skip):
+                            att_off[hslots + 1] = att_len
+                            succ_off[hslots + 1] = dn
+                            hslots += 1
+                    if skip == w:
+                        continue
+
         if policy == _FKV:
-            if phase_left == 0:
-                phase += 1
-                idx = phase if phase < fkv_prob.size else fkv_prob.size - 1
-                prob_scalar = fkv_prob[idx]
-                comp_scalar = fkv_comp[idx]
-                phase_left = fkv_len[idx]
-                lp_dirty = 1
             phase_left -= 1
 
         # -- draws --------------------------------------------------
@@ -245,21 +387,6 @@ def _drive(policy, evalk, budget, rec, record_history,
                 att_loc[i] = i
             t = k
         else:
-            if lp_dirty == 1:
-                if policy == _HM:
-                    # min(1, chi / max(contention, 1)) — scalar IEEE
-                    # ops identical to the numpy ufunc elements.
-                    for i in range(k):
-                        c = contention[i]
-                        if c < 1.0:
-                            c = 1.0
-                        p = hm_chi / c
-                        lp[i] = p if p < 1.0 else 1.0
-                else:
-                    for i in range(k):
-                        depth = np.float64(end_ptr[i] - head_ptr[i])
-                        lp[i] = 1.0 - _pow_int(comp_scalar, depth)
-                lp_dirty = 0
             for i in range(k):
                 if uniforms[cur + i] < lp[i]:
                     att_loc[t] = i
@@ -271,36 +398,7 @@ def _drive(policy, evalk, budget, rec, record_history,
         n_succ = 0
         drained = False
         if t > 0:
-            if evalk == _AFFECTANCE:
-                borderline = False
-                if t == k:
-                    for j in range(k):
-                        imp = row_sums[j] - diag[j]
-                        d = imp - threshold
-                        if -_GUARD < d < _GUARD:
-                            borderline = True
-                        ok[j] = imp <= threshold
-                else:
-                    for j in range(t):
-                        ci = cols[att_loc[j]]
-                        base = ci * n0
-                        acc = 0.0
-                        for j2 in range(t):
-                            acc += sub_flat[base + cols[att_loc[j2]]]
-                        acc -= sub_flat[base + ci]
-                        d = acc - threshold
-                        if -_GUARD < d < _GUARD:
-                            borderline = True
-                        ok[j] = acc <= threshold
-                if borderline:
-                    # Rewind this slot's coins and hand the whole slot
-                    # to the Python exact path (the kv idle stamps
-                    # above are idempotent re-runs there).
-                    if uses_rng:
-                        cur -= k
-                    status = _BORDERLINE
-                    break
-            else:
+            if evalk == _CONFLICT:
                 for j in range(t):
                     base = cols[att_loc[j]] * n0
                     collided = False
@@ -309,6 +407,58 @@ def _drive(policy, evalk, budget, rec, record_history,
                             collided = True
                             break
                     ok[j] = not collided
+            else:
+                borderline = False
+                if evalk == _AFFECTANCE and t == k:
+                    for j in range(k):
+                        imp = row_sums[j] - diag[j]
+                        d = imp - threshold
+                        if -_GUARD < d < _GUARD:
+                            borderline = True
+                        ok[j] = imp <= threshold
+                else:
+                    # Fresh gathers every slot (no maintained sums for
+                    # SINR: incremental updates would drift relative
+                    # to the subtracted magnitudes; fresh sequential
+                    # sums stay reduction-order-close to numpy's).
+                    for j in range(t):
+                        jl = att_loc[j]
+                        ci = cols[jl]
+                        base = ci * n0
+                        acc = 0.0
+                        for j2 in range(t):
+                            acc += eval_flat[base + cols[att_loc[j2]]]
+                        acc -= eval_flat[base + ci]
+                        if evalk == _AFFECTANCE:
+                            d = acc - threshold
+                            if -_GUARD < d < _GUARD:
+                                borderline = True
+                            ok[j] = acc <= threshold
+                        else:
+                            # SINR: signal >= beta*(I + noise) - 1e-12
+                            # with a relative band (gain tables span
+                            # magnitudes, so an absolute band would be
+                            # either blind or always-on).
+                            sig = diag[jl]
+                            rhs = beta * (acc + noise) - 1e-12
+                            d = sig - rhs
+                            sc = 1.0
+                            if sig > sc:
+                                sc = sig
+                            ar = rhs if rhs >= 0.0 else -rhs
+                            if ar > sc:
+                                sc = ar
+                            if -_GUARD * sc < d < _GUARD * sc:
+                                borderline = True
+                            ok[j] = sig >= rhs
+                if borderline:
+                    # Rewind this slot's coins and hand the whole slot
+                    # to the Python exact path (the kv idle stamps
+                    # above are idempotent re-runs there).
+                    if uses_rng:
+                        cur -= k
+                    status = _BORDERLINE
+                    break
 
             # -- pops -----------------------------------------------
             for j in range(t):
@@ -352,74 +502,48 @@ def _drive(policy, evalk, budget, rec, record_history,
 
         # -- compaction ---------------------------------------------
         if drained:
-            if evalk == _AFFECTANCE:
-                # Subtract every gone link's column from the surviving
-                # row sums (sequential; the all-transmit guard band
-                # absorbs the reduction-order drift, exactly as it
-                # does for the numpy backend's incremental updates).
-                n_gone = 0
+            # Affectance row sums update sequentially (guard-banded);
+            # HM contention updates pairwise (no band exists for coin
+            # probabilities); everything else just copies down. The
+            # gone set is collected once into the att_loc scratch.
+            n_gone = 0
+            if evalk == _AFFECTANCE or policy == _HM:
                 for i in range(k):
                     if head_ptr[i] >= end_ptr[i]:
                         att_loc[n_gone] = cols[i]  # scratch reuse
                         n_gone += 1
-                w = 0
-                for i in range(k):
-                    if head_ptr[i] < end_ptr[i]:
+            wk = 0
+            for i in range(k):
+                if head_ptr[i] < end_ptr[i]:
+                    if evalk == _AFFECTANCE:
                         acc = row_sums[i]
                         base = cols[i] * n0
                         for g in range(n_gone):
                             acc -= sub_flat[base + att_loc[g]]
-                        row_sums[w] = acc
-                        if policy == _HM:
-                            # Contention feeds coin probabilities with
-                            # no guard band: gather the gone columns
-                            # and reduce them pairwise, bit-identical
-                            # to the numpy backend's
-                            # sub[keep, gone].sum(axis=1).
-                            for g in range(n_gone):
-                                fscratch[g] = sub_flat[base + att_loc[g]]
-                            contention[w] = contention[i] - _pairwise_sum(
-                                fscratch, 0, n_gone
-                            )
-                        diag[w] = diag[i]
-                        busy[w] = busy[i]
-                        head_ptr[w] = head_ptr[i]
-                        end_ptr[w] = end_ptr[i]
-                        cols[w] = cols[i]
-                        probability[w] = probability[i]
-                        last_reset[w] = last_reset[i]
-                        lp[w] = lp[i]
-                        w += 1
-                k = w
-            else:
-                n_gone = 0
-                if policy == _HM:
-                    # HM tracks contention over the *weight* matrix
-                    # even under the conflict evaluator.
-                    for i in range(k):
-                        if head_ptr[i] >= end_ptr[i]:
-                            att_loc[n_gone] = cols[i]  # scratch reuse
-                            n_gone += 1
-                w = 0
-                for i in range(k):
-                    if head_ptr[i] < end_ptr[i]:
-                        if policy == _HM:
-                            base = cols[i] * n0
-                            for g in range(n_gone):
-                                fscratch[g] = sub_flat[base + att_loc[g]]
-                            contention[w] = (
-                                contention[i]
-                                - _pairwise_sum(fscratch, 0, n_gone)
-                            )
-                        busy[w] = busy[i]
-                        head_ptr[w] = head_ptr[i]
-                        end_ptr[w] = end_ptr[i]
-                        cols[w] = cols[i]
-                        probability[w] = probability[i]
-                        last_reset[w] = last_reset[i]
-                        lp[w] = lp[i]
-                        w += 1
-                k = w
+                        row_sums[wk] = acc
+                    else:
+                        row_sums[wk] = row_sums[i]
+                    if policy == _HM:
+                        # Contention feeds coin probabilities with no
+                        # guard band: gather the gone columns and
+                        # reduce them pairwise, bit-identical to the
+                        # numpy backend's sub[keep, gone].sum(axis=1).
+                        base = cols[i] * n0
+                        for g in range(n_gone):
+                            fscratch[g] = sub_flat[base + att_loc[g]]
+                        contention[wk] = contention[i] - _pairwise_sum(
+                            fscratch, 0, n_gone
+                        )
+                    diag[wk] = diag[i]
+                    busy[wk] = busy[i]
+                    head_ptr[wk] = head_ptr[i]
+                    end_ptr[wk] = end_ptr[i]
+                    cols[wk] = cols[i]
+                    probability[wk] = probability[i]
+                    last_reset[wk] = last_reset[i]
+                    lp[wk] = lp[i]
+                    wk += 1
+            k = wk
             lp_dirty = 1
 
         slots += 1
@@ -470,19 +594,22 @@ def _fkv_phase_tables(policy, model, requests):
     return prob, comp, np.asarray(lens, dtype=np.int64)
 
 
-def _exact_python_slot(policy_code, rec, p0, p_min, backoff, threshold,
+def _exact_python_slot(policy_code, evalk, rec, p0, p_min, backoff,
+                       threshold, beta, noise,
                        record_history, uniforms, S,
                        busy, head_ptr, end_ptr, order,
                        probability, last_reset, lp, contention,
-                       sub, row_sums, diag, cols,
+                       sub, gains_sub, powers_sub, row_sums, diag, cols,
                        delivered, att_ids, att_off, succ_off):
     """Execute one borderline slot with the reference's exact numpy
     arithmetic, updating the driver's state in place.
 
-    Only the affectance evaluator can request this. The attempt set is
-    recomputed from the same coins (the driver rewound its cursor);
-    the success decision uses the scalar reference's own pairwise
-    submatrix reduction, so the slot is bit-exact by construction.
+    Only the affectance and SINR evaluators can request this. The
+    attempt set is recomputed from the same coins (the driver rewound
+    its cursor); the success decision uses the scalar reference's own
+    expression — the pairwise submatrix row sums for affectance, the
+    ``received.sum(axis=0)`` reduction on the gathered gain submatrix
+    for SINR — so the slot is bit-exact by construction.
     """
     slots = int(S[_S_SLOTS])
     k = int(S[_S_K])
@@ -507,9 +634,18 @@ def _exact_python_slot(policy_code, rec, p0, p_min, backoff, threshold,
     heads = np.empty(0, dtype=np.int64)
     if t:
         t_idx = cols[:k][att_idx]
-        sub_t = sub[t_idx[:, None], t_idx]
-        impact = sub_t.sum(axis=1) - sub_t.diagonal()
-        ok = impact <= threshold
+        if evalk == _SINR:
+            # Verbatim _SinrBatchEvaluator.successes_local arithmetic
+            # on the same cached busy-set submatrices.
+            gains = gains_sub[t_idx[:, None], t_idx]
+            received = powers_sub[t_idx, None] * gains
+            signal = received.diagonal()
+            interference = received.sum(axis=0) - signal
+            ok = signal >= beta * (interference + noise) - 1e-12
+        else:
+            sub_t = sub[t_idx[:, None], t_idx]
+            impact = sub_t.sum(axis=1) - sub_t.diagonal()
+            ok = impact <= threshold
         s_idx = att_idx[ok]
         if s_idx.size:
             hp = head_ptr[:k][s_idx]
@@ -554,11 +690,15 @@ def _exact_python_slot(policy_code, rec, p0, p_min, backoff, threshold,
         gone_cols = cols[:k][~live]
         kept_cols = cols[:k][surv]
         ns = surv.size
-        gone_impact = sub[kept_cols[:, None], gone_cols].sum(axis=1)
-        row_sums[:ns] = row_sums[:k][surv] - gone_impact
-        if policy_code == _HM:
-            # Same pairwise row reduction HmPolicy.compact performs.
-            contention[:ns] = contention[:k][surv] - gone_impact
+        if evalk == _AFFECTANCE:
+            gone_impact = sub[kept_cols[:, None], gone_cols].sum(axis=1)
+            row_sums[:ns] = row_sums[:k][surv] - gone_impact
+            if policy_code == _HM:
+                # Same pairwise row reduction HmPolicy.compact does.
+                contention[:ns] = contention[:k][surv] - gone_impact
+        elif policy_code == _HM:
+            gone_w = sub[kept_cols[:, None], gone_cols].sum(axis=1)
+            contention[:ns] = contention[:k][surv] - gone_w
         for arr in (busy, head_ptr, end_ptr, cols, diag, probability,
                     last_reset, lp):
             arr[:ns] = arr[:k][surv]
@@ -570,99 +710,226 @@ def _exact_python_slot(policy_code, rec, p0, p_min, backoff, threshold,
     S[_S_SLOTS] = slots + 1
 
 
+class CompiledSetup:
+    """Everything one (policy, model, requests) run hands the driver.
+
+    The serial wrapper (:func:`run_compiled`) consumes these arrays in
+    place; the batch driver
+    (:mod:`repro.staticsched._batchloop_numba`) copies them into its
+    padded pool rows instead. Either way the Python-side exact-slot
+    replay reads ``sub`` / ``gains_sub`` / ``powers_sub`` — the 2-D
+    caches the flat kernel views were built from.
+    """
+
+    __slots__ = (
+        "policy_code", "eval_code", "uses_rng",
+        "p0", "p_min", "backoff", "rec", "threshold", "beta", "noise",
+        "dec_prob", "dec_comp", "fkv_prob", "fkv_comp", "fkv_len",
+        "hm_chi",
+        "order", "starts", "busy", "head_ptr", "end_ptr", "n_pending",
+        "k0", "cols", "probability", "last_reset", "lp", "contention",
+        "fscratch", "sub", "gains_sub", "powers_sub",
+        "eval_flat", "sub_flat", "row_sums", "diag", "adj_flat",
+        "delivered", "att_loc", "ok", "S",
+    )
+
+    @classmethod
+    def prepare(cls, policy, model, requests) -> "CompiledSetup":
+        from repro.sinr.model import SinrModel
+        from repro.staticsched.runloop import (
+            DecayPolicy,
+            FkvPolicy,
+            HmPolicy,
+            KvPolicy,
+            SingleHopPolicy,
+        )
+
+        st = cls()
+        queues = LinkQueues(requests, model.num_links)
+        st.order, st.starts = queues.csr_arrays()
+        busy = queues.busy_array()
+        st.busy = busy
+        k0 = busy.size
+        st.k0 = k0
+        st.head_ptr = st.starts[busy].copy()
+        st.end_ptr = st.starts[busy + 1].copy()
+        st.n_pending = queues.pending
+
+        policy_code = {
+            KvPolicy: _KV,
+            DecayPolicy: _DECAY,
+            FkvPolicy: _FKV,
+            SingleHopPolicy: _SINGLE_HOP,
+            HmPolicy: _HM,
+        }[type(policy)]
+        st.policy_code = policy_code
+        st.uses_rng = policy_code != _SINGLE_HOP
+        if type(model) is AffectanceThresholdModel:
+            eval_code = _AFFECTANCE
+        elif type(model) is SinrModel:
+            eval_code = _SINR
+        else:
+            eval_code = _CONFLICT
+        st.eval_code = eval_code
+
+        # Policy parameters (unused ones keep benign defaults).
+        st.p0 = st.p_min = st.backoff = 0.0
+        st.rec = 0
+        st.dec_prob = st.dec_comp = 0.0
+        st.fkv_prob = np.empty(0)
+        st.fkv_comp = np.empty(0)
+        st.fkv_len = np.empty(0, dtype=np.int64)
+        if policy_code == _KV:
+            st.p0, st.p_min = policy.p0, policy.p_min
+            st.backoff, st.rec = policy.backoff, policy.recovery_slots
+        elif policy_code == _DECAY:
+            measure = max(
+                model.interference_measure(list(requests)),
+                policy.measure_floor,
+            )
+            st.dec_prob = min(
+                1.0, 1.0 / (policy.probability_scale * measure)
+            )
+            st.dec_comp = 1.0 - st.dec_prob
+        elif policy_code == _FKV:
+            st.fkv_prob, st.fkv_comp, st.fkv_len = _fkv_phase_tables(
+                policy, model, requests
+            )
+        st.hm_chi = policy.chi if policy_code == _HM else 0.0
+
+        # Evaluator caches (typed consistently across all calls).
+        # row_sums/diag are full-size for every evaluator: the unified
+        # compaction loop copies them unconditionally, and numba does
+        # not bounds-check zero-size placeholders.
+        st.threshold = 0.0
+        st.beta = st.noise = 0.0
+        st.sub = np.empty((0, 0))
+        st.gains_sub = np.empty((0, 0))
+        st.powers_sub = np.empty(0)
+        st.sub_flat = np.empty(0)
+        st.eval_flat = np.empty(0)
+        st.row_sums = np.zeros(k0)
+        st.diag = np.zeros(k0)
+        st.adj_flat = np.empty(0, dtype=np.uint8)
+        if eval_code == _AFFECTANCE:
+            st.threshold = model.threshold
+            st.sub = model.weight_matrix()[np.ix_(busy, busy)]
+            st.sub_flat = np.ascontiguousarray(st.sub).reshape(-1)
+            st.eval_flat = st.sub_flat
+            st.row_sums = st.sub.sum(axis=1)
+            st.diag = st.sub.diagonal().copy()
+        elif eval_code == _SINR:
+            st.beta = model.beta
+            st.noise = model.noise
+            st.gains_sub = model._gains[np.ix_(busy, busy)]
+            st.powers_sub = model._powers[busy]
+            # recv_t[j, i] = power(i) * gain(i, j): the impact ON
+            # receiver j FROM sender i, row-major by receiver so the
+            # driver's generic row gather applies unchanged. Each
+            # entry is one exact multiply — the same value numpy's
+            # elementwise `received` array holds.
+            recv_t = np.ascontiguousarray(
+                (st.powers_sub[:, None] * st.gains_sub).T
+            )
+            st.eval_flat = recv_t.reshape(-1)
+            st.diag = recv_t.diagonal().copy()
+        else:
+            adj = model.adjacency_matrix()[np.ix_(busy, busy)]
+            st.adj_flat = adj.astype(np.uint8).reshape(-1)
+        if policy_code == _HM and eval_code != _AFFECTANCE and k0 > 0:
+            # Non-affectance evaluators: HM still needs the weight
+            # submatrix for its contention bookkeeping (HmPolicy.bind
+            # does the same).
+            st.sub = model.weight_matrix()[np.ix_(busy, busy)]
+            st.sub_flat = np.ascontiguousarray(st.sub).reshape(-1)
+        st.cols = np.arange(k0)
+
+        # Full-size state for every policy: the driver's compaction
+        # loop copies all of them unconditionally.
+        st.probability = np.full(k0, st.p0)
+        st.last_reset = np.full(k0, -1, dtype=np.int64)
+        st.lp = np.zeros(k0)
+        # HM contention: the exact numpy row sums HmPolicy.bind
+        # computes (the driver's pairwise updates keep them
+        # bit-identical).
+        st.contention = (
+            st.sub.sum(axis=1) if policy_code == _HM else np.zeros(0)
+        )
+        st.fscratch = np.empty(k0 if policy_code == _HM else 0)
+
+        st.delivered = np.empty(st.n_pending, dtype=np.int64)
+        st.att_loc = np.empty(k0, dtype=np.int64)
+        st.ok = np.empty(k0, dtype=bool)
+
+        S = np.zeros(16, dtype=np.int64)
+        S[_S_PENDING] = st.n_pending
+        S[_S_K] = k0
+        S[_S_PHASE] = -1
+        S[_S_LP_DIRTY] = 1
+        st.S = S
+        return st
+
+    def exact_slot(self, uniforms, att_ids, att_off, succ_off,
+                   record_history: bool = False) -> None:
+        """One borderline slot through the exact numpy path."""
+        _exact_python_slot(
+            self.policy_code, self.eval_code, self.rec, self.p0,
+            self.p_min, self.backoff, self.threshold, self.beta,
+            self.noise, record_history, uniforms, self.S,
+            self.busy, self.head_ptr, self.end_ptr, self.order,
+            self.probability, self.last_reset, self.lp,
+            self.contention,
+            self.sub, self.gains_sub, self.powers_sub,
+            self.row_sums, self.diag, self.cols,
+            self.delivered, att_ids, att_off, succ_off,
+        )
+
+    def assemble(self, record_history: bool, requests,
+                 att_ids, att_off, succ_off) -> RunResult:
+        """Build the RunResult from the driver's final state."""
+        dn = int(self.S[_S_DN])
+        k = int(self.S[_S_K])
+        delivered_list = self.delivered[:dn].tolist()
+        remaining: List[int] = []
+        for i in range(k):
+            remaining.extend(
+                self.order[
+                    self.head_ptr[i]:self.starts[self.busy[i] + 1]
+                ].tolist()
+            )
+        history: Optional[LazySlotHistory] = None
+        if record_history:
+            history = LazySlotHistory(
+                np.asarray(requests, dtype=np.int64)
+            )
+            hslots = int(self.S[_S_HSLOTS])
+            for s in range(hslots):
+                a0, a1 = int(att_off[s]), int(att_off[s + 1])
+                d0, d1 = int(succ_off[s]), int(succ_off[s + 1])
+                if a1 == a0:
+                    history.append_empty()
+                else:
+                    history.append_ids_heads(
+                        att_ids[a0:a1], self.delivered[d0:d1]
+                    )
+        return RunResult(
+            delivered=delivered_list,
+            remaining=remaining,
+            slots_used=int(self.S[_S_SLOTS]),
+            history=history,
+        )
+
+
 def run_compiled(policy, model, requests, budget, gen,
                  record_history) -> RunResult:
     """Run one (policy, model) pair through the compiled driver."""
-    from repro.staticsched.runloop import (
-        ChunkedUniforms,
-        DecayPolicy,
-        FkvPolicy,
-        HmPolicy,
-        KvPolicy,
-        SingleHopPolicy,
-    )
+    from repro.staticsched.runloop import ChunkedUniforms
 
-    queues = LinkQueues(requests, model.num_links)
-    order, starts = queues.csr_arrays()
-    busy = queues.busy_array()
-    k0 = busy.size
-    head_ptr = starts[busy].copy()
-    end_ptr = starts[busy + 1].copy()
-    n_pending = queues.pending
+    st = CompiledSetup.prepare(policy, model, requests)
 
-    policy_code = {
-        KvPolicy: _KV,
-        DecayPolicy: _DECAY,
-        FkvPolicy: _FKV,
-        SingleHopPolicy: _SINGLE_HOP,
-        HmPolicy: _HM,
-    }[type(policy)]
-    eval_code = (
-        _AFFECTANCE if type(model) is AffectanceThresholdModel
-        else _CONFLICT
-    )
-
-    # Policy parameters (unused ones keep benign defaults).
-    p0 = p_min = backoff = 0.0
-    rec = 0
-    dec_prob = dec_comp = 0.0
-    fkv_prob = np.empty(0)
-    fkv_comp = np.empty(0)
-    fkv_len = np.empty(0, dtype=np.int64)
-    if policy_code == _KV:
-        p0, p_min = policy.p0, policy.p_min
-        backoff, rec = policy.backoff, policy.recovery_slots
-    elif policy_code == _DECAY:
-        measure = max(
-            model.interference_measure(list(requests)),
-            policy.measure_floor,
-        )
-        dec_prob = min(1.0, 1.0 / (policy.probability_scale * measure))
-        dec_comp = 1.0 - dec_prob
-    elif policy_code == _FKV:
-        fkv_prob, fkv_comp, fkv_len = _fkv_phase_tables(
-            policy, model, requests
-        )
-    hm_chi = policy.chi if policy_code == _HM else 0.0
-
-    # Evaluator caches (typed consistently across all calls).
-    threshold = 0.0
-    sub = np.empty((0, 0))
-    sub_flat = np.empty(0)
-    row_sums = np.empty(0)
-    diag = np.empty(0)
-    adj_flat = np.empty(0, dtype=np.uint8)
-    if eval_code == _AFFECTANCE:
-        threshold = model.threshold
-        sub = model.weight_matrix()[np.ix_(busy, busy)]
-        sub_flat = np.ascontiguousarray(sub).reshape(-1)
-        row_sums = sub.sum(axis=1)
-        diag = sub.diagonal().copy()
-    else:
-        adj = model.adjacency_matrix()[np.ix_(busy, busy)]
-        adj_flat = adj.astype(np.uint8).reshape(-1)
-    if policy_code == _HM and sub_flat.size == 0 and k0 > 0:
-        # Conflict evaluator: HM still needs the weight submatrix for
-        # its contention bookkeeping (HmPolicy.bind does the same).
-        sub = model.weight_matrix()[np.ix_(busy, busy)]
-        sub_flat = np.ascontiguousarray(sub).reshape(-1)
-    cols = np.arange(k0)
-
-    # Full-size state for every policy: the driver's compaction loop
-    # copies all of them unconditionally (numba does not bounds-check,
-    # so zero-size placeholders are not an option).
-    probability = np.full(k0, p0)
-    last_reset = np.full(k0, -1, dtype=np.int64)
-    lp = np.zeros(k0)
-    # HM contention: the exact numpy row sums HmPolicy.bind computes
-    # (the driver's pairwise updates keep them bit-identical).
-    contention = sub.sum(axis=1) if policy_code == _HM else np.zeros(0)
-    fscratch = np.empty(k0 if policy_code == _HM else 0)
-
-    delivered = np.empty(n_pending, dtype=np.int64)
     if record_history:
         cap_slots = min(int(budget), 4096)
-        att_ids = np.empty(max(4 * n_pending, 1024), dtype=np.int64)
+        att_ids = np.empty(max(4 * st.n_pending, 1024), dtype=np.int64)
         att_off = np.zeros(cap_slots + 1, dtype=np.int64)
         succ_off = np.zeros(cap_slots + 1, dtype=np.int64)
     else:
@@ -670,18 +937,7 @@ def run_compiled(policy, model, requests, budget, gen,
         att_off = np.zeros(1, dtype=np.int64)
         succ_off = np.zeros(1, dtype=np.int64)
 
-    att_loc = np.empty(k0, dtype=np.int64)
-    ok = np.empty(k0, dtype=bool)
-
-    S = np.zeros(16, dtype=np.int64)
-    S[_S_PENDING] = n_pending
-    S[_S_K] = k0
-    S[_S_PHASE] = -1
-    S[_S_LP_DIRTY] = 1
-
-    chunk = (
-        ChunkedUniforms(gen) if policy_code != _SINGLE_HOP else None
-    )
+    chunk = ChunkedUniforms(gen) if st.uses_rng else None
     uniforms = chunk._buf if chunk is not None else np.empty(0)
     # _consumed value at the last refill (= minus the spliced-in
     # leftover); the driver consumes straight off the buffer, so the
@@ -689,26 +945,30 @@ def run_compiled(policy, model, requests, budget, gen,
     consumed_base = 0
 
     while True:
-        status = _drive(
-            policy_code, eval_code, budget, rec, record_history,
-            p0, p_min, backoff, threshold, dec_prob, dec_comp,
-            fkv_prob, fkv_comp, fkv_len, hm_chi,
-            uniforms, S,
-            busy, head_ptr, end_ptr, order,
-            probability, last_reset, lp, contention,
-            sub_flat, k0, row_sums, diag, adj_flat, cols,
-            delivered, att_ids, att_off, succ_off,
-            att_loc, ok, fscratch,
+        status = _advance(
+            st.policy_code, st.eval_code, budget, st.rec,
+            record_history,
+            st.p0, st.p_min, st.backoff, st.threshold, st.beta,
+            st.noise, st.dec_prob, st.dec_comp,
+            st.fkv_prob, st.fkv_comp, st.fkv_len, st.fkv_prob.size,
+            st.hm_chi,
+            uniforms, uniforms.size, st.S,
+            st.busy, st.head_ptr, st.end_ptr, st.order,
+            st.probability, st.last_reset, st.lp, st.contention,
+            st.eval_flat, st.sub_flat, st.k0, st.row_sums, st.diag,
+            st.adj_flat, st.cols,
+            st.delivered, att_ids, att_off, succ_off,
+            st.att_loc, st.ok, st.fscratch,
         )
         if chunk is not None:
-            chunk._cursor = int(S[_S_CUR])
-            chunk._consumed = consumed_base + int(S[_S_CUR])
+            chunk._cursor = int(st.S[_S_CUR])
+            chunk._consumed = consumed_base + int(st.S[_S_CUR])
         if status == _DONE:
             break
         if status == _NEED_UNIFORMS:
-            chunk.refill(int(S[_S_K]))
+            chunk.refill(int(st.S[_S_K]))
             uniforms = chunk._buf
-            S[_S_CUR] = 0
+            st.S[_S_CUR] = 0
             consumed_base = chunk._consumed
         elif status == _HIST_FULL:
             att_ids = np.concatenate(
@@ -721,50 +981,26 @@ def run_compiled(policy, model, requests, budget, gen,
             grow[:succ_off.size] = succ_off
             succ_off = grow
         elif status == _BORDERLINE:
-            _exact_python_slot(
-                policy_code, rec, p0, p_min, backoff, threshold,
-                record_history, uniforms, S,
-                busy, head_ptr, end_ptr, order,
-                probability, last_reset, lp, contention,
-                sub, row_sums, diag, cols,
-                delivered, att_ids, att_off, succ_off,
+            st.exact_slot(
+                uniforms, att_ids, att_off, succ_off, record_history
             )
             if chunk is not None:
-                chunk._cursor = int(S[_S_CUR])
-                chunk._consumed = consumed_base + int(S[_S_CUR])
+                chunk._cursor = int(st.S[_S_CUR])
+                chunk._consumed = consumed_base + int(st.S[_S_CUR])
 
     if chunk is not None:
         chunk.finalize()
 
-    dn = int(S[_S_DN])
-    k = int(S[_S_K])
-    delivered_list = delivered[:dn].tolist()
-    remaining: List[int] = []
-    for i in range(k):
-        remaining.extend(
-            order[head_ptr[i]:starts[busy[i] + 1]].tolist()
-        )
-
-    history: Optional[LazySlotHistory] = None
-    if record_history:
-        history = LazySlotHistory(np.asarray(requests, dtype=np.int64))
-        hslots = int(S[_S_HSLOTS])
-        for s in range(hslots):
-            a0, a1 = int(att_off[s]), int(att_off[s + 1])
-            d0, d1 = int(succ_off[s]), int(succ_off[s + 1])
-            if a1 == a0:
-                history.append_empty()
-            else:
-                history.append_ids_heads(
-                    att_ids[a0:a1], delivered[d0:d1]
-                )
-
-    return RunResult(
-        delivered=delivered_list,
-        remaining=remaining,
-        slots_used=int(S[_S_SLOTS]),
-        history=history,
-    )
+    return st.assemble(record_history, requests, att_ids, att_off,
+                       succ_off)
 
 
-__all__ = ["NUMBA_AVAILABLE", "run_compiled", "supported"]
+__all__ = [
+    "COMPILED_EVALUATORS",
+    "COMPILED_SCHEDULERS",
+    "CompiledSetup",
+    "NUMBA_AVAILABLE",
+    "lane_matrix",
+    "run_compiled",
+    "supported",
+]

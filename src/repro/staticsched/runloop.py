@@ -28,8 +28,9 @@ module turns the slot loop into a *backend* choice:
 ``numba``
     Optional compiled backend (:mod:`repro.staticsched._runloop_numba`):
     run-to-completion JIT loops for the kv / decay / fkv / hm /
-    single-hop recurrences over the affectance and conflict
-    evaluators (hm gated on a bit-exact pairwise-sum self-check). Detected
+    single-hop recurrences over the affectance, conflict and SINR
+    gain-table evaluators (hm gated on a bit-exact pairwise-sum
+    self-check; ``python -m repro backends`` prints the live matrix). Detected
     at import; when numba is absent — or the (scheduler, model) pair
     is outside the compiled set — it falls back *silently* to the
     fused numpy backend.

@@ -1,0 +1,292 @@
+"""The batch-JIT wave driver's bit-identity contract (PR 10).
+
+``run_batched_streams_jit`` promises exactly what the numpy wave
+engine promises: every record and every stream's RNG end state
+bit-identical to driving that stream alone — across the scheduler x
+model matrix, both metrics modes, and every batch shape. The container
+used for tier-1 CI has no numba, so these tests force the fleet
+through the JIT driver *interpreted* (the stub ``njit`` plus a
+``NUMBA_AVAILABLE`` monkeypatch): the exact code numba compiles is
+what executes, minus the compilation. The CI numba lane runs the same
+tests compiled.
+
+Each test takes its serial baseline *before* patching — flipping
+``NUMBA_AVAILABLE`` also flips what backend ``auto`` resolves to, and
+the baseline must be the genuine serial path.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+
+import pytest
+
+import repro.scenario.batched as batched_mod
+from repro.errors import ConfigurationError
+from repro.scenario import ScenarioSpec, preset_spec, run_scenario_fleet
+from repro.scenario.batched import BatchedExecutor, BatchFallbackWarning
+from repro.sim.runner import CellResult
+from repro.sim.sharding import SerialExecutor
+from repro.staticsched import _runloop_numba
+from repro.staticsched._batchloop_numba import (
+    jit_group_supported,
+    run_batched_streams_jit,
+)
+
+# The test_batched_fleet matrix at reduced seed count: every fused
+# scheduler, compiled and uncompiled evaluators (kv-unreliable has no
+# compiled lane — the driver must decline those calls per-call and
+# execute them serially in place, still bit-identically).
+MATRIX_SPECS = {
+    "kv-linear": ScenarioSpec(
+        topology="random",
+        topology_kwargs={"num_nodes": 8},
+        model="linear-power",
+        scheduler="kv",
+        transform=True,
+        frames=20,
+    ),
+    "decay-linear-transformed": ScenarioSpec(
+        topology="random",
+        topology_kwargs={"num_nodes": 8},
+        model="linear-power",
+        scheduler="decay",
+        transform=True,
+        frames=20,
+    ),
+    "fkv-conflict": ScenarioSpec(
+        topology="grid",
+        topology_kwargs={"rows": 3, "cols": 3},
+        model="conflict-node",
+        scheduler="fkv",
+        transform=True,
+        frames=20,
+    ),
+    "hm-linear": ScenarioSpec(
+        topology="random",
+        topology_kwargs={"num_nodes": 8},
+        model="linear-power",
+        scheduler="hm",
+        frames=20,
+    ),
+    "kv-unreliable": ScenarioSpec(
+        topology="random",
+        topology_kwargs={"num_nodes": 8},
+        model="unreliable",
+        model_kwargs={"loss_probability": 0.2},
+        scheduler="kv",
+        transform=True,
+        frames=20,
+    ),
+    "singlehop-routing": ScenarioSpec(
+        topology="grid",
+        topology_kwargs={"rows": 3, "cols": 3},
+        model="packet-routing",
+        scheduler="single-hop",
+        frames=20,
+    ),
+}
+
+
+def records_equal(left, right) -> bool:
+    """CellResult equality, NaN-aware on the latency mean."""
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if (
+            math.isnan(a.latency)
+            and math.isnan(b.latency)
+            and a.rate_index == b.rate_index
+        ):
+            a = CellResult(**{**a.__dict__, "latency": 0.0})
+            b = CellResult(**{**b.__dict__, "latency": 0.0})
+        if a != b:
+            return False
+    return True
+
+
+def _force_jit(monkeypatch):
+    """Route every batch through the JIT driver, interpreted.
+
+    ``NUMBA_AVAILABLE = True`` makes ``auto`` resolve to numba and
+    lets the per-call ``supported()`` gate admit compiled evaluators;
+    swapping the numpy engine for the JIT driver catches the groups
+    ``jit_group_supported`` would steer back (uncompiled models), so
+    the driver's decline-and-execute relay is exercised too.
+    """
+    monkeypatch.setattr(_runloop_numba, "NUMBA_AVAILABLE", True)
+    monkeypatch.setattr(
+        batched_mod, "run_batched_streams", run_batched_streams_jit
+    )
+
+
+def _assert_jit_matches_serial(specs, monkeypatch, **executor_kwargs):
+    serial = run_scenario_fleet(specs, SerialExecutor())
+    _force_jit(monkeypatch)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", BatchFallbackWarning)
+        batched = run_scenario_fleet(
+            specs, BatchedExecutor(**executor_kwargs)
+        )
+    assert records_equal(serial.records, batched.records)
+    assert serial.summary == batched.summary
+    return serial, batched
+
+
+# ----------------------------------------------------------------------
+# The scheduler x model x metrics parity matrix, through the JIT driver
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("metrics", ["full", "streaming"])
+@pytest.mark.parametrize("combo", sorted(MATRIX_SPECS))
+def test_jit_parity_matrix(combo, metrics, monkeypatch):
+    base = MATRIX_SPECS[combo]
+    specs = [
+        base.replace(seed=seed, metrics=metrics) for seed in (0, 1)
+    ]
+    _assert_jit_matches_serial(specs, monkeypatch)
+
+
+def test_jit_batch_of_one(monkeypatch):
+    _assert_jit_matches_serial(
+        [MATRIX_SPECS["hm-linear"].replace(seed=3)], monkeypatch
+    )
+
+
+def test_jit_mixed_frames_batch_together(monkeypatch):
+    """Members that retire early must leave the survivors' private
+    RNG streams untouched inside the compiled wave loop."""
+    base = MATRIX_SPECS["kv-linear"]
+    specs = [
+        base.replace(seed=seed, frames=frames)
+        for seed, frames in ((0, 20), (1, 40), (2, 25))
+    ]
+    _assert_jit_matches_serial(specs, monkeypatch)
+
+
+def test_jit_idle_member_batches_with_busy_peers(monkeypatch):
+    """Born-finished sub-runs (idle injection) execute inline without
+    perturbing busy group peers."""
+    base = MATRIX_SPECS["hm-linear"]
+    specs = [
+        base.replace(seed=0, rate_mode="absolute", rate=1e-6),
+        base.replace(seed=1, rate_mode="absolute", rate=0.5),
+    ]
+    _assert_jit_matches_serial(specs, monkeypatch)
+
+
+def test_jit_sinr_preset_group(monkeypatch):
+    """The sinr-linear preset — the gain-table evaluator the compiled
+    lane just gained — batches through the JIT route bit-identically."""
+    specs = [
+        preset_spec("sinr-linear", nodes=8, seed=seed, frames=20,
+                    scheduler="hm")
+        for seed in range(3)
+    ]
+    _assert_jit_matches_serial(specs, monkeypatch)
+
+
+def test_jit_forced_group_split(monkeypatch):
+    """padding_ratio=1 forces one batch per distinct size; the split
+    batches must each take the JIT route and stay bit-identical."""
+    base = MATRIX_SPECS["kv-linear"]
+    specs = [
+        base.replace(seed=0),
+        base.replace(seed=1, topology_kwargs={"num_nodes": 14}),
+    ]
+    serial = run_scenario_fleet(specs, SerialExecutor())
+    _force_jit(monkeypatch)
+
+    sizes: list = []
+    real = batched_mod.run_batched_streams_jit
+
+    def spy(streams):
+        sizes.append(len(streams))
+        return real(streams)
+
+    monkeypatch.setattr(batched_mod, "run_batched_streams_jit", spy)
+    batched = run_scenario_fleet(
+        specs, BatchedExecutor(padding_ratio=1.0)
+    )
+    assert records_equal(serial.records, batched.records)
+    assert len(sizes) >= 2 and all(size >= 1 for size in sizes)
+
+
+# ----------------------------------------------------------------------
+# Routing: which groups take the JIT lane at all
+# ----------------------------------------------------------------------
+
+
+def test_jit_group_supported_gating(monkeypatch):
+    """Compiled evaluators route to the JIT driver exactly when numba
+    is importable; uncompiled models never do."""
+    import repro
+
+    net = repro.random_sinr_network(6, rng=1)
+    sinr = repro.linear_power_model(net, alpha=3.0, beta=1.0, noise=0.02)
+    from repro.interference.mac import MultipleAccessChannel
+    from repro.network.topology import mac_network
+
+    assert jit_group_supported(sinr) == _runloop_numba.NUMBA_AVAILABLE
+    monkeypatch.setattr(_runloop_numba, "NUMBA_AVAILABLE", True)
+    assert jit_group_supported(sinr)
+    assert jit_group_supported(sinr, scheduler="hm") == (
+        _runloop_numba._pairwise_self_check()
+    )
+    assert not jit_group_supported(MultipleAccessChannel(mac_network(4)))
+
+
+# ----------------------------------------------------------------------
+# Aggregated fallback warnings (satellite b)
+# ----------------------------------------------------------------------
+
+
+def _mixed_fleet_specs():
+    """4 units, 3 ineligible for 2 distinct reasons, 1 eligible."""
+    unbatchable = ScenarioSpec(
+        topology="mac",
+        topology_kwargs={"num_stations": 4},
+        model="mac",
+        scheduler="round-robin",
+        frames=20,
+    )
+    scalar = MATRIX_SPECS["kv-linear"].replace(backend="scalar")
+    return [
+        unbatchable.replace(seed=0),
+        scalar.replace(seed=1),
+        scalar.replace(seed=2),
+        MATRIX_SPECS["kv-linear"].replace(seed=3),
+    ]
+
+
+def test_mixed_fleet_emits_one_aggregated_warning():
+    """A fleet with several distinct fallbacks warns ONCE, with every
+    reason and its count in the message — not once per unit."""
+    specs = _mixed_fleet_specs()
+    serial = run_scenario_fleet(specs, SerialExecutor())
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        batched = run_scenario_fleet(specs, BatchedExecutor())
+    fallback = [
+        w for w in caught if issubclass(w.category, BatchFallbackWarning)
+    ]
+    assert len(fallback) == 1, (
+        f"expected one aggregated warning, got {len(fallback)}"
+    )
+    message = str(fallback[0].message)
+    assert "3 of 4" in message
+    assert "no fused policy" in message and "[x1]" in message
+    assert "no fused run loop" in message and "[x2]" in message
+    assert records_equal(serial.records, batched.records)
+
+
+def test_mixed_fleet_strict_still_raises_per_unit():
+    """strict keeps its precise per-unit contract: the first
+    ineligible position raises immediately, reason attached."""
+    with pytest.raises(ConfigurationError,
+                       match=r"fleet unit 0 cannot batch"):
+        run_scenario_fleet(
+            _mixed_fleet_specs(), BatchedExecutor(strict=True)
+        )

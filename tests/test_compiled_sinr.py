@@ -1,0 +1,215 @@
+"""The compiled SINR lane (PR 10): gain-table runs in the numba driver.
+
+The SINR evaluator joins ``_runloop_numba`` under the same discipline
+as affectance/conflict: a relative ±1e-9 borderline band around the
+success inequality with exact numpy replay inside it, pairwise
+summation wherever sums feed comparisons, and bit-identical results —
+delivered/remaining order, slots used, history, RNG end state — versus
+the scalar reference. Without numba the driver runs interpreted
+through the stub ``njit``, so every test here exercises the exact code
+numba compiles on hosts that have it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.staticsched import _runloop_numba
+from repro.staticsched.decay import DecayScheduler
+from repro.staticsched.fkv import FkvScheduler
+from repro.staticsched.hm import HmScheduler
+from repro.staticsched.kernel import scalar_reference
+from repro.staticsched.kv import KvScheduler
+from repro.staticsched.runloop import (
+    DecayPolicy,
+    FkvPolicy,
+    HmPolicy,
+    KvPolicy,
+    SingleHopPolicy,
+    numba_available,
+)
+from repro.staticsched.single_hop import SingleHopScheduler
+
+_POLICIES = {
+    "kv": (
+        KvScheduler,
+        lambda s: KvPolicy(s._p0, s._p_min, s._backoff, s._recovery_slots),
+    ),
+    "decay": (
+        DecayScheduler,
+        lambda s: DecayPolicy(s._probability_scale, s._measure_floor),
+    ),
+    "fkv": (
+        FkvScheduler,
+        lambda s: FkvPolicy(s._probability_scale, s._phase_scale),
+    ),
+    "hm": (HmScheduler, lambda s: HmPolicy(s._chi)),
+    "single-hop": (SingleHopScheduler, lambda s: SingleHopPolicy()),
+}
+
+
+def _sinr_model(nodes: int = 14, seed: int = 3):
+    net = repro.random_sinr_network(nodes, rng=seed)
+    return repro.linear_power_model(net, alpha=3.0, beta=1.0, noise=0.02)
+
+
+# ----------------------------------------------------------------------
+# Full parity matrix: every compiled scheduler over the SINR evaluator
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("sched_name", sorted(_POLICIES))
+@pytest.mark.parametrize("record_history", [False, True],
+                         ids=["plain", "history"])
+def test_compiled_sinr_replays_reference(sched_name, record_history):
+    """``run_compiled`` on the gain-table model must replay the scalar
+    reference bit for bit — results, history and RNG end state —
+    through its full re-entry protocol (refills, borderline slots)."""
+    sched_cls, policy_factory = _POLICIES[sched_name]
+    model = _sinr_model()
+    scheduler = sched_cls()
+    rng = np.random.default_rng(5)
+    requests = list(rng.integers(0, model.num_links, size=25))
+    measure = model.interference_measure(requests)
+    budget = min(scheduler.budget_for(measure, len(requests)), 300)
+
+    gen_ref = np.random.default_rng(6)
+    with scalar_reference():
+        reference = sched_cls().run(
+            _sinr_model(), requests, budget,
+            rng=gen_ref, record_history=record_history,
+        )
+    gen = np.random.default_rng(6)
+    got = _runloop_numba.run_compiled(
+        policy_factory(scheduler), model, requests, budget, gen,
+        record_history,
+    )
+    assert got.delivered == reference.delivered
+    assert got.remaining == reference.remaining
+    assert got.slots_used == reference.slots_used
+    if record_history:
+        assert got.history == reference.history
+    assert gen.bit_generator.state == gen_ref.bit_generator.state
+
+
+# ----------------------------------------------------------------------
+# Borderline-band re-entry under magnitude-adversarial gain tables
+# ----------------------------------------------------------------------
+
+
+def _counting_exact_slot(monkeypatch):
+    """Wrap the exact numpy replay so tests can assert it fired."""
+    calls = []
+    original = _runloop_numba._exact_python_slot
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(_runloop_numba, "_exact_python_slot", counting)
+    return calls
+
+
+def test_borderline_gain_table_reenters_exact_path(monkeypatch):
+    """A gain table engineered so signal == beta*(interference+noise)
+    at magnitude ~1e6 lands inside the *relative* guard band: the
+    driver must bail out to the exact numpy slot (an absolute 1e-9
+    band would wave a 1e-12 absolute gap straight through at this
+    scale) and still match the reference."""
+    model = _sinr_model(nodes=8, seed=11)
+    m = model.num_links
+    powers = model._powers
+    gains = np.full((m, m), 1e-9)
+    # Links 0 and 1 transmit together under single-hop. Link 1's
+    # interference at link 0 is 1e6; link 0's signal is engineered to
+    # equal beta*(interference + noise) exactly, so the success margin
+    # is the reference's own -1e-12 tie-break epsilon — deep inside
+    # the relative band at scale 1e6.
+    gains[1, 0] = 1e6 / powers[1]
+    gains[0, 0] = (1e6 + model._noise) / powers[0]
+    gains[1, 1] = 1e3 / powers[1]  # link 1 succeeds outright
+    gains[0, 1] = 1e-9
+    model._gains = gains
+    requests = [0, 1]
+
+    calls = _counting_exact_slot(monkeypatch)
+    gen_ref = np.random.default_rng(2)
+    with scalar_reference():
+        reference = SingleHopScheduler().run(
+            model, requests, 10, rng=gen_ref
+        )
+    gen = np.random.default_rng(2)
+    got = _runloop_numba.run_compiled(
+        SingleHopPolicy(), model, requests, 10, gen, False,
+    )
+    assert calls, "the engineered tie never reached the exact path"
+    assert got.delivered == reference.delivered
+    assert got.remaining == reference.remaining
+    assert got.slots_used == reference.slots_used
+    assert gen.bit_generator.state == gen_ref.bit_generator.state
+
+
+@pytest.mark.parametrize("sched_name", ["kv", "hm"])
+def test_magnitude_adversarial_gains_parity(sched_name):
+    """Gain entries spread over ~18 decades stress the sequential
+    interference accumulation: anywhere the fast sum could disagree
+    with the reference's numpy sum falls inside the relative band and
+    replays exactly, so results stay bit-identical."""
+    sched_cls, policy_factory = _POLICIES[sched_name]
+    model = _sinr_model(nodes=10, seed=7)
+    m = model.num_links
+    spread = np.random.default_rng(41)
+    model._gains = 10.0 ** spread.uniform(-9.0, 9.0, size=(m, m))
+    requests = list(spread.integers(0, m, size=18))
+    scheduler = sched_cls()
+    budget = 120
+
+    gen_ref = np.random.default_rng(9)
+    with scalar_reference():
+        reference = sched_cls().run(
+            model, requests, budget, rng=gen_ref,
+        )
+    gen = np.random.default_rng(9)
+    got = _runloop_numba.run_compiled(
+        policy_factory(scheduler), model, requests, budget, gen, False,
+    )
+    assert got.delivered == reference.delivered
+    assert got.remaining == reference.remaining
+    assert got.slots_used == reference.slots_used
+    assert gen.bit_generator.state == gen_ref.bit_generator.state
+
+
+# ----------------------------------------------------------------------
+# Gating: supported() and the live lane matrix
+# ----------------------------------------------------------------------
+
+
+def test_supported_admits_sinr_with_numba(monkeypatch):
+    """SINR joins the compiled set exactly when numba is importable
+    (HM additionally behind the pairwise self-check)."""
+    model = _sinr_model(nodes=6, seed=1)
+    kv = KvPolicy(0.125, 1e-4, 0.5, 8)
+    assert _runloop_numba.supported(kv, model) == numba_available()
+    monkeypatch.setattr(_runloop_numba, "NUMBA_AVAILABLE", True)
+    assert _runloop_numba.supported(kv, model)
+    assert _runloop_numba.supported(HmPolicy(0.25), model) == (
+        _runloop_numba._pairwise_self_check()
+    )
+
+
+def test_lane_matrix_covers_sinr_column():
+    """The live matrix spans all compiled (scheduler, evaluator) pairs
+    — sinr included — and reports the lane this process would take."""
+    matrix = _runloop_numba.lane_matrix()
+    assert set(matrix) == {
+        (sched, ev)
+        for sched in _runloop_numba.COMPILED_SCHEDULERS
+        for ev in _runloop_numba.COMPILED_EVALUATORS
+    }
+    assert "sinr" in _runloop_numba.COMPILED_EVALUATORS
+    expected = "numba" if numba_available() else "numpy"
+    assert matrix[("kv", "sinr")] == expected
+    if not numba_available():
+        assert set(matrix.values()) == {"numpy"}

@@ -419,8 +419,9 @@ def test_compiled_wrapper_replays_reference(
 
 def test_compiled_supported_matrix():
     """The compiled set is exactly {kv, decay, fkv, hm, single-hop} ×
-    {affectance, conflict} — hm additionally gated on the pairwise
-    self-check — and empty without numba."""
+    {affectance, conflict, sinr} — hm additionally gated on the
+    pairwise self-check — and empty without numba (the sinr column has
+    its own suite in test_compiled_sinr.py)."""
     kv = KvPolicy(0.125, 1e-4, 0.5, 8)
     aff = _affectance_model()
     assert _runloop_numba.supported(kv, aff) == numba_available()
